@@ -1,0 +1,74 @@
+// Command datagen writes the DBLP or Movie XML dataset (and its XSD
+// schema) to disk, so the pipeline can be exercised from real files:
+//
+//	datagen -dataset dblp -scale 0.5 -out dblp.xml -xsd dblp.xsd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	xmlshred "repro"
+	"repro/internal/xmlgen"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "movie", "dblp or movie")
+		scale   = flag.Float64("scale", 0.1, "scale factor (1.0 = 20k publications / 10k movies)")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		out     = flag.String("out", "", "output XML file (default stdout)")
+		xsdOut  = flag.String("xsd", "", "also write the XSD schema to this file")
+	)
+	flag.Parse()
+	if err := run(*dataset, *scale, *seed, *out, *xsdOut); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataset string, scale float64, seed int64, out, xsdOut string) error {
+	var tree *xmlshred.SchemaTree
+	var doc *xmlshred.Document
+	switch dataset {
+	case "dblp":
+		tree = xmlshred.DBLPSchema()
+		opts := xmlgen.DefaultDBLPOptions()
+		opts.Inproceedings = int(float64(opts.Inproceedings) * scale)
+		opts.Books = int(float64(opts.Books) * scale)
+		opts.Seed = seed
+		doc = xmlshred.GenerateDBLP(tree, opts)
+	case "movie":
+		tree = xmlshred.MovieSchema()
+		opts := xmlgen.DefaultMovieOptions()
+		opts.Movies = int(float64(opts.Movies) * scale)
+		opts.Seed = seed
+		doc = xmlshred.GenerateMovie(tree, opts)
+	default:
+		return fmt.Errorf("unknown dataset %q", dataset)
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := xmlshred.WriteXML(w, doc); err != nil {
+		return err
+	}
+	if xsdOut != "" {
+		f, err := os.Create(xsdOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := xmlshred.WriteXSD(f, tree); err != nil {
+			return err
+		}
+	}
+	return nil
+}

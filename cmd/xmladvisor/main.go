@@ -1,0 +1,171 @@
+// Command xmladvisor recommends a combined logical + physical design
+// for storing XML (with XSD) in a relational database, given a schema,
+// a dataset (built-in generators or an XML file), and an XPath
+// workload.
+//
+// Usage:
+//
+//	xmladvisor -dataset dblp -queries queries.txt -algorithm greedy
+//	xmladvisor -xsd schema.xsd -xml data.xml -queries queries.txt
+//
+// The queries file holds one XPath query per line ('#' comments
+// allowed); an optional weight may follow the query separated by a
+// tab.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	xmlshred "repro"
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		dataset   = flag.String("dataset", "", "built-in dataset: dblp or movie")
+		scale     = flag.Float64("scale", 0.25, "built-in dataset scale factor")
+		xsdPath   = flag.String("xsd", "", "XSD schema file (alternative to -dataset)")
+		xmlPath   = flag.String("xml", "", "XML data file (required with -xsd)")
+		queryPath = flag.String("queries", "", "workload file: one XPath query per line")
+		algorithm = flag.String("algorithm", "greedy", "greedy | naive | twostep | hybrid")
+		storageMB = flag.Int64("storage", 0, "storage bound in MB (0 = unbounded)")
+		execute   = flag.Bool("execute", true, "load the data and measure workload execution")
+		showSQL   = flag.Bool("sql", false, "print the translated SQL per query")
+		trace     = flag.Bool("trace", false, "narrate the search per round on stderr")
+	)
+	flag.Parse()
+	if *trace {
+		traceWriter = os.Stderr
+	}
+	if err := run(*dataset, *scale, *xsdPath, *xmlPath, *queryPath, *algorithm, *storageMB, *execute, *showSQL); err != nil {
+		fmt.Fprintln(os.Stderr, "xmladvisor:", err)
+		os.Exit(1)
+	}
+}
+
+// traceWriter receives search narration when -trace is set.
+var traceWriter io.Writer
+
+func run(dataset string, scale float64, xsdPath, xmlPath, queryPath, algorithm string,
+	storageMB int64, execute, showSQL bool) error {
+	var tree *xmlshred.SchemaTree
+	var docs []*xmlshred.Document
+	switch {
+	case dataset == "dblp":
+		d := experiments.LoadDBLP(experiments.Scale(scale))
+		tree, docs = d.Tree, d.Docs
+	case dataset == "movie":
+		d := experiments.LoadMovie(experiments.Scale(scale))
+		tree, docs = d.Tree, d.Docs
+	case xsdPath != "":
+		f, err := os.Open(xsdPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tree, err = xmlshred.ParseXSD(f)
+		if err != nil {
+			return err
+		}
+		if xmlPath == "" {
+			return fmt.Errorf("-xml is required with -xsd")
+		}
+		xf, err := os.Open(xmlPath)
+		if err != nil {
+			return err
+		}
+		defer xf.Close()
+		doc, err := xmlshred.ParseXML(tree, xf)
+		if err != nil {
+			return err
+		}
+		docs = []*xmlshred.Document{doc}
+	default:
+		return fmt.Errorf("pass -dataset dblp|movie or -xsd schema.xsd -xml data.xml")
+	}
+	if queryPath == "" {
+		return fmt.Errorf("-queries is required")
+	}
+	w, err := readWorkload(queryPath)
+	if err != nil {
+		return err
+	}
+	col := xmlshred.CollectStatistics(tree, docs...)
+	adv := xmlshred.NewAdvisor(tree, col, w, core.Options{
+		StorageBytes: storageMB << 20,
+		Trace:        traceWriter,
+	})
+
+	var res *xmlshred.Result
+	switch algorithm {
+	case "greedy":
+		res, err = adv.Greedy()
+	case "naive":
+		res, err = adv.NaiveGreedy()
+	case "twostep":
+		res, err = adv.TwoStep()
+	case "hybrid":
+		res, err = adv.HybridBaseline()
+	default:
+		return fmt.Errorf("unknown algorithm %q", algorithm)
+	}
+	if err != nil {
+		return err
+	}
+	if err := res.WriteReport(os.Stdout, showSQL); err != nil {
+		return err
+	}
+	if execute {
+		ex, err := adv.MeasureExecution(res, docs...)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n-- measured execution --\nworkload time: %s (%d rows, data %d KB, structures %d KB)\n",
+			ex.Elapsed, ex.Rows, ex.DataBytes>>10, ex.StructBytes>>10)
+	}
+	return nil
+}
+
+func readWorkload(path string) (*xmlshred.Workload, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	w := &xmlshred.Workload{Name: path}
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		weight := 1.0
+		if i := strings.IndexByte(text, '\t'); i >= 0 {
+			if v, err := strconv.ParseFloat(strings.TrimSpace(text[i+1:]), 64); err == nil {
+				weight = v
+				text = strings.TrimSpace(text[:i])
+			}
+		}
+		q, err := xmlshred.ParseQuery(text)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		w.Queries = append(w.Queries, xmlshred.WorkloadQuery{XPath: q, Weight: weight})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(w.Queries) == 0 {
+		return nil, fmt.Errorf("%s: no queries", path)
+	}
+	return w, nil
+}

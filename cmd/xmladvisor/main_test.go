@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestReadWorkload(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "q.txt")
+	content := `# comment
+//movie[year >= 2000]/(title | box_office)
+//movie/avg_rating	3.5
+
+//movie[genre = "g"]/title
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err := readWorkload(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Queries) != 3 {
+		t.Fatalf("queries = %d, want 3", len(w.Queries))
+	}
+	if w.Queries[1].Weight != 3.5 {
+		t.Errorf("weight = %f, want 3.5", w.Queries[1].Weight)
+	}
+	if w.Queries[0].Weight != 1 {
+		t.Errorf("default weight = %f", w.Queries[0].Weight)
+	}
+}
+
+func TestReadWorkloadErrors(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.txt")
+	os.WriteFile(empty, []byte("# nothing\n"), 0o644)
+	if _, err := readWorkload(empty); err == nil {
+		t.Error("want error for empty workload")
+	}
+	bad := filepath.Join(dir, "bad.txt")
+	os.WriteFile(bad, []byte("not an xpath\n"), 0o644)
+	if _, err := readWorkload(bad); err == nil {
+		t.Error("want error for bad query")
+	}
+	if _, err := readWorkload(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Error("want error for missing file")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("", 0.1, "", "", "", "greedy", 0, false, false); err == nil {
+		t.Error("want error without dataset or schema")
+	}
+	if err := run("movie", 0.01, "", "", "", "greedy", 0, false, false); err == nil {
+		t.Error("want error without queries")
+	}
+}

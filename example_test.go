@@ -1,0 +1,78 @@
+package xmlshred_test
+
+import (
+	"fmt"
+	"log"
+
+	xmlshred "repro"
+)
+
+// ExampleParseQuery shows the supported XPath subset.
+func ExampleParseQuery() {
+	q, err := xmlshred.ParseQuery(`//movie[title = "Titanic"]/(aka_title | avg_rating)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(q.ContextName())
+	fmt.Println(q.Pred)
+	fmt.Println(q.Proj[0], q.Proj[1])
+	// Output:
+	// movie
+	// [title = "Titanic"]
+	// aka_title avg_rating
+}
+
+// ExampleCompileMapping shows the hybrid-inlining relational schema of
+// the paper's Movie example (Fig. 1b).
+func ExampleCompileMapping() {
+	m, err := xmlshred.CompileMapping(xmlshred.MovieSchema())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(m.SQLSchema())
+	// Output:
+	// CREATE TABLE movies (ID INT NOT NULL, PID INT);
+	// CREATE TABLE movie (ID INT NOT NULL, PID INT NOT NULL, title VARCHAR NOT NULL, year INT NOT NULL, avg_rating FLOAT, box_office INT, seasons INT, genre VARCHAR NOT NULL, country VARCHAR NOT NULL, language VARCHAR, runtime INT, FOREIGN KEY (PID) REFERENCES movies(ID));
+	// CREATE TABLE aka_title (ID INT NOT NULL, PID INT NOT NULL, aka_title VARCHAR NOT NULL, FOREIGN KEY (PID) REFERENCES movie(ID));
+	// CREATE TABLE director (ID INT NOT NULL, PID INT NOT NULL, director VARCHAR NOT NULL, FOREIGN KEY (PID) REFERENCES movie(ID));
+	// CREATE TABLE actor (ID INT NOT NULL, PID INT NOT NULL, actor VARCHAR NOT NULL, FOREIGN KEY (PID) REFERENCES movie(ID));
+}
+
+// ExampleTranslateQuery shows the sorted outer-union translation of
+// the paper's Section 1.1 query under hybrid inlining (Mapping 1).
+func ExampleTranslateQuery() {
+	m, err := xmlshred.CompileMapping(xmlshred.DBLPSchema())
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := xmlshred.ParseQuery(`/dblp/inproceedings[booktitle = "SIGMOD CONFERENCE"]/(title | year | author)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sql, err := xmlshred.TranslateQuery(m, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sql.SQL())
+	// Output:
+	// SELECT inproceedings.ID, inproceedings.title, inproceedings.year, NULL AS author FROM inproceedings WHERE inproceedings.booktitle = 'SIGMOD CONFERENCE'
+	// UNION ALL
+	// SELECT inproceedings.ID, NULL AS title, NULL AS year, author.author FROM inproceedings, author WHERE author.PID = inproceedings.ID AND inproceedings.booktitle = 'SIGMOD CONFERENCE'
+	// ORDER BY ID
+}
+
+// ExampleParseDTDString shows DTD input (the paper's footnote 3).
+func ExampleParseDTDString() {
+	tree, err := xmlshred.ParseDTDString(`
+		<!ELEMENT library (book*)>
+		<!ELEMENT book (title, isbn?)>
+		<!ELEMENT title (#PCDATA)>
+		<!ELEMENT isbn (#PCDATA)>
+	`, "library")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tree)
+	// Output:
+	// library{library}(book{book}(title,isbn?)*)
+}

@@ -1,0 +1,350 @@
+// Package core implements the paper's contribution: the combined
+// logical + physical design search of Section 4. Given an annotated
+// XSD schema tree, an XPath workload, statistics collected once at the
+// finest granularity, and a storage bound, it finds a mapping and a
+// physical configuration minimizing the estimated workload cost.
+//
+// Algorithms: Greedy (Fig. 3, with candidate selection §4.5,
+// repetition-split count selection §4.6, candidate merging §4.7, and
+// cost derivation §4.8), Naive-Greedy (§4.2), Two-Step (§5.1.1), and
+// the hybrid-inlining baseline [20].
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/optimizer"
+	"repro/internal/physdesign"
+	"repro/internal/physical"
+	"repro/internal/rel"
+	"repro/internal/schema"
+	"repro/internal/shred"
+	"repro/internal/sqlast"
+	"repro/internal/stats"
+	"repro/internal/translate"
+	"repro/internal/workload"
+)
+
+// MergeStrategy selects the candidate merging mode of Section 4.7.
+type MergeStrategy int
+
+const (
+	// MergeGreedy is the paper's cost-based greedy pairwise merging.
+	MergeGreedy MergeStrategy = iota
+	// MergeNone disables candidate merging.
+	MergeNone
+	// MergeExhaustive enumerates every merged candidate.
+	MergeExhaustive
+)
+
+func (m MergeStrategy) String() string {
+	switch m {
+	case MergeNone:
+		return "none"
+	case MergeExhaustive:
+		return "exhaustive"
+	}
+	return "greedy"
+}
+
+// Options configures a search run.
+type Options struct {
+	// StorageBytes is the bound S on data plus structures; the
+	// physical design tool receives what remains after the data.
+	StorageBytes int64
+	// Merge selects the candidate merging strategy (Fig. 8).
+	Merge MergeStrategy
+	// DisableCostDerivation turns off Section 4.8 (Fig. 9).
+	DisableCostDerivation bool
+	// DisableCandidateSelection replaces per-query candidate selection
+	// with the full non-subsumed enumeration (Fig. 7's "other rules").
+	DisableCandidateSelection bool
+	// SearchSubsumed additionally searches subsumed transformations as
+	// greedy candidates (Fig. 7's main ablation).
+	SearchSubsumed bool
+	// MaxRounds caps greedy rounds (0 = unlimited).
+	MaxRounds int
+	// DisableViews forwards to the physical design tool.
+	DisableViews bool
+	// EnableVPartitions forwards to the physical design tool.
+	EnableVPartitions bool
+	// Trace, when non-nil, receives per-round search narration.
+	Trace io.Writer
+	// Parallelism bounds concurrent candidate evaluations in
+	// Naive-Greedy (0 or 1 = sequential). Candidate costing only reads
+	// shared state, so rounds parallelize cleanly.
+	Parallelism int
+}
+
+// tracef writes search narration when tracing is enabled.
+func (a *Advisor) tracef(format string, args ...any) {
+	if a.Opts.Trace != nil {
+		fmt.Fprintf(a.Opts.Trace, format+"\n", args...)
+	}
+}
+
+// Metrics records search effort.
+type Metrics struct {
+	// Duration is the wall-clock search time.
+	Duration time.Duration
+	// Transformations is the number of transformation applications
+	// enumerated (mappings generated).
+	Transformations int
+	// MappingsCosted is the number of mappings whose cost was fully
+	// estimated by the physical design tool.
+	MappingsCosted int
+	// CostsDerived is the number of mapping costs obtained via cost
+	// derivation instead of full tuning.
+	CostsDerived int
+	// PhysDesignCalls counts physical design tool invocations.
+	PhysDesignCalls int
+	// OptimizerCalls counts what-if optimizer invocations.
+	OptimizerCalls int64
+}
+
+// merge accumulates another run's effort counters (used when candidate
+// evaluations run in parallel).
+func (m *Metrics) merge(o Metrics) {
+	m.Transformations += o.Transformations
+	m.MappingsCosted += o.MappingsCosted
+	m.CostsDerived += o.CostsDerived
+	m.PhysDesignCalls += o.PhysDesignCalls
+	m.OptimizerCalls += o.OptimizerCalls
+}
+
+// Result is a search outcome.
+type Result struct {
+	// Algorithm names the search algorithm.
+	Algorithm string
+	// Tree is the recommended annotated schema (the logical design).
+	Tree *schema.Tree
+	// Mapping is the compiled relational mapping.
+	Mapping *shred.Mapping
+	// Config is the recommended physical configuration.
+	Config *physical.Config
+	// SQL are the workload queries translated under Mapping.
+	SQL []*sqlast.Query
+	// Prov holds the derived statistics the recommendation was costed
+	// with.
+	Prov stats.MapProvider
+	// EstCost is the estimated weighted workload cost.
+	EstCost float64
+	// Metrics records the search effort.
+	Metrics Metrics
+}
+
+// Advisor runs the search algorithms.
+type Advisor struct {
+	// Base is the starting annotated schema (hybrid inlining).
+	Base *schema.Tree
+	// Col holds the finest-granularity statistics (Section 4.1).
+	Col *stats.Collection
+	// W is the XPath workload.
+	W *workload.Workload
+	// Opts configures the run.
+	Opts Options
+}
+
+// New creates an advisor.
+func New(base *schema.Tree, col *stats.Collection, w *workload.Workload, opts Options) *Advisor {
+	return &Advisor{Base: base, Col: col, W: w, Opts: opts}
+}
+
+// physOpts derives the tool options, subtracting the data size of the
+// given mapping from the storage bound.
+func (a *Advisor) physOpts(prov stats.Provider, m *shred.Mapping) physdesign.Options {
+	opts := physdesign.Options{
+		DisableViews:      a.Opts.DisableViews,
+		EnableVPartitions: a.Opts.EnableVPartitions,
+	}
+	if a.Opts.StorageBytes > 0 {
+		var data int64
+		for _, r := range m.Relations {
+			if ts := prov.TableStats(r.Name); ts != nil {
+				data += ts.Bytes()
+			}
+		}
+		left := a.Opts.StorageBytes - data
+		if left < 1 {
+			left = 1
+		}
+		opts.StorageBytes = left
+	}
+	if len(a.W.Updates) > 0 {
+		opts.InsertRates = a.insertRates(m, prov)
+	}
+	return opts
+}
+
+// insertRates converts the workload's element-level insert streams to
+// per-table row rates under a mapping: inserting one instance of an
+// element inserts rows into the relation of every descendant-or-self
+// anchor, at the average per-instance fanout taken from the
+// statistics, split across partition relations by their row shares.
+func (a *Advisor) insertRates(m *shred.Mapping, prov stats.Provider) map[string]float64 {
+	rates := make(map[string]float64)
+	for _, u := range a.W.Updates {
+		for _, elem := range m.Tree.ElementsNamed(u.Element) {
+			elemCount := float64(a.Col.InstanceCount(elem.ID))
+			if elemCount == 0 {
+				continue
+			}
+			for _, r := range m.Relations {
+				var perInstance float64
+				for _, anchor := range r.Anchors {
+					if !descendantOrSelf(anchor, elem) {
+						continue
+					}
+					perInstance += float64(a.Col.InstanceCount(anchor.ID)) / elemCount
+				}
+				if perInstance == 0 {
+					continue
+				}
+				// Split across sibling partitions by row share.
+				share := 1.0
+				group := m.RelationsOf(r.Ann)
+				if len(group) > 1 {
+					var total, mine float64
+					for _, pr := range group {
+						if ts := prov.TableStats(pr.Name); ts != nil {
+							total += float64(ts.Rows)
+							if pr == r {
+								mine = float64(ts.Rows)
+							}
+						}
+					}
+					if total > 0 {
+						share = mine / total
+					}
+				}
+				rates[r.Name] += u.Rate * perInstance * share
+			}
+		}
+	}
+	return rates
+}
+
+// descendantOrSelf reports whether n is elem or a descendant of it.
+func descendantOrSelf(n, elem *schema.Node) bool {
+	for p := n; p != nil; p = p.Parent {
+		if p == elem {
+			return true
+		}
+	}
+	return false
+}
+
+// evalResult is a fully costed mapping.
+type evalResult struct {
+	tree    *schema.Tree
+	mapping *shred.Mapping
+	prov    stats.MapProvider
+	sqls    []*sqlast.Query
+	rec     *physdesign.Recommendation
+	cost    float64
+}
+
+// evaluate compiles, translates, derives statistics, and tunes a
+// mapping — one full physical design tool call.
+func (a *Advisor) evaluate(tree *schema.Tree, met *Metrics) (*evalResult, error) {
+	ev, w, err := a.prepare(tree)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := physdesign.Tune(w, ev.prov, a.physOpts(ev.prov, ev.mapping))
+	if err != nil {
+		return nil, err
+	}
+	met.PhysDesignCalls++
+	met.MappingsCosted++
+	met.OptimizerCalls += rec.OptimizerCalls
+	ev.rec = rec
+	ev.cost = rec.TotalCost
+	return ev, nil
+}
+
+// prepare compiles and translates a mapping without tuning.
+func (a *Advisor) prepare(tree *schema.Tree) (*evalResult, physdesign.Workload, error) {
+	m, err := shred.Compile(tree)
+	if err != nil {
+		return nil, nil, err
+	}
+	prov := shred.DeriveStats(m, a.Col)
+	ev := &evalResult{tree: tree, mapping: m, prov: prov}
+	var w physdesign.Workload
+	for _, q := range a.W.Queries {
+		sql, err := translate.Translate(m, q.XPath)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: translating %s: %w", q.XPath, err)
+		}
+		ev.sqls = append(ev.sqls, sql)
+		w = append(w, physdesign.WeightedQuery{Q: sql, Weight: q.Weight, Tag: q.XPath.String()})
+	}
+	return ev, w, nil
+}
+
+// HybridBaseline tunes the physical design of the hybrid-inlining
+// mapping without any logical search — the normalization baseline of
+// Section 5.1.4.
+func (a *Advisor) HybridBaseline() (*Result, error) {
+	start := time.Now()
+	var met Metrics
+	ev, err := a.evaluate(a.Base.Clone(), &met)
+	if err != nil {
+		return nil, err
+	}
+	met.Duration = time.Since(start)
+	return a.result("Hybrid", ev, met), nil
+}
+
+func (a *Advisor) result(alg string, ev *evalResult, met Metrics) *Result {
+	return &Result{
+		Algorithm: alg,
+		Tree:      ev.tree,
+		Mapping:   ev.mapping,
+		Config:    ev.rec.Config,
+		SQL:       ev.sqls,
+		Prov:      ev.prov,
+		EstCost:   ev.cost,
+		Metrics:   met,
+	}
+}
+
+// defaultConfig is Two-Step's phase-1 physical design guess: a
+// clustered index on ID and a secondary index on PID for every
+// relation (Section 5.1.1).
+func defaultConfig(m *shred.Mapping) *physical.Config {
+	cfg := &physical.Config{}
+	for _, r := range m.Relations {
+		cfg.AddIndex(&physical.Index{
+			Name: "pk_" + r.Name, Table: r.Name, Key: []string{rel.IDColumn},
+		})
+		cfg.AddIndex(&physical.Index{
+			Name: "fk_" + r.Name, Table: r.Name, Key: []string{rel.PIDColumn},
+		})
+	}
+	return cfg
+}
+
+// costUnder estimates the workload cost under a fixed configuration
+// (no tuning) — Two-Step's phase-1 cost oracle.
+func (a *Advisor) costUnder(tree *schema.Tree, cfg func(*shred.Mapping) *physical.Config, met *Metrics) (*evalResult, float64, error) {
+	ev, w, err := a.prepare(tree)
+	if err != nil {
+		return nil, 0, err
+	}
+	opt := optimizer.New(ev.prov)
+	total := 0.0
+	c := cfg(ev.mapping)
+	for _, wq := range w {
+		cost, err := opt.Cost(wq.Q, c)
+		if err != nil {
+			return nil, 0, err
+		}
+		total += wq.Weight * cost
+	}
+	met.OptimizerCalls += opt.Calls
+	return ev, total, nil
+}

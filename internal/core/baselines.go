@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/schema"
+	"repro/internal/transform"
+)
+
+// naiveMaxRounds bounds the baselines' greedy loops; the paper had to
+// abort Naive-Greedy after five days on the larger workloads, so a cap
+// keeps experiments terminating while preserving the cost shape.
+const naiveMaxRounds = 8
+
+// NaiveGreedy is the straightforward extension of the logical-design
+// greedy search of [5], [18] to the combined problem (§4.2): every
+// round it enumerates every applicable transformation — subsumed and
+// non-subsumed alike, with no workload pruning — and calls the
+// physical design tool for each resulting mapping.
+func (a *Advisor) NaiveGreedy() (*Result, error) {
+	start := time.Now()
+	var met Metrics
+	curEval, err := a.evaluate(a.Base.Clone(), &met)
+	if err != nil {
+		return nil, fmt.Errorf("core: costing initial mapping: %w", err)
+	}
+	rounds := a.Opts.MaxRounds
+	if rounds == 0 {
+		rounds = naiveMaxRounds
+	}
+	par := a.Opts.Parallelism
+	if par < 1 {
+		par = 1
+	}
+	for round := 0; round < rounds; round++ {
+		cands := transform.EnumerateAll(curEval.tree, a.Col)
+		evals := make([]*evalResult, len(cands))
+		mets := make([]Metrics, len(cands))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, par)
+		for i, t := range cands {
+			next, err := t.Apply(curEval.tree)
+			if err != nil {
+				continue
+			}
+			met.Transformations++
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, tree *schema.Tree) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				if ev, err := a.evaluate(tree, &mets[i]); err == nil {
+					evals[i] = ev
+				}
+			}(i, next)
+		}
+		wg.Wait()
+		var bestEval *evalResult
+		for i, ev := range evals {
+			met.merge(mets[i])
+			if ev != nil && (bestEval == nil || ev.cost < bestEval.cost) {
+				bestEval = ev
+			}
+		}
+		if bestEval == nil || bestEval.cost >= curEval.cost {
+			break
+		}
+		a.tracef("naive round %d: cost %.2f -> %.2f", round, curEval.cost, bestEval.cost)
+		curEval = bestEval
+	}
+	met.Duration = time.Since(start)
+	return a.result("Naive-Greedy", curEval, met), nil
+}
+
+// TwoStep first searches the logical design alone — assuming only a
+// clustered ID index and a PID index, the best guess without workload
+// tuning (§5.1.1) — and then runs the physical design tool once on the
+// chosen mapping.
+func (a *Advisor) TwoStep() (*Result, error) {
+	start := time.Now()
+	var met Metrics
+	cur := a.Base.Clone()
+	_, curCost, err := a.costUnder(cur, defaultConfig, &met)
+	if err != nil {
+		return nil, err
+	}
+	rounds := a.Opts.MaxRounds
+	if rounds == 0 {
+		rounds = naiveMaxRounds
+	}
+	for round := 0; round < rounds; round++ {
+		var bestTree *schema.Tree
+		bestCost := curCost
+		for _, t := range transform.EnumerateAll(cur, a.Col) {
+			next, err := t.Apply(cur)
+			if err != nil {
+				continue
+			}
+			met.Transformations++
+			_, cost, err := a.costUnder(next, defaultConfig, &met)
+			if err != nil {
+				continue
+			}
+			if cost < bestCost {
+				bestTree, bestCost = next, cost
+			}
+		}
+		if bestTree == nil {
+			break
+		}
+		cur, curCost = bestTree, bestCost
+	}
+	// Phase 2: physical design once, on the selected logical mapping.
+	ev, err := a.evaluate(cur, &met)
+	if err != nil {
+		return nil, err
+	}
+	met.Duration = time.Since(start)
+	return a.result("Two-Step", ev, met), nil
+}
+
+// FullySplitBaseline tunes the fully split mapping — used by tests to
+// show hybrid inlining beats it once physical design is available
+// (§5.1.4).
+func (a *Advisor) FullySplitBaseline() (*Result, error) {
+	start := time.Now()
+	var met Metrics
+	tree := schema.ApplyFullySplit(a.Base.Clone())
+	ev, err := a.evaluate(tree, &met)
+	if err != nil {
+		return nil, err
+	}
+	met.Duration = time.Since(start)
+	return a.result("FullySplit", ev, met), nil
+}

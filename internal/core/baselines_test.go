@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestHybridBeatsFullySplit reproduces the Section 5.1.4 observation
+// that hybrid inlining outperforms the fully split mapping once
+// physical design is available: fewer joins, and covering indexes
+// substitute for the fine-grained partitioning.
+func TestHybridBeatsFullySplit(t *testing.T) {
+	fx := dblpFixture(t, []string{
+		`//inproceedings[year = 2000]/(title | booktitle | pages | ee | author)`,
+		`//book[publisher = "publisher-03"]/(title | year | publisher | isbn | price)`,
+	})
+	adv := New(fx.base, fx.col, fx.w, Options{})
+	hy, err := adv.HybridBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := adv.FullySplitBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hy.EstCost > fs.EstCost {
+		t.Errorf("hybrid (%.2f) should beat fully split (%.2f) under physical design",
+			hy.EstCost, fs.EstCost)
+	}
+	// And on real execution.
+	hyEx, err := adv.MeasureExecution(hy, fx.docs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsEx, err := adv.MeasureExecution(fs, fx.docs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hyEx.Elapsed > fsEx.Elapsed*3/2 {
+		t.Errorf("hybrid measured %v much worse than fully split %v", hyEx.Elapsed, fsEx.Elapsed)
+	}
+}
+
+// TestTwoStepUsesDefaultConfigInPhaseOne pins the phase-1 cost oracle:
+// a clustered ID index and a PID index per relation, no tool calls.
+func TestTwoStepUsesDefaultConfigInPhaseOne(t *testing.T) {
+	fx := movieFixture(t, movieTestQueries[:2])
+	adv := New(fx.base, fx.col, fx.w, Options{MaxRounds: 1})
+	res, err := adv.TwoStep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.PhysDesignCalls != 1 {
+		t.Errorf("phase 1 must not call the tool; total calls = %d", res.Metrics.PhysDesignCalls)
+	}
+	if res.Metrics.Transformations == 0 {
+		t.Error("phase 1 searched nothing")
+	}
+	cfg := defaultConfig(res.Mapping)
+	perRelation := 2
+	if got := len(cfg.Indexes); got != perRelation*len(res.Mapping.Relations) {
+		t.Errorf("default config has %d indexes for %d relations", got, len(res.Mapping.Relations))
+	}
+}

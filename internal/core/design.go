@@ -1,0 +1,102 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/physical"
+	"repro/internal/schema"
+)
+
+// Design is the portable form of a recommendation: the logical design
+// as annotations/splits/distributions keyed by schema node ID, plus
+// the physical configuration. A Design saved from one session applies
+// to any structurally identical schema tree (node IDs are assigned
+// deterministically), so a recommendation can be computed once and
+// deployed later.
+type Design struct {
+	// Annotations maps element node IDs to relation names ("" entries
+	// are omitted).
+	Annotations map[int]string `json:"annotations"`
+	// SplitCounts maps repetition-split leaf node IDs to k.
+	SplitCounts map[int]int `json:"splitCounts,omitempty"`
+	// Distributions maps annotated node IDs to their union
+	// distributions.
+	Distributions map[int][]schema.Distribution `json:"distributions,omitempty"`
+	// Config is the physical configuration.
+	Config *physical.Config `json:"config"`
+	// EstCost records the estimated workload cost at recommendation
+	// time.
+	EstCost float64 `json:"estCost"`
+	// Algorithm records which search produced the design.
+	Algorithm string `json:"algorithm"`
+}
+
+// Design extracts the portable design from a search result.
+func (r *Result) Design() *Design {
+	d := &Design{
+		Annotations:   make(map[int]string),
+		SplitCounts:   make(map[int]int),
+		Distributions: make(map[int][]schema.Distribution),
+		Config:        r.Config,
+		EstCost:       r.EstCost,
+		Algorithm:     r.Algorithm,
+	}
+	r.Tree.Walk(func(n *schema.Node) {
+		if n.Kind != schema.KindElement {
+			return
+		}
+		if n.Annotation != "" {
+			d.Annotations[n.ID] = n.Annotation
+		}
+		if n.SplitCount > 0 {
+			d.SplitCounts[n.ID] = n.SplitCount
+		}
+		if len(n.Distributions) > 0 {
+			d.Distributions[n.ID] = append([]schema.Distribution(nil), n.Distributions...)
+		}
+	})
+	return d
+}
+
+// Apply stamps the design onto a clone of the given base schema tree
+// (which must be structurally identical to the tree the design was
+// extracted from) and returns the annotated clone.
+func (d *Design) Apply(base *schema.Tree) (*schema.Tree, error) {
+	tree := base.Clone()
+	tree.Walk(func(n *schema.Node) {
+		if n.Kind != schema.KindElement {
+			return
+		}
+		n.Annotation = d.Annotations[n.ID]
+		n.SplitCount = d.SplitCounts[n.ID]
+		n.Distributions = nil
+		if ds, ok := d.Distributions[n.ID]; ok {
+			n.Distributions = append([]schema.Distribution(nil), ds...)
+		}
+	})
+	if err := tree.Validate(); err != nil {
+		return nil, fmt.Errorf("core: design does not apply to this schema: %w", err)
+	}
+	return tree, nil
+}
+
+// Save writes the design as JSON.
+func (d *Design) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(d)
+}
+
+// LoadDesign reads a design from JSON.
+func LoadDesign(r io.Reader) (*Design, error) {
+	var d Design
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("core: loading design: %w", err)
+	}
+	if d.Config == nil {
+		d.Config = &physical.Config{}
+	}
+	return &d, nil
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/shred"
+)
+
+func TestDesignRoundTrip(t *testing.T) {
+	fx := dblpFixture(t, dblpTestQueries)
+	adv := New(fx.base, fx.col, fx.w, Options{})
+	res, err := adv.Greedy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Design()
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDesign(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Algorithm != "Greedy" || loaded.EstCost != res.EstCost {
+		t.Errorf("metadata lost: %+v", loaded)
+	}
+	// Applying to a freshly built (structurally identical) schema
+	// reproduces the logical design exactly.
+	fresh, err := loaded.Apply(fx.base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.String() != res.Tree.String() {
+		t.Errorf("applied design differs:\n%s\n%s", fresh, res.Tree)
+	}
+	// The deployed design must compile, load, and build.
+	m, err := shred.Compile(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := shred.Shred(m, fx.docs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Build(db, loaded.Config); err != nil {
+		t.Fatalf("deployed configuration failed to build: %v", err)
+	}
+}
+
+func TestDesignApplyRejectsWrongSchema(t *testing.T) {
+	fx := movieFixture(t, movieTestQueries[:1])
+	adv := New(fx.base, fx.col, fx.w, Options{})
+	res, err := adv.HybridBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Design()
+	// Applying a movie design to DBLP must fail validation (mandatory
+	// annotations land on the wrong nodes).
+	other := dblpFixture(t, dblpTestQueries[:1])
+	if _, err := d.Apply(other.base); err == nil {
+		t.Error("want error applying a design to a different schema")
+	}
+}
+
+func TestLoadDesignErrors(t *testing.T) {
+	if _, err := LoadDesign(bytes.NewBufferString("not json")); err == nil {
+		t.Error("want error for malformed design")
+	}
+	d, err := LoadDesign(bytes.NewBufferString(`{"annotations":{}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Config == nil {
+		t.Error("nil config not defaulted")
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/optimizer"
+	"repro/internal/rel"
+	"repro/internal/shred"
+	"repro/internal/stats"
+	"repro/internal/translate"
+	"repro/internal/xmlgen"
+)
+
+// Execution is the measured outcome of running the workload under a
+// recommended design on real data.
+type Execution struct {
+	// Elapsed is the total wall-clock execution time of the workload.
+	Elapsed time.Duration
+	// Rows is the total number of result rows produced.
+	Rows int64
+	// DataBytes is the loaded data size; StructBytes the materialized
+	// structure size.
+	DataBytes, StructBytes int64
+}
+
+// MeasureExecution loads the documents under the result's mapping,
+// materializes the recommended configuration, and executes every
+// workload query (repeated by its integer weight), returning real
+// execution measurements — the quality metric of Section 5.1.4.
+func (a *Advisor) MeasureExecution(res *Result, docs ...*xmlgen.Doc) (*Execution, error) {
+	db, err := shredLoad(res, docs)
+	if err != nil {
+		return nil, err
+	}
+	built, err := engine.Build(db, res.Config)
+	if err != nil {
+		return nil, fmt.Errorf("core: building configuration: %w", err)
+	}
+	prov := stats.FromDatabase(db)
+	opt := optimizer.New(prov)
+	type prepared struct {
+		plan   *optimizer.Plan
+		weight float64
+	}
+	var plans []prepared
+	for i, wq := range a.W.Queries {
+		sql, err := translate.Translate(res.Mapping, wq.XPath)
+		if err != nil {
+			return nil, fmt.Errorf("core: translating %s: %w", wq.XPath, err)
+		}
+		_ = i
+		plan, err := opt.PlanQuery(sql, res.Config)
+		if err != nil {
+			return nil, fmt.Errorf("core: planning %s: %w", wq.XPath, err)
+		}
+		plans = append(plans, prepared{plan: plan, weight: wq.Weight})
+	}
+	ex := &Execution{DataBytes: db.Bytes(), StructBytes: built.StructBytes}
+	runOnce := func(count bool) error {
+		for _, p := range plans {
+			reps := int(p.weight)
+			if reps < 1 {
+				reps = 1
+			}
+			for r := 0; r < reps; r++ {
+				out, err := engine.Execute(built, p.plan)
+				if err != nil {
+					return fmt.Errorf("core: executing workload: %w", err)
+				}
+				if count {
+					ex.Rows += int64(len(out.Rows))
+				}
+			}
+		}
+		return nil
+	}
+	// Wall-clock stability: repeat short workloads until the total
+	// measured time is long enough to be meaningful, and report the
+	// per-pass average.
+	start := time.Now()
+	if err := runOnce(true); err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	const minMeasure = 30 * time.Millisecond
+	if elapsed < minMeasure && elapsed > 0 {
+		passes := int(minMeasure/elapsed) + 1
+		if passes > 50 {
+			passes = 50
+		}
+		start = time.Now()
+		for i := 0; i < passes; i++ {
+			if err := runOnce(false); err != nil {
+				return nil, err
+			}
+		}
+		elapsed = time.Since(start) / time.Duration(passes)
+	}
+	ex.Elapsed = elapsed
+	return ex, nil
+}
+
+func shredLoad(res *Result, docs []*xmlgen.Doc) (*rel.Database, error) {
+	db, err := shred.Shred(res.Mapping, docs...)
+	if err != nil {
+		return nil, fmt.Errorf("core: loading data under recommended mapping: %w", err)
+	}
+	return db, nil
+}

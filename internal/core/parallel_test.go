@@ -1,0 +1,56 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParallelNaiveMatchesSequential checks that parallel candidate
+// evaluation changes neither the chosen design nor the metrics (the
+// evaluations are pure; only scheduling differs).
+func TestParallelNaiveMatchesSequential(t *testing.T) {
+	fx := movieFixture(t, movieTestQueries)
+	seq, err := New(fx.base, fx.col, fx.w, Options{MaxRounds: 2}).NaiveGreedy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := New(fx.base, fx.col, fx.w, Options{MaxRounds: 2, Parallelism: 4}).NaiveGreedy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.EstCost != par.EstCost {
+		t.Errorf("costs differ: %.4f vs %.4f", seq.EstCost, par.EstCost)
+	}
+	if seq.Tree.String() != par.Tree.String() {
+		t.Errorf("trees differ:\n%s\n%s", seq.Tree, par.Tree)
+	}
+	if seq.Metrics.Transformations != par.Metrics.Transformations {
+		t.Errorf("transformations differ: %d vs %d",
+			seq.Metrics.Transformations, par.Metrics.Transformations)
+	}
+	if seq.Metrics.OptimizerCalls != par.Metrics.OptimizerCalls {
+		t.Errorf("optimizer calls differ: %d vs %d",
+			seq.Metrics.OptimizerCalls, par.Metrics.OptimizerCalls)
+	}
+}
+
+// TestParallelNaiveRace runs under -race via the package test flags.
+func TestParallelNaiveRace(t *testing.T) {
+	fx := movieFixture(t, movieTestQueries[:2])
+	if _, err := New(fx.base, fx.col, fx.w, Options{MaxRounds: 1, Parallelism: 8}).NaiveGreedy(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceOutput(t *testing.T) {
+	fx := movieFixture(t, []string{`//movie/avg_rating`})
+	var sb strings.Builder
+	adv := New(fx.base, fx.col, fx.w, Options{Trace: &sb})
+	if _, err := adv.Greedy(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "greedy:") {
+		t.Errorf("trace missing search narration: %q", out)
+	}
+}

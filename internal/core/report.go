@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/schema"
+)
+
+// WriteReport renders a human-readable advisor report: the chosen
+// logical design as a schema-tree grammar and applied-transformation
+// summary, the relational schema, the physical configuration, and the
+// per-query translations with estimated costs.
+func (r *Result) WriteReport(w io.Writer, verbose bool) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s recommendation ===\n", r.Algorithm)
+	fmt.Fprintf(&b, "estimated workload cost: %.2f\n", r.EstCost)
+	fmt.Fprintf(&b, "search: %s | %d transformations searched | %d tool calls | %d optimizer calls | %d costs derived\n",
+		r.Metrics.Duration.Round(1e6), r.Metrics.Transformations, r.Metrics.PhysDesignCalls,
+		r.Metrics.OptimizerCalls, r.Metrics.CostsDerived)
+
+	b.WriteString("\n--- logical design ---\n")
+	b.WriteString(r.Tree.String())
+	b.WriteString("\n")
+	if feats := r.designFeatures(); len(feats) > 0 {
+		b.WriteString("\napplied transformations:\n")
+		for _, f := range feats {
+			fmt.Fprintf(&b, "  - %s\n", f)
+		}
+	}
+
+	b.WriteString("\n--- relational schema ---\n")
+	b.WriteString(r.Mapping.SQLSchema())
+
+	b.WriteString("\n--- physical design ---\n")
+	cfg := r.Config.String()
+	if cfg == "" {
+		cfg = "(none)\n"
+	}
+	b.WriteString(cfg)
+
+	if verbose {
+		b.WriteString("\n--- translated workload ---\n")
+		for i, sql := range r.SQL {
+			fmt.Fprintf(&b, "-- query %d\n%s\n\n", i+1, sql.SQL())
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// designFeatures summarizes the non-default logical design decisions.
+func (r *Result) designFeatures() []string {
+	var out []string
+	for _, n := range r.Tree.Elements() {
+		if n.SplitCount > 0 {
+			out = append(out, fmt.Sprintf("repetition split: first %d occurrences of %s inlined into %s",
+				n.SplitCount, n.Path(), parentAnnotation(n)))
+		}
+		for _, d := range n.Distributions {
+			if d.Choice != 0 {
+				c := r.Tree.Node(d.Choice)
+				names := make([]string, 0, len(c.Children))
+				for _, br := range c.Children {
+					names = append(names, branchLabel(br))
+				}
+				out = append(out, fmt.Sprintf("union distribution: %s partitioned by (%s)",
+					n.Path(), strings.Join(names, " | ")))
+			} else {
+				names := make([]string, 0, len(d.Optionals))
+				for _, id := range d.Optionals {
+					if o := r.Tree.Node(id); o != nil {
+						names = append(names, o.Name)
+					}
+				}
+				out = append(out, fmt.Sprintf("implicit union: %s partitioned by presence of {%s}",
+					n.Path(), strings.Join(names, ", ")))
+			}
+		}
+	}
+	// Type splits/merges: annotations shared or renamed relative to the
+	// relation count are visible in the schema itself; report shared
+	// annotations explicitly.
+	byAnn := map[string][]string{}
+	for _, n := range r.Tree.Annotated() {
+		byAnn[n.Annotation] = append(byAnn[n.Annotation], n.Path())
+	}
+	for ann, paths := range byAnn {
+		if len(paths) > 1 {
+			out = append(out, fmt.Sprintf("type merge: {%s} share relation %q", strings.Join(paths, ", "), ann))
+		}
+	}
+	return out
+}
+
+func parentAnnotation(n *schema.Node) string {
+	if a := n.AnnotatedAncestor(); a != nil {
+		return a.Annotation
+	}
+	return "parent"
+}
+
+func branchLabel(n *schema.Node) string {
+	if n.Name != "" {
+		return n.Name
+	}
+	elems := n.ElementChildren()
+	if len(elems) > 0 {
+		return elems[0].Name
+	}
+	return "branch"
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteReport(t *testing.T) {
+	fx := dblpFixture(t, []string{
+		`//inproceedings[booktitle = "SIGMOD CONFERENCE"]/(title | year | author)`,
+	})
+	adv := New(fx.base, fx.col, fx.w, Options{})
+	res, err := adv.Greedy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := res.WriteReport(&b, true); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Greedy recommendation",
+		"estimated workload cost",
+		"logical design",
+		"relational schema",
+		"CREATE TABLE",
+		"physical design",
+		"translated workload",
+		"SELECT",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// The shared author annotation must be reported as a type merge
+	// when present.
+	if strings.Contains(out, `share relation "author"`) != sharesAuthor(res) {
+		t.Errorf("type-merge reporting inconsistent with tree")
+	}
+}
+
+func sharesAuthor(res *Result) bool {
+	n := 0
+	for _, e := range res.Tree.Annotated() {
+		if e.Annotation == "author" {
+			n++
+		}
+	}
+	return n > 1
+}
+
+func TestWriteReportFeatures(t *testing.T) {
+	fx := movieFixture(t, []string{`//movie/avg_rating`})
+	adv := New(fx.base, fx.col, fx.w, Options{})
+	res, err := adv.Greedy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := res.WriteReport(&b, false); err != nil {
+		t.Fatal(err)
+	}
+	// The implicit union on avg_rating is the expected winning design
+	// for this workload; if retained it must be reported.
+	hasDist := false
+	for _, n := range res.Tree.Elements() {
+		if len(n.Distributions) > 0 {
+			hasDist = true
+		}
+	}
+	if hasDist && !strings.Contains(b.String(), "implicit union") {
+		t.Errorf("distribution applied but not reported:\n%s", b.String())
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/workload"
+)
+
+// TestUpdateWorkloadThinsConfiguration covers the future-work
+// extension: an insert-heavy workload must receive a leaner physical
+// design than the same read workload, because every structure pays
+// maintenance per inserted row.
+func TestUpdateWorkloadThinsConfiguration(t *testing.T) {
+	fx := movieFixture(t, movieTestQueries)
+
+	readOnly := New(fx.base, fx.col, fx.w, Options{})
+	ro, err := readOnly.HybridBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	heavy := &workload.Workload{Name: "updates", Queries: fx.w.Queries,
+		Updates: []workload.Update{{Element: "movie", Rate: 100000}}}
+	upAdv := New(fx.base, fx.col, heavy, Options{})
+	up, err := upAdv.HybridBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	roStructs := len(ro.Config.Indexes) + len(ro.Config.Views)
+	upStructs := len(up.Config.Indexes) + len(up.Config.Views)
+	if upStructs >= roStructs {
+		t.Errorf("update-heavy config has %d structures, read-only has %d; expected fewer",
+			upStructs, roStructs)
+	}
+}
+
+// TestUpdateRatesFanOut checks the element-to-relation rate mapping:
+// inserting a movie instance inserts its set-valued children at their
+// average fanout.
+func TestUpdateRatesFanOut(t *testing.T) {
+	fx := movieFixture(t, movieTestQueries)
+	w := &workload.Workload{Name: "u", Queries: fx.w.Queries,
+		Updates: []workload.Update{{Element: "movie", Rate: 10}}}
+	adv := New(fx.base, fx.col, w, Options{})
+	ev, _, err := adv.prepare(fx.base.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := adv.insertRates(ev.mapping, ev.prov)
+	if rates["movie"] != 10 {
+		t.Errorf("movie rate = %f, want 10", rates["movie"])
+	}
+	// actor fanout is ~5 per movie (uniform 0..10).
+	if rates["actor"] < 30 || rates["actor"] > 70 {
+		t.Errorf("actor rate = %f, want ~50", rates["actor"])
+	}
+	// Parent relations above movie receive nothing.
+	if rates["movies"] != 0 {
+		t.Errorf("movies rate = %f, want 0", rates["movies"])
+	}
+}
+
+// TestUpdateRatesSplitAcrossPartitions checks that an element's insert
+// rate is divided among its partition relations by row share.
+func TestUpdateRatesSplitAcrossPartitions(t *testing.T) {
+	fx := movieFixture(t, movieTestQueries)
+	tree := fx.base.Clone()
+	movie := tree.ElementsNamed("movie")[0]
+	choice := tree.ElementsNamed("box_office")[0].UnderChoice()
+	movie.Distributions = []schema.Distribution{{Choice: choice.ID}}
+	w := &workload.Workload{Name: "u", Queries: fx.w.Queries,
+		Updates: []workload.Update{{Element: "movie", Rate: 10}}}
+	adv := New(fx.base, fx.col, w, Options{})
+	ev, _, err := adv.prepare(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := adv.insertRates(ev.mapping, ev.prov)
+	box := rates["movie_box_office"]
+	seasons := rates["movie_seasons"]
+	if box <= 0 || seasons <= 0 {
+		t.Fatalf("partition rates: box=%f seasons=%f", box, seasons)
+	}
+	if got := box + seasons; got < 9.9 || got > 10.1 {
+		t.Errorf("partition rates sum to %f, want 10", got)
+	}
+	// The 70/30 choice weighting shows in the shares.
+	if box <= seasons {
+		t.Errorf("box_office share (%f) should exceed seasons (%f)", box, seasons)
+	}
+}

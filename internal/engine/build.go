@@ -1,0 +1,291 @@
+// Package engine materializes physical configurations over loaded
+// relational data (indexes, materialized join views, vertical
+// partitions) and executes the optimizer's plans for real — the
+// "execution time" numbers of the evaluation come from this engine.
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/physical"
+	"repro/internal/rel"
+)
+
+// Built holds materialized physical structures over a database.
+type Built struct {
+	// DB is the underlying data.
+	DB *rel.Database
+	// Config is the configuration that was built.
+	Config *physical.Config
+	// StructBytes is the total size of materialized structures.
+	StructBytes int64
+
+	indexes map[string]*builtIndex // by index ID
+	views   map[string]*rel.Table
+	parts   map[string][]*rel.Table // base table -> group tables
+}
+
+// Build materializes every structure in the configuration.
+func Build(db *rel.Database, cfg *physical.Config) (*Built, error) {
+	if cfg == nil {
+		cfg = &physical.Config{}
+	}
+	b := &Built{
+		DB:      db,
+		Config:  cfg,
+		indexes: make(map[string]*builtIndex),
+		views:   make(map[string]*rel.Table),
+		parts:   make(map[string][]*rel.Table),
+	}
+	for _, idx := range cfg.Indexes {
+		bi, err := buildIndex(db, idx)
+		if err != nil {
+			return nil, err
+		}
+		b.indexes[idx.ID()] = bi
+		b.StructBytes += bi.bytes
+	}
+	for _, v := range cfg.Views {
+		vt, err := buildView(db, v)
+		if err != nil {
+			return nil, err
+		}
+		b.views[v.Name] = vt
+		b.StructBytes += vt.Bytes()
+	}
+	for _, vp := range cfg.Partitions {
+		gts, err := buildPartition(db, vp)
+		if err != nil {
+			return nil, err
+		}
+		b.parts[vp.Table] = gts
+		for _, gt := range gts {
+			b.StructBytes += 16 * int64(gt.RowCount()) // replicated keys
+		}
+	}
+	return b, nil
+}
+
+// Index returns the built index for a descriptor, or nil.
+func (b *Built) Index(idx *physical.Index) *builtIndex {
+	return b.indexes[idx.ID()]
+}
+
+// ViewTable returns the materialized view table, or nil.
+func (b *Built) ViewTable(name string) *rel.Table { return b.views[name] }
+
+// PartGroup returns one partition group table.
+func (b *Built) PartGroup(table string, g int) *rel.Table {
+	gts := b.parts[table]
+	if g < 0 || g >= len(gts) {
+		return nil
+	}
+	return gts[g]
+}
+
+// builtIndex is a sorted permutation of a table's rows by key columns.
+type builtIndex struct {
+	idx    *physical.Index
+	table  *rel.Table
+	keyIdx []int
+	order  []int
+	bytes  int64
+	// firstNonNull is the first position whose leading key is non-NULL.
+	firstNonNull int
+}
+
+func buildIndex(db *rel.Database, idx *physical.Index) (*builtIndex, error) {
+	t := db.Table(idx.Table)
+	if t == nil {
+		return nil, fmt.Errorf("engine: index %s on unknown table %s", idx.Name, idx.Table)
+	}
+	bi := &builtIndex{idx: idx, table: t}
+	for _, k := range idx.Key {
+		ci := t.ColIndex(k)
+		if ci < 0 {
+			return nil, fmt.Errorf("engine: index %s references unknown column %s.%s", idx.Name, idx.Table, k)
+		}
+		bi.keyIdx = append(bi.keyIdx, ci)
+	}
+	for _, k := range idx.Include {
+		if t.ColIndex(k) < 0 {
+			return nil, fmt.Errorf("engine: index %s includes unknown column %s.%s", idx.Name, idx.Table, k)
+		}
+	}
+	bi.order = make([]int, t.RowCount())
+	for i := range bi.order {
+		bi.order[i] = i
+	}
+	sort.SliceStable(bi.order, func(a, c int) bool {
+		ra, rc := t.Rows[bi.order[a]], t.Rows[bi.order[c]]
+		for _, ki := range bi.keyIdx {
+			if cmp := ra[ki].Compare(rc[ki]); cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	lead := bi.keyIdx[0]
+	bi.firstNonNull = sort.Search(len(bi.order), func(i int) bool {
+		return !t.Rows[bi.order[i]][lead].Null
+	})
+	bi.bytes = 12 * int64(t.RowCount())
+	for _, c := range append(append([]string(nil), idx.Key...), idx.Include...) {
+		ci := t.ColIndex(c)
+		for _, row := range t.Rows {
+			bi.bytes += int64(row[ci].Width())
+		}
+	}
+	return bi, nil
+}
+
+// lowerBound returns the first position with leading key >= v (among
+// non-NULL keys).
+func (bi *builtIndex) lowerBound(v rel.Value) int {
+	lead := bi.keyIdx[0]
+	i := sort.Search(len(bi.order)-bi.firstNonNull, func(i int) bool {
+		return bi.table.Rows[bi.order[bi.firstNonNull+i]][lead].Compare(v) >= 0
+	})
+	return bi.firstNonNull + i
+}
+
+// upperBound returns the first position with leading key > v.
+func (bi *builtIndex) upperBound(v rel.Value) int {
+	lead := bi.keyIdx[0]
+	i := sort.Search(len(bi.order)-bi.firstNonNull, func(i int) bool {
+		return bi.table.Rows[bi.order[bi.firstNonNull+i]][lead].Compare(v) > 0
+	})
+	return bi.firstNonNull + i
+}
+
+// seekEqual returns the row ids whose leading key equals v.
+func (bi *builtIndex) seekEqual(v rel.Value) []int {
+	lo, hi := bi.lowerBound(v), bi.upperBound(v)
+	return bi.order[lo:hi]
+}
+
+// seekRange returns row ids for "leading key op v"; NULL keys never
+// match.
+func (bi *builtIndex) seekRange(op opKind, v rel.Value) []int {
+	n := len(bi.order)
+	switch op {
+	case opEq:
+		return bi.seekEqual(v)
+	case opLt:
+		return bi.order[bi.firstNonNull:bi.lowerBound(v)]
+	case opLe:
+		return bi.order[bi.firstNonNull:bi.upperBound(v)]
+	case opGt:
+		return bi.order[bi.upperBound(v):n]
+	case opGe:
+		return bi.order[bi.lowerBound(v):n]
+	}
+	return nil
+}
+
+type opKind int
+
+const (
+	opEq opKind = iota
+	opLt
+	opLe
+	opGt
+	opGe
+)
+
+// buildView materializes a parent-child join view: for every inner row
+// whose PID matches an outer ID, one row with the carried columns named
+// table__col.
+func buildView(db *rel.Database, v *physical.View) (*rel.Table, error) {
+	outer, inner := db.Table(v.Outer), db.Table(v.Inner)
+	if outer == nil || inner == nil {
+		return nil, fmt.Errorf("engine: view %s references unknown tables %s/%s", v.Name, v.Outer, v.Inner)
+	}
+	var cols []rel.Column
+	var outerIdx, innerIdx []int
+	for _, c := range v.OuterCols {
+		ci := outer.ColIndex(c)
+		if ci < 0 {
+			return nil, fmt.Errorf("engine: view %s references unknown column %s.%s", v.Name, v.Outer, c)
+		}
+		col := outer.Columns[ci]
+		col.Name = v.Outer + "__" + c
+		cols = append(cols, col)
+		outerIdx = append(outerIdx, ci)
+	}
+	for _, c := range v.InnerCols {
+		ci := inner.ColIndex(c)
+		if ci < 0 {
+			return nil, fmt.Errorf("engine: view %s references unknown column %s.%s", v.Name, v.Inner, c)
+		}
+		col := inner.Columns[ci]
+		col.Name = v.Inner + "__" + c
+		cols = append(cols, col)
+		innerIdx = append(innerIdx, ci)
+	}
+	vt := rel.NewTable(v.Name, cols)
+	byID := make(map[int64][]rel.Value, outer.RowCount())
+	oid := outer.ColIndex(rel.IDColumn)
+	for _, row := range outer.Rows {
+		byID[row[oid].I] = row
+	}
+	pid := inner.ColIndex(rel.PIDColumn)
+	for _, irow := range inner.Rows {
+		if irow[pid].Null {
+			continue
+		}
+		orow, ok := byID[irow[pid].I]
+		if !ok {
+			continue
+		}
+		out := make([]rel.Value, 0, len(cols))
+		for _, ci := range outerIdx {
+			out = append(out, orow[ci])
+		}
+		for _, ci := range innerIdx {
+			out = append(out, irow[ci])
+		}
+		vt.AppendRow(out)
+	}
+	return vt, nil
+}
+
+// buildPartition splits a table vertically; group rows stay aligned
+// with the base table's row order and replicate ID and PID.
+func buildPartition(db *rel.Database, vp *physical.VPartition) ([]*rel.Table, error) {
+	t := db.Table(vp.Table)
+	if t == nil {
+		return nil, fmt.Errorf("engine: partition of unknown table %s", vp.Table)
+	}
+	var out []*rel.Table
+	for gi, group := range vp.Groups {
+		cols := []rel.Column{t.Columns[t.ColIndex(rel.IDColumn)], t.Columns[t.ColIndex(rel.PIDColumn)]}
+		idxs := []int{t.ColIndex(rel.IDColumn), t.ColIndex(rel.PIDColumn)}
+		for _, c := range group {
+			ci := t.ColIndex(c)
+			if ci < 0 {
+				return nil, fmt.Errorf("engine: partition group references unknown column %s.%s", vp.Table, c)
+			}
+			cols = append(cols, t.Columns[ci])
+			idxs = append(idxs, ci)
+		}
+		gt := rel.NewTable(vp.GroupTable(gi), cols)
+		for _, row := range t.Rows {
+			out := make([]rel.Value, len(idxs))
+			for i, ci := range idxs {
+				out[i] = row[ci]
+			}
+			gt.AppendRow(out)
+		}
+		out = append(out, gt)
+	}
+	return out, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

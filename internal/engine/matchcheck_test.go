@@ -1,0 +1,36 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/xmlgen"
+	"repro/internal/xpath"
+)
+
+// TestSelectionQueriesActuallyMatch guards against test fixtures whose
+// selection constants silently stop matching after generator changes.
+func TestSelectionQueriesActuallyMatch(t *testing.T) {
+	base := schema.DBLP()
+	doc := xmlgen.GenerateDBLP(base, xmlgen.DBLPOptions{Inproceedings: 300, Books: 40, Seed: 21})
+	for _, qs := range []string{
+		`//inproceedings[author = "Fatima Author-00005"]/title`,
+	} {
+		groups, err := xmlgen.Evaluate(base, doc, xpath.MustParse(qs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(groups) == 0 {
+			t.Errorf("%s matches nothing; fixture constants stale", qs)
+		}
+	}
+	mbase := schema.Movie()
+	mdoc := xmlgen.GenerateMovie(mbase, xmlgen.MovieOptions{Movies: 300, Seed: 21})
+	groups, err := xmlgen.Evaluate(mbase, mdoc, xpath.MustParse(`//movie[actor = "Bob Author-00017"]/title`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) == 0 {
+		t.Error("movie actor selection matches nothing; fixture constants stale")
+	}
+}

@@ -1,0 +1,140 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/optimizer"
+	"repro/internal/physical"
+	"repro/internal/schema"
+	"repro/internal/shred"
+	"repro/internal/stats"
+	"repro/internal/transform"
+	"repro/internal/translate"
+	"repro/internal/xmlgen"
+	"repro/internal/xpath"
+)
+
+// TestRandomTransformationSequencesPreserveSemantics is the central
+// correctness property of the whole system: for ANY mapping reachable
+// by a sequence of logical transformations, and ANY physical
+// configuration the tuner might build, executing the translated SQL
+// returns exactly what the reference XPath evaluator returns on the
+// documents.
+func TestRandomTransformationSequencesPreserveSemantics(t *testing.T) {
+	type fixture struct {
+		name    string
+		base    *schema.Tree
+		tree    func() *schema.Tree
+		doc     *xmlgen.Doc
+		queries []string
+	}
+	movieBase := schema.Movie()
+	dblpBase := schema.DBLP()
+	fixtures := []fixture{
+		{
+			name: "movie",
+			base: movieBase,
+			tree: schema.Movie,
+			doc:  xmlgen.GenerateMovie(movieBase, xmlgen.MovieOptions{Movies: 120, Seed: 91}),
+			queries: []string{
+				`//movie[year >= 2000]/(title | box_office)`,
+				`//movie[genre = "genre-03"]/(title | actor | avg_rating)`,
+				`//movie/language`,
+				`//movie[country = "country-07"]/(aka_title | seasons)`,
+			},
+		},
+		{
+			name: "dblp",
+			base: dblpBase,
+			tree: schema.DBLP,
+			doc:  xmlgen.GenerateDBLP(dblpBase, xmlgen.DBLPOptions{Inproceedings: 120, Books: 25, Seed: 92}),
+			queries: []string{
+				`//inproceedings[year >= 1999]/(title | author)`,
+				`//book/(title | publisher | price)`,
+				`//inproceedings[booktitle = "VLDB"]/(pages | cite)`,
+			},
+		},
+	}
+	r := rand.New(rand.NewSource(7))
+	for _, fx := range fixtures {
+		col := xmlgen.CollectStats(fx.base, fx.doc)
+		const trials = 12
+		for trial := 0; trial < trials; trial++ {
+			tree := fx.tree()
+			// Apply a random sequence of applicable transformations.
+			steps := 1 + r.Intn(4)
+			var applied []string
+			for s := 0; s < steps; s++ {
+				cands := transform.EnumerateAll(tree, col)
+				if len(cands) == 0 {
+					break
+				}
+				tf := cands[r.Intn(len(cands))]
+				next, err := tf.Apply(tree)
+				if err != nil {
+					continue // combination not applicable; skip
+				}
+				applied = append(applied, tf.Key())
+				tree = next
+			}
+			m, err := shred.Compile(tree)
+			if err != nil {
+				t.Fatalf("%s trial %d (%v): compile: %v", fx.name, trial, applied, err)
+			}
+			db, err := shred.Shred(m, fx.doc)
+			if err != nil {
+				t.Fatalf("%s trial %d (%v): shred: %v", fx.name, trial, applied, err)
+			}
+			// Random physical configuration: sometimes empty, sometimes
+			// a handful of plausible indexes.
+			cfg := &physical.Config{}
+			if r.Intn(2) == 0 {
+				for _, tb := range db.Tables() {
+					if r.Intn(3) == 0 && tb.HasColumn("PID") {
+						cfg.AddIndex(&physical.Index{
+							Name: "p_" + tb.Name, Table: tb.Name, Key: []string{"PID"},
+						})
+					}
+				}
+			}
+			built, err := Build(db, cfg)
+			if err != nil {
+				t.Fatalf("%s trial %d: build: %v", fx.name, trial, err)
+			}
+			prov := stats.FromDatabase(db)
+			opt := optimizer.New(prov)
+			for _, qs := range fx.queries {
+				q := xpath.MustParse(qs)
+				sql, err := translate.Translate(m, q)
+				if err != nil {
+					t.Fatalf("%s trial %d (%v): translate %s: %v", fx.name, trial, applied, qs, err)
+				}
+				plan, err := opt.PlanQuery(sql, cfg)
+				if err != nil {
+					t.Fatalf("%s trial %d: plan %s: %v", fx.name, trial, qs, err)
+				}
+				res, err := Execute(built, plan)
+				if err != nil {
+					t.Fatalf("%s trial %d (%v): execute %s: %v", fx.name, trial, applied, qs, err)
+				}
+				gold, err := xmlgen.Evaluate(fx.base, fx.doc, q)
+				if err != nil {
+					t.Fatalf("%s trial %d: evaluate %s: %v", fx.name, trial, qs, err)
+				}
+				got := dropEmpty(normalizeSQL(res))
+				want := dropEmpty(normalizeGold(gold, q.Proj, nil))
+				if len(got) != len(want) {
+					t.Fatalf("%s trial %d (%v): %s: %d groups, want %d\nSQL:\n%s",
+						fx.name, trial, applied, qs, len(got), len(want), sql.SQL())
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%s trial %d (%v): %s: group %d\n got: %s\nwant: %s\nSQL:\n%s",
+							fx.name, trial, applied, qs, i, got[i], want[i], sql.SQL())
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/optimizer"
+	"repro/internal/physical"
+	"repro/internal/schema"
+	"repro/internal/shred"
+	"repro/internal/stats"
+	"repro/internal/translate"
+	"repro/internal/xmlgen"
+	"repro/internal/xpath"
+)
+
+// TestPartitionPruningReadsFewerRows ties the union-distribution
+// benefit (Section 4.4's Q1 example) to observable work: under the
+// distributed mapping, //movie/language scans only the has-language
+// partition.
+func TestPartitionPruningReadsFewerRows(t *testing.T) {
+	base := schema.Movie()
+	doc := xmlgen.GenerateMovie(base, xmlgen.MovieOptions{Movies: 400, Seed: 41})
+	run := func(tree *schema.Tree) *Result {
+		m, err := shred.Compile(tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := shred.Shred(m, doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		built, err := Build(db, &physical.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := optimizer.New(stats.FromDatabase(db))
+		sql, err := translate.Translate(m, xpath.MustParse(`//movie/language`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := opt.PlanQuery(sql, &physical.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Execute(built, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(schema.Movie())
+
+	dist := schema.Movie()
+	movie := dist.ElementsNamed("movie")[0]
+	lang := dist.ElementsNamed("language")[0]
+	movie.Distributions = []schema.Distribution{{Optionals: []int{lang.ID}}}
+	pruned := run(dist)
+
+	// The plain mapping emits an all-NULL row per movie without a
+	// language (normalized away downstream); compare the non-NULL
+	// results.
+	count := func(r *Result) int {
+		li := -1
+		for i, c := range r.Cols {
+			if c == "language" {
+				li = i
+			}
+		}
+		n := 0
+		for _, row := range r.Rows {
+			if !row[li].Null {
+				n++
+			}
+		}
+		return n
+	}
+	if count(plain) != count(pruned) {
+		t.Fatalf("result counts differ: %d vs %d", count(plain), count(pruned))
+	}
+	if pruned.Stats.RowsScanned >= plain.Stats.RowsScanned {
+		t.Errorf("partition pruning did not reduce scanned rows: %d vs %d",
+			pruned.Stats.RowsScanned, plain.Stats.RowsScanned)
+	}
+	// Roughly: only ~50% of movies have language.
+	if pruned.Stats.RowsScanned > plain.Stats.RowsScanned*7/10 {
+		t.Errorf("pruning too weak: %d vs %d", pruned.Stats.RowsScanned, plain.Stats.RowsScanned)
+	}
+}
+
+// TestIndexSeekAvoidsScan checks the seek path is observable in the
+// counters.
+func TestIndexSeekAvoidsScan(t *testing.T) {
+	base := schema.Movie()
+	doc := xmlgen.GenerateMovie(base, xmlgen.MovieOptions{Movies: 400, Seed: 42})
+	m, _ := shred.Compile(schema.Movie())
+	db, err := shred.Shred(m, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &physical.Config{}
+	cfg.AddIndex(&physical.Index{Name: "t", Table: "movie", Key: []string{"title"},
+		Include: []string{"ID", "year", "genre"}})
+	built, err := Build(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := optimizer.New(stats.FromDatabase(db))
+	sql, err := translate.Translate(m, xpath.MustParse(`//movie[title = "Movie Title 000042"]/(year | genre)`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := opt.PlanQuery(sql, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(built, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.RowsScanned != 0 {
+		t.Errorf("seek plan scanned %d rows", res.Stats.RowsScanned)
+	}
+	if res.Stats.RowsSought != 1 {
+		t.Errorf("RowsSought = %d, want 1 (unique title)", res.Stats.RowsSought)
+	}
+	// The plan explanation names the seek.
+	exp := plan.Explain()
+	if !strings.Contains(exp, "INDEX SEEK") || !strings.Contains(exp, "COVERING") {
+		t.Errorf("Explain missing seek: %s", exp)
+	}
+}
+
+func TestExplainShapes(t *testing.T) {
+	base := schema.Movie()
+	doc := xmlgen.GenerateMovie(base, xmlgen.MovieOptions{Movies: 100, Seed: 43})
+	m, _ := shred.Compile(schema.Movie())
+	db, err := shred.Shred(m, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := optimizer.New(stats.FromDatabase(db))
+	sql, err := translate.Translate(m, xpath.MustParse(`//movie[genre = "genre-03"]/(title | actor)`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := opt.PlanQuery(sql, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := plan.Explain()
+	for _, want := range []string{"PLAN", "BRANCH", "SCAN movie", "JOIN", "SORT BY ID"} {
+		if !strings.Contains(exp, want) {
+			t.Errorf("Explain missing %q:\n%s", want, exp)
+		}
+	}
+}

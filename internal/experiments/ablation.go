@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// AblationRow is one Greedy-variant measurement for Figs. 7-9.
+type AblationRow struct {
+	Dataset, Workload, Variant string
+	EstCost                    float64
+	NormEst                    float64 // normalized to hybrid inlining
+	ExecTime                   time.Duration
+	NormExec                   float64
+	SearchTime                 time.Duration
+	Speedup                    float64 // baseline variant time / this time
+	Transformations            int
+	PhysDesignCalls            int
+	OptimizerCalls             int64
+	CostsDerived               int
+}
+
+// variantSpec names one Greedy configuration.
+type variantSpec struct {
+	name string
+	opts func(core.Options) core.Options
+}
+
+// runVariants measures Greedy under several option variants, always
+// including the hybrid baseline for normalization.
+func runVariants(d *Dataset, w *workload.Workload, base core.Options,
+	variants []variantSpec, measureExec bool) ([]AblationRow, error) {
+	adv := core.New(d.Tree, d.Col, w, base)
+	hy, err := adv.HybridBaseline()
+	if err != nil {
+		return nil, err
+	}
+	var hyExec *core.Execution
+	if measureExec {
+		hyExec, err = adv.MeasureExecution(hy, d.Docs...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var rows []AblationRow
+	for _, v := range variants {
+		vadv := core.New(d.Tree, d.Col, w, v.opts(base))
+		res, err := vadv.Greedy()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: variant %s on %s: %w", v.name, w.Name, err)
+		}
+		row := AblationRow{
+			Dataset:         d.Name,
+			Workload:        w.Name,
+			Variant:         v.name,
+			EstCost:         res.EstCost,
+			SearchTime:      res.Metrics.Duration,
+			Transformations: res.Metrics.Transformations,
+			PhysDesignCalls: res.Metrics.PhysDesignCalls,
+			OptimizerCalls:  res.Metrics.OptimizerCalls,
+			CostsDerived:    res.Metrics.CostsDerived,
+		}
+		if hy.EstCost > 0 {
+			row.NormEst = res.EstCost / hy.EstCost
+		}
+		if measureExec {
+			ex, err := vadv.MeasureExecution(res, d.Docs...)
+			if err != nil {
+				return nil, err
+			}
+			row.ExecTime = ex.Elapsed
+			if hyExec != nil && hyExec.Elapsed > 0 {
+				row.NormExec = float64(ex.Elapsed) / float64(hyExec.Elapsed)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RunFig7 measures the speed-up from candidate selection (Fig. 7):
+// the full Greedy against (a) a variant that also searches subsumed
+// transformations and (b) a variant without per-query candidate
+// selection. Speedup columns are relative to the slowest variant.
+func RunFig7(d *Dataset, w *workload.Workload, opts core.Options) ([]AblationRow, error) {
+	rows, err := runVariants(d, w, opts, []variantSpec{
+		{"greedy(all-rules)", func(o core.Options) core.Options { return o }},
+		{"greedy+subsumed", func(o core.Options) core.Options { o.SearchSubsumed = true; return o }},
+		{"greedy-no-selection", func(o core.Options) core.Options { o.DisableCandidateSelection = true; return o }},
+	}, false)
+	if err != nil {
+		return nil, err
+	}
+	// Speed-up of each variant relative to the slowest (the naive-like
+	// one with subsumed transformations searched).
+	var slowest time.Duration
+	for _, r := range rows {
+		if r.SearchTime > slowest {
+			slowest = r.SearchTime
+		}
+	}
+	for i := range rows {
+		if rows[i].SearchTime > 0 {
+			rows[i].Speedup = float64(slowest) / float64(rows[i].SearchTime)
+		}
+	}
+	return rows, nil
+}
+
+// RunFig8 measures the merging strategies of Section 4.7 (Fig. 8):
+// greedy, none, exhaustive — quality and running time.
+func RunFig8(d *Dataset, w *workload.Workload, opts core.Options) ([]AblationRow, error) {
+	rows, err := runVariants(d, w, opts, []variantSpec{
+		{"merge-greedy", func(o core.Options) core.Options { o.Merge = core.MergeGreedy; return o }},
+		{"merge-none", func(o core.Options) core.Options { o.Merge = core.MergeNone; return o }},
+		{"merge-exhaustive", func(o core.Options) core.Options { o.Merge = core.MergeExhaustive; return o }},
+	}, true)
+	if err != nil {
+		return nil, err
+	}
+	// Running time normalized to no-merging (the paper's Fig. 8b).
+	var none time.Duration
+	for _, r := range rows {
+		if r.Variant == "merge-none" {
+			none = r.SearchTime
+		}
+	}
+	for i := range rows {
+		if none > 0 {
+			rows[i].Speedup = float64(rows[i].SearchTime) / float64(none)
+		}
+	}
+	return rows, nil
+}
+
+// RunFig9 measures cost derivation on/off (Fig. 9): quality and
+// running time.
+func RunFig9(d *Dataset, w *workload.Workload, opts core.Options) ([]AblationRow, error) {
+	rows, err := runVariants(d, w, opts, []variantSpec{
+		{"with-derivation", func(o core.Options) core.Options { return o }},
+		{"no-derivation", func(o core.Options) core.Options { o.DisableCostDerivation = true; return o }},
+	}, true)
+	if err != nil {
+		return nil, err
+	}
+	// Speed-up of derivation over no-derivation.
+	var with, without time.Duration
+	for _, r := range rows {
+		switch r.Variant {
+		case "with-derivation":
+			with = r.SearchTime
+		case "no-derivation":
+			without = r.SearchTime
+		}
+	}
+	for i := range rows {
+		if with > 0 && rows[i].Variant == "with-derivation" {
+			rows[i].Speedup = float64(without) / float64(with)
+		}
+	}
+	return rows, nil
+}
+
+// PrintAblation renders ablation rows.
+func PrintAblation(w io.Writer, title string, rows []AblationRow) {
+	fmt.Fprintf(w, "\n== %s ==\n", title)
+	fmt.Fprintf(w, "%-8s %-10s %-20s %9s %9s %10s %8s %7s %6s %8s %8s\n",
+		"dataset", "workload", "variant", "normEst", "normExec", "search(ms)", "speedup", "#trans", "#tool", "#optcall", "#derived")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %-10s %-20s %9.3f %9.3f %10.1f %8.2f %7d %6d %8d %8d\n",
+			r.Dataset, r.Workload, r.Variant, r.NormEst, r.NormExec,
+			float64(r.SearchTime.Microseconds())/1000, r.Speedup,
+			r.Transformations, r.PhysDesignCalls, r.OptimizerCalls, r.CostsDerived)
+	}
+}

@@ -1,0 +1,133 @@
+package optimizer
+
+import (
+	"testing"
+
+	"repro/internal/physical"
+	"repro/internal/rel"
+	"repro/internal/sqlast"
+	"repro/internal/stats"
+)
+
+// scaleStats multiplies the row counts of a provider.
+func scaleStats(p stats.MapProvider, f float64) stats.MapProvider {
+	out := make(stats.MapProvider, len(p))
+	for name, ts := range p {
+		ns := &stats.TableStats{Name: ts.Name, Rows: int64(float64(ts.Rows) * f),
+			RowBytes: ts.RowBytes, Cols: make(map[string]*stats.ColumnStats)}
+		for c, cs := range ts.Cols {
+			sc := *cs
+			sc.Count = int64(float64(cs.Count) * f)
+			if sc.Distinct > sc.Count {
+				sc.Distinct = sc.Count
+			}
+			ns.Cols[c] = &sc
+		}
+		out[name] = ns
+	}
+	return out
+}
+
+// TestCostGrowsWithData checks the basic sanity property: the same
+// plan problem on more data never estimates cheaper, for scans, seeks,
+// and joins.
+func TestCostGrowsWithData(t *testing.T) {
+	base := fakeStats()
+	queries := []*sqlast.Query{
+		{Branches: []*sqlast.Select{selectMovie()}},
+		{Branches: []*sqlast.Select{selectMovie(sqlast.Pred{
+			Kind: sqlast.PredCompare, Op: sqlast.OpGe,
+			Col:   sqlast.ColRef{Table: "movie", Column: "year"},
+			Value: rel.Int(10),
+		})}},
+		{Branches: []*sqlast.Select{joinBranch()}},
+	}
+	cfgs := []*physical.Config{
+		{},
+		{Indexes: []*physical.Index{
+			{Name: "y", Table: "movie", Key: []string{"year"}, Include: []string{"ID", "title"}},
+			{Name: "p", Table: "actor", Key: []string{"PID"}, Include: []string{"actor"}},
+		}},
+	}
+	for qi, q := range queries {
+		for ci, cfg := range cfgs {
+			prev := 0.0
+			for _, f := range []float64{0.25, 1, 4, 16} {
+				o := New(scaleStats(base, f))
+				c, err := o.Cost(q, cfg)
+				if err != nil {
+					t.Fatalf("q%d cfg%d scale %f: %v", qi, ci, f, err)
+				}
+				if c < prev*0.999 {
+					t.Errorf("q%d cfg%d: cost decreased with data: %.3f at previous scale vs %.3f", qi, ci, prev, c)
+				}
+				prev = c
+			}
+		}
+	}
+}
+
+// TestMoreIndexesNeverHurt checks that enlarging a configuration never
+// raises the estimated minimum cost (the optimizer may always ignore a
+// structure).
+func TestMoreIndexesNeverHurt(t *testing.T) {
+	o := New(fakeStats())
+	q := &sqlast.Query{Branches: []*sqlast.Select{joinBranch()}}
+	cfg := &physical.Config{}
+	prev, err := o.Cost(q, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adds := []*physical.Index{
+		{Name: "a", Table: "movie", Key: []string{"genre"}},
+		{Name: "b", Table: "movie", Key: []string{"genre"}, Include: []string{"ID", "title"}},
+		{Name: "c", Table: "actor", Key: []string{"PID"}},
+		{Name: "d", Table: "actor", Key: []string{"PID"}, Include: []string{"actor"}},
+		{Name: "e", Table: "movie", Key: []string{"year"}},
+	}
+	for _, idx := range adds {
+		cfg.AddIndex(idx)
+		c, err := o.Cost(q, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c > prev*1.0001 {
+			t.Errorf("adding %s raised cost: %.3f -> %.3f", idx.Name, prev, c)
+		}
+		prev = c
+	}
+	cfg.AddView(&physical.View{Name: "v", Outer: "movie", Inner: "actor",
+		OuterCols: []string{"ID", "genre"}, InnerCols: []string{"actor"}})
+	c, err := o.Cost(q, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c > prev*1.0001 {
+		t.Errorf("adding a view raised cost: %.3f -> %.3f", prev, c)
+	}
+}
+
+// TestSelectivityMonotoneInCost: a more selective predicate never
+// estimates more expensive under an index.
+func TestSelectivityMonotoneInCost(t *testing.T) {
+	o := New(fakeStats())
+	cfg := &physical.Config{}
+	cfg.AddIndex(&physical.Index{Name: "y", Table: "movie", Key: []string{"year"},
+		Include: []string{"ID", "title"}})
+	prev := -1.0
+	for _, bound := range []int64{0, 10, 25, 40, 54} {
+		q := &sqlast.Query{Branches: []*sqlast.Select{selectMovie(sqlast.Pred{
+			Kind: sqlast.PredCompare, Op: sqlast.OpGe,
+			Col:   sqlast.ColRef{Table: "movie", Column: "year"},
+			Value: rel.Int(bound),
+		})}}
+		c, err := o.Cost(q, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 && c > prev*1.01 {
+			t.Errorf("tighter bound %d raised cost: %.3f -> %.3f", bound, prev, c)
+		}
+		prev = c
+	}
+}

@@ -1,0 +1,509 @@
+// Package physdesign is the automated physical design tool the search
+// algorithms call as a black box — the stand-in for Microsoft SQL
+// Server 2000's Index Tuning Wizard in the paper's architecture
+// (Fig. 2). Given a weighted SQL workload, statistics, and a storage
+// bound, it generates candidate indexes (selection, covering, join),
+// materialized join views, and optionally vertical partitions, then
+// greedily picks the best benefit-per-byte set that fits the bound,
+// costing every step with what-if optimizer calls.
+package physdesign
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/optimizer"
+	"repro/internal/physical"
+	"repro/internal/rel"
+	"repro/internal/sqlast"
+	"repro/internal/stats"
+)
+
+// WeightedQuery pairs a translated SQL query with its workload weight.
+type WeightedQuery struct {
+	// Q is the translated sorted outer-union query.
+	Q *sqlast.Query
+	// Weight is the query's workload frequency f_i.
+	Weight float64
+	// Tag is an optional label (the source XPath) for reporting.
+	Tag string
+}
+
+// Workload is a weighted SQL workload.
+type Workload []WeightedQuery
+
+// Options configures the tool.
+type Options struct {
+	// StorageBytes bounds the total size of recommended structures
+	// (indexes plus views); 0 means unbounded.
+	StorageBytes int64
+	// DisableViews turns off materialized view candidates.
+	DisableViews bool
+	// EnableVPartitions adds vertical partition candidates (off by
+	// default, like the Index Tuning Wizard; Section 3.1 shows they are
+	// subsumed by covering indexes when space allows).
+	EnableVPartitions bool
+	// MaxCandidatesPerQuery caps candidate generation per query.
+	MaxCandidatesPerQuery int
+	// InsertRates gives the number of rows inserted per workload
+	// execution, per table. Every structure on a table pays a
+	// maintenance cost proportional to its insert rate, so
+	// update-heavy workloads receive leaner configurations (the
+	// paper's future-work extension).
+	InsertRates map[string]float64
+}
+
+// Recommendation is the tool's output.
+type Recommendation struct {
+	// Config is the chosen configuration.
+	Config *physical.Config
+	// PerQuery are the estimated costs of each workload query under
+	// Config, aligned with the input workload.
+	PerQuery []float64
+	// Plans are the corresponding plans (for cost derivation).
+	Plans []*optimizer.Plan
+	// TotalCost is the weighted workload cost under Config.
+	TotalCost float64
+	// StructBytes is the estimated size of the chosen structures.
+	StructBytes int64
+	// MaintenanceCost is the per-execution update maintenance cost of
+	// the chosen structures (included in TotalCost).
+	MaintenanceCost float64
+	// OptimizerCalls is the number of what-if optimizer invocations.
+	OptimizerCalls int64
+}
+
+// maintenancePerRow is the cost of keeping one structure current for
+// one inserted row (an index insertion: a seek plus a tuple write).
+const maintenancePerRow = optimizer.CostSeek + optimizer.CostTuple
+
+// maintenanceCost returns the per-execution maintenance of a candidate
+// under the insert rates.
+func (c *candidate) maintenanceCost(rates map[string]float64) float64 {
+	if len(rates) == 0 {
+		return 0
+	}
+	switch {
+	case c.idx != nil:
+		return rates[c.idx.Table] * maintenancePerRow
+	case c.view != nil:
+		// A view row is produced per inserted inner row; outer inserts
+		// may also touch it.
+		return (rates[c.view.Inner] + 0.5*rates[c.view.Outer]) * maintenancePerRow
+	default:
+		// Every partition group receives the key columns of each
+		// inserted row.
+		return rates[c.vpart.Table] * maintenancePerRow * float64(len(c.vpart.Groups))
+	}
+}
+
+// defaultMaxCandidates bounds the candidate pool entering the greedy
+// selection (after benefit-ranked prefiltering), and
+// defaultMaxStructures bounds the configuration size. Both keep the
+// tool's running time proportional to workload size rather than to the
+// candidate blowup of heavily partitioned mappings.
+const (
+	defaultMaxCandidates = 48
+	defaultMaxStructures = 32
+)
+
+// candidate is one structure under consideration.
+type candidate struct {
+	idx     *physical.Index
+	view    *physical.View
+	vpart   *physical.VPartition
+	tables  []string // tables whose queries it can affect
+	bytes   int64
+	origins []int // workload indices of the queries that generated it
+}
+
+func (c *candidate) id() string {
+	switch {
+	case c.idx != nil:
+		return c.idx.ID()
+	case c.view != nil:
+		return c.view.ID()
+	default:
+		return c.vpart.ID()
+	}
+}
+
+func (c *candidate) addTo(cfg *physical.Config) bool {
+	switch {
+	case c.idx != nil:
+		return cfg.AddIndex(c.idx)
+	case c.view != nil:
+		return cfg.AddView(c.view)
+	default:
+		return cfg.AddPartition(c.vpart)
+	}
+}
+
+// Tune runs the tool over the workload.
+func Tune(w Workload, prov stats.Provider, opts Options) (*Recommendation, error) {
+	opt := optimizer.New(prov)
+	startCalls := opt.Calls
+	cfg := &physical.Config{}
+	costs := make([]float64, len(w))
+	plans := make([]*optimizer.Plan, len(w))
+	for i, wq := range w {
+		p, err := opt.PlanQuery(wq.Q, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("physdesign: base cost of query %d: %w", i, err)
+		}
+		plans[i] = p
+		costs[i] = p.Cost
+	}
+	cands := generateCandidates(w, prov, opts)
+	cands = prefilterCandidates(cands, w, opt, costs, opts)
+	// Lazy greedy selection: scores only go down as structures are
+	// added, so a stale-score heap avoids re-evaluating every candidate
+	// every round (the classic lazy submodular trick).
+	type scored struct {
+		c      *candidate
+		score  float64
+		round  int
+		benfit float64
+		costs  []float64
+	}
+	evaluate := func(c *candidate) (float64, []float64, bool) {
+		trial := cfg.Clone()
+		if !c.addTo(trial) {
+			return 0, nil, false
+		}
+		benefit := -c.maintenanceCost(opts.InsertRates)
+		trialCosts := make([]float64, len(w))
+		copy(trialCosts, costs)
+		for i, wq := range w {
+			if !queryTouches(wq.Q, c.tables) {
+				continue
+			}
+			p, err := opt.PlanQuery(wq.Q, trial)
+			if err != nil {
+				return 0, nil, false
+			}
+			trialCosts[i] = p.Cost
+			benefit += wq.Weight * (costs[i] - p.Cost)
+		}
+		return benefit, trialCosts, true
+	}
+	var pool []*scored
+	for _, c := range cands {
+		pool = append(pool, &scored{c: c, score: math.Inf(1), round: -1})
+	}
+	maxStructures := defaultMaxStructures
+	for round := 0; round < maxStructures && len(pool) > 0; round++ {
+		used := cfg.EstBytes(prov)
+		selected := -1
+		for {
+			// Pick the highest stale-or-fresh score.
+			best := -1
+			for i, s := range pool {
+				if s == nil {
+					continue
+				}
+				if best < 0 || s.score > pool[best].score {
+					best = i
+				}
+			}
+			if best < 0 || pool[best].score <= 1e-12 {
+				break
+			}
+			s := pool[best]
+			if opts.StorageBytes > 0 && used+s.c.bytes > opts.StorageBytes {
+				pool[best] = nil
+				continue
+			}
+			if s.round == round {
+				selected = best
+				break
+			}
+			benefit, trialCosts, ok := evaluate(s.c)
+			if !ok {
+				pool[best] = nil
+				continue
+			}
+			s.benfit, s.costs, s.round = benefit, trialCosts, round
+			s.score = benefit / math.Max(float64(s.c.bytes), 1)
+			if benefit <= 1e-9 {
+				pool[best] = nil
+			}
+		}
+		if selected < 0 {
+			break
+		}
+		s := pool[selected]
+		s.c.addTo(cfg)
+		costs = s.costs
+		pool[selected] = nil
+	}
+	// Final pass: plans and exact per-query costs under the chosen
+	// configuration.
+	total := 0.0
+	for i, wq := range w {
+		p, err := opt.PlanQuery(wq.Q, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("physdesign: final cost of query %d: %w", i, err)
+		}
+		plans[i] = p
+		costs[i] = p.Cost
+		total += wq.Weight * p.Cost
+	}
+	maint := configMaintenance(cfg, opts.InsertRates)
+	return &Recommendation{
+		Config:          cfg,
+		PerQuery:        costs,
+		Plans:           plans,
+		TotalCost:       total + maint,
+		StructBytes:     cfg.EstBytes(prov),
+		MaintenanceCost: maint,
+		OptimizerCalls:  opt.Calls - startCalls,
+	}, nil
+}
+
+// configMaintenance sums the per-execution maintenance cost of every
+// chosen structure.
+func configMaintenance(cfg *physical.Config, rates map[string]float64) float64 {
+	if len(rates) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, idx := range cfg.Indexes {
+		total += (&candidate{idx: idx}).maintenanceCost(rates)
+	}
+	for _, v := range cfg.Views {
+		total += (&candidate{view: v}).maintenanceCost(rates)
+	}
+	for _, vp := range cfg.Partitions {
+		total += (&candidate{vpart: vp}).maintenanceCost(rates)
+	}
+	return total
+}
+
+// queryTouches reports whether the query references any of the tables.
+func queryTouches(q *sqlast.Query, tables []string) bool {
+	qt := q.Tables()
+	for _, t := range tables {
+		for _, x := range qt {
+			if x == t {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// generateCandidates derives candidate structures from the workload,
+// recording which queries produced each candidate.
+func generateCandidates(w Workload, prov stats.Provider, opts Options) []*candidate {
+	seen := make(map[string]*candidate)
+	var out []*candidate
+	qi := 0
+	add := func(c *candidate) {
+		id := c.id()
+		if prev, ok := seen[id]; ok {
+			// Record the additional origin query.
+			last := len(prev.origins) - 1
+			if last < 0 || prev.origins[last] != qi {
+				prev.origins = append(prev.origins, qi)
+			}
+			return
+		}
+		c.origins = []int{qi}
+		seen[id] = c
+		out = append(out, c)
+	}
+	seq := 0
+	name := func(prefix string) string {
+		seq++
+		return fmt.Sprintf("%s_%d", prefix, seq)
+	}
+	for i, wq := range w {
+		qi = i
+		n := 0
+		for _, s := range wq.Q.Branches {
+			if opts.MaxCandidatesPerQuery > 0 && n >= opts.MaxCandidatesPerQuery {
+				break
+			}
+			for _, c := range branchCandidates(s, prov, opts, name) {
+				add(c)
+				n++
+			}
+		}
+	}
+	// Deterministic order helps reproducibility.
+	sort.SliceStable(out, func(i, j int) bool { return out[i].id() < out[j].id() })
+	return out
+}
+
+// prefilterCandidates ranks candidates by their benefit on the queries
+// that generated them (one cheap what-if each) and keeps the top
+// MaxCandidates, so heavily partitioned mappings with hundreds of
+// near-duplicate candidates stay tractable.
+func prefilterCandidates(cands []*candidate, w Workload, opt *optimizer.Optimizer,
+	baseCosts []float64, opts Options) []*candidate {
+	limit := defaultMaxCandidates
+	if len(cands) <= limit {
+		return cands
+	}
+	type ranked struct {
+		c     *candidate
+		score float64
+	}
+	rs := make([]ranked, 0, len(cands))
+	for _, c := range cands {
+		trial := &physical.Config{}
+		if !c.addTo(trial) {
+			continue
+		}
+		benefit := -c.maintenanceCost(opts.InsertRates)
+		for _, qi := range c.origins {
+			p, err := opt.PlanQuery(w[qi].Q, trial)
+			if err != nil {
+				continue
+			}
+			benefit += w[qi].Weight * (baseCosts[qi] - p.Cost)
+		}
+		if benefit <= 0 {
+			continue
+		}
+		rs = append(rs, ranked{c, benefit / math.Max(float64(c.bytes), 1)})
+	}
+	sort.SliceStable(rs, func(i, j int) bool { return rs[i].score > rs[j].score })
+	if len(rs) > limit {
+		rs = rs[:limit]
+	}
+	out := make([]*candidate, len(rs))
+	for i, r := range rs {
+		out[i] = r.c
+	}
+	return out
+}
+
+// branchCandidates derives candidates from one branch.
+func branchCandidates(s *sqlast.Select, prov stats.Provider, opts Options,
+	name func(string) string) []*candidate {
+	var out []*candidate
+	mkIndex := func(table string, key []string, include []string) {
+		ts := prov.TableStats(table)
+		if ts == nil {
+			return
+		}
+		idx := &physical.Index{Name: name("ix_" + table), Table: table, Key: key, Include: dedupe(include, key)}
+		out = append(out, &candidate{idx: idx, tables: []string{table}, bytes: idx.EstBytes(ts)})
+	}
+	// Selection indexes: plain and covering.
+	for _, p := range s.Where {
+		if p.Kind != sqlast.PredCompare || p.Op == sqlast.OpNe {
+			continue
+		}
+		t := p.Col.Table
+		mkIndex(t, []string{p.Col.Column}, nil)
+		mkIndex(t, []string{p.Col.Column}, s.ColumnsOf(t))
+	}
+	// Join and EXISTS probe indexes (plain and covering).
+	for _, p := range s.Where {
+		switch p.Kind {
+		case sqlast.PredJoin:
+			for _, side := range []sqlast.ColRef{p.Left, p.Right} {
+				if side.Column == rel.PIDColumn {
+					mkIndex(side.Table, []string{rel.PIDColumn}, nil)
+					mkIndex(side.Table, []string{rel.PIDColumn}, s.ColumnsOf(side.Table))
+				}
+				if side.Column == rel.IDColumn {
+					mkIndex(side.Table, []string{rel.IDColumn}, nil)
+				}
+			}
+		case sqlast.PredExists, sqlast.PredOrExists:
+			inc := []string{}
+			if p.InnerCol != "" {
+				inc = append(inc, p.InnerCol)
+			}
+			mkIndex(p.Table, []string{p.JoinCol}, inc)
+		}
+	}
+	// Materialized join view for two-table branches.
+	if !opts.DisableViews && len(s.From) == 2 {
+		if v := joinViewCandidate(s, name); v != nil {
+			out = append(out, &candidate{
+				view:   v,
+				tables: []string{v.Outer, v.Inner},
+				bytes:  v.EstBytes(prov),
+			})
+		}
+	}
+	// Vertical partition: referenced columns vs the rest.
+	if opts.EnableVPartitions {
+		for _, t := range s.From {
+			ts := prov.TableStats(t)
+			if ts == nil {
+				continue
+			}
+			refd := dedupe(s.ColumnsOf(t), []string{rel.IDColumn, rel.PIDColumn})
+			var rest []string
+			for c := range ts.Cols {
+				if c == rel.IDColumn || c == rel.PIDColumn || containsStr(refd, c) {
+					continue
+				}
+				rest = append(rest, c)
+			}
+			sort.Strings(rest)
+			if len(refd) == 0 || len(rest) == 0 {
+				continue
+			}
+			vp := &physical.VPartition{Table: t, Groups: [][]string{refd, rest}}
+			out = append(out, &candidate{vpart: vp, tables: []string{t},
+				bytes: vp.EstBytes(ts) - ts.Bytes()})
+		}
+	}
+	return out
+}
+
+// joinViewCandidate builds a parent-child join view matching the
+// branch, or nil.
+func joinViewCandidate(s *sqlast.Select, name func(string) string) *physical.View {
+	for _, p := range s.Where {
+		if p.Kind != sqlast.PredJoin {
+			continue
+		}
+		l, r := p.Left, p.Right
+		if l.Column == rel.IDColumn && r.Column == rel.PIDColumn {
+			l, r = r, l
+		}
+		if l.Column != rel.PIDColumn || r.Column != rel.IDColumn {
+			continue
+		}
+		inner, outer := l.Table, r.Table
+		oc := s.ColumnsOf(outer)
+		ic := s.ColumnsOf(inner)
+		if !containsStr(oc, rel.IDColumn) {
+			oc = append(oc, rel.IDColumn)
+		}
+		sort.Strings(oc)
+		sort.Strings(ic)
+		return &physical.View{Name: name("v_" + outer), Outer: outer, Inner: inner,
+			OuterCols: oc, InnerCols: ic}
+	}
+	return nil
+}
+
+func dedupe(cols, minus []string) []string {
+	var out []string
+	for _, c := range cols {
+		if !containsStr(minus, c) && !containsStr(out, c) {
+			out = append(out, c)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func containsStr(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,170 @@
+package rel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Well-known column names: every shredded relation carries an ID
+// primary key and a PID foreign key to its parent relation (Section 2,
+// mapping rule 1).
+const (
+	IDColumn  = "ID"
+	PIDColumn = "PID"
+)
+
+// Column describes one column of a table.
+type Column struct {
+	// Name is the SQL column name.
+	Name string
+	// Typ is the column type.
+	Typ Type
+	// Nullable marks columns that may hold NULL (optional elements,
+	// repetition-split occurrence columns, union-projection slots).
+	Nullable bool
+	// LeafID is the schema node ID of the leaf element this column
+	// stores, or 0 for the ID/PID key columns.
+	LeafID int
+	// Occurrence is the 1-based repetition-split occurrence this column
+	// stores (author_1, author_2, ...); 0 for scalar columns.
+	Occurrence int
+}
+
+// Table is a heap table of rows.
+type Table struct {
+	// Name is the relation name.
+	Name string
+	// Columns are the table's columns; Columns[0] is ID, Columns[1] is
+	// PID for shredded relations.
+	Columns []Column
+	// Parent is the name of the parent relation PID references; empty
+	// for the root relation.
+	Parent string
+	// Rows is the row store.
+	Rows [][]Value
+
+	colIdx map[string]int
+	bytes  int64
+}
+
+// NewTable creates an empty table.
+func NewTable(name string, cols []Column) *Table {
+	t := &Table{Name: name, Columns: cols, colIdx: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if _, dup := t.colIdx[c.Name]; dup {
+			panic(fmt.Sprintf("rel: duplicate column %s.%s", name, c.Name))
+		}
+		t.colIdx[c.Name] = i
+	}
+	return t
+}
+
+// ColIndex returns the index of the named column, or -1.
+func (t *Table) ColIndex(name string) int {
+	if i, ok := t.colIdx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Column returns the named column, or nil.
+func (t *Table) Column(name string) *Column {
+	i := t.ColIndex(name)
+	if i < 0 {
+		return nil
+	}
+	return &t.Columns[i]
+}
+
+// HasColumn reports whether the table has the named column.
+func (t *Table) HasColumn(name string) bool { return t.ColIndex(name) >= 0 }
+
+// AppendRow adds a row; it must have exactly one value per column.
+func (t *Table) AppendRow(row []Value) {
+	if len(row) != len(t.Columns) {
+		panic(fmt.Sprintf("rel: row width %d != %d columns in %s", len(row), len(t.Columns), t.Name))
+	}
+	t.Rows = append(t.Rows, row)
+	for _, v := range row {
+		t.bytes += int64(v.Width())
+	}
+	t.bytes += 8 // per-row overhead
+}
+
+// RowCount returns the number of rows.
+func (t *Table) RowCount() int { return len(t.Rows) }
+
+// Bytes returns the accounted data size in bytes.
+func (t *Table) Bytes() int64 { return t.bytes }
+
+// Pages returns the accounted data size in pages (minimum 1).
+func (t *Table) Pages() int64 {
+	p := (t.bytes + PageSize - 1) / PageSize
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// SortByID sorts rows by the ID column; shredding emits rows in
+// document order so this is normally already true.
+func (t *Table) SortByID() {
+	id := t.ColIndex(IDColumn)
+	if id < 0 {
+		return
+	}
+	sort.SliceStable(t.Rows, func(i, j int) bool {
+		return t.Rows[i][id].Compare(t.Rows[j][id]) < 0
+	})
+}
+
+// Database is a named collection of tables.
+type Database struct {
+	tables map[string]*Table
+	order  []string
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase() *Database {
+	return &Database{tables: make(map[string]*Table)}
+}
+
+// Add registers a table; duplicate names panic (schema compilation
+// guarantees uniqueness).
+func (d *Database) Add(t *Table) {
+	if _, dup := d.tables[t.Name]; dup {
+		panic(fmt.Sprintf("rel: duplicate table %s", t.Name))
+	}
+	d.tables[t.Name] = t
+	d.order = append(d.order, t.Name)
+}
+
+// Table returns the named table, or nil.
+func (d *Database) Table(name string) *Table { return d.tables[name] }
+
+// Tables returns all tables in creation order.
+func (d *Database) Tables() []*Table {
+	out := make([]*Table, 0, len(d.order))
+	for _, n := range d.order {
+		out = append(out, d.tables[n])
+	}
+	return out
+}
+
+// Bytes returns the total accounted data size.
+func (d *Database) Bytes() int64 {
+	var n int64
+	for _, t := range d.tables {
+		n += t.Bytes()
+	}
+	return n
+}
+
+// Pages returns the total accounted page count.
+func (d *Database) Pages() int64 {
+	var n int64
+	for _, t := range d.tables {
+		n += t.Pages()
+	}
+	return n
+}

@@ -1,0 +1,203 @@
+// Package rel is the relational storage substrate: typed values,
+// columns, tables, and databases that the shredded XML data is loaded
+// into. It plays the role of the storage layer of the RDBMS the paper
+// runs on, with page-based size accounting so that cost models and
+// storage bounds behave like a disk-resident system.
+package rel
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// PageSize is the accounting page size in bytes (SQL Server uses 8 KB
+// pages; the cost model works in these units).
+const PageSize = 8192
+
+// Type is a column type.
+type Type int
+
+const (
+	// TInt is a 64-bit integer column.
+	TInt Type = iota
+	// TFloat is a 64-bit float column.
+	TFloat
+	// TString is a variable-width string column.
+	TString
+)
+
+func (t Type) String() string {
+	switch t {
+	case TInt:
+		return "INT"
+	case TFloat:
+		return "FLOAT"
+	case TString:
+		return "VARCHAR"
+	}
+	return fmt.Sprintf("Type(%d)", int(t))
+}
+
+// Value is a nullable typed value.
+type Value struct {
+	Null bool
+	Typ  Type
+	I    int64
+	F    float64
+	S    string
+}
+
+// Int builds an integer value.
+func Int(i int64) Value { return Value{Typ: TInt, I: i} }
+
+// Float builds a float value.
+func Float(f float64) Value { return Value{Typ: TFloat, F: f} }
+
+// Str builds a string value.
+func Str(s string) Value { return Value{Typ: TString, S: s} }
+
+// NullOf builds a NULL of the given type.
+func NullOf(t Type) Value { return Value{Typ: t, Null: true} }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.Null }
+
+// Compare orders two values; NULL sorts before every non-NULL. Values
+// of different numeric types compare numerically; comparing a string
+// with a number compares the string form.
+func (v Value) Compare(o Value) int {
+	switch {
+	case v.Null && o.Null:
+		return 0
+	case v.Null:
+		return -1
+	case o.Null:
+		return 1
+	}
+	if v.Typ == o.Typ {
+		switch v.Typ {
+		case TInt:
+			return cmpInt(v.I, o.I)
+		case TFloat:
+			return cmpFloat(v.F, o.F)
+		default:
+			return strings.Compare(v.S, o.S)
+		}
+	}
+	// Mixed numeric types compare as floats.
+	if v.Typ != TString && o.Typ != TString {
+		return cmpFloat(v.AsFloat(), o.AsFloat())
+	}
+	return strings.Compare(v.String(), o.String())
+}
+
+// Equal reports value equality (NULL equals NULL for key purposes).
+func (v Value) Equal(o Value) bool { return v.Compare(o) == 0 }
+
+// AsFloat converts numeric values to float64.
+func (v Value) AsFloat() float64 {
+	switch v.Typ {
+	case TInt:
+		return float64(v.I)
+	case TFloat:
+		return v.F
+	default:
+		f, _ := strconv.ParseFloat(v.S, 64)
+		return f
+	}
+}
+
+// Width returns the accounting width of the value in bytes: 8 for
+// numerics, string length (min 1) for strings, 1 for NULL.
+func (v Value) Width() int {
+	if v.Null {
+		return 1
+	}
+	switch v.Typ {
+	case TString:
+		if len(v.S) == 0 {
+			return 1
+		}
+		return len(v.S)
+	default:
+		return 8
+	}
+}
+
+// String renders the value; NULL renders as "NULL".
+func (v Value) String() string {
+	if v.Null {
+		return "NULL"
+	}
+	switch v.Typ {
+	case TInt:
+		return strconv.FormatInt(v.I, 10)
+	case TFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	default:
+		return v.S
+	}
+}
+
+// SQLLiteral renders the value as a SQL literal.
+func (v Value) SQLLiteral() string {
+	if v.Null {
+		return "NULL"
+	}
+	if v.Typ == TString {
+		return "'" + strings.ReplaceAll(v.S, "'", "''") + "'"
+	}
+	return v.String()
+}
+
+// Coerce converts the value to the given column type where a sensible
+// conversion exists (e.g. the paper's quoted numbers: year = "1998").
+func (v Value) Coerce(t Type) Value {
+	if v.Null || v.Typ == t {
+		return Value{Null: v.Null, Typ: t, I: v.I, F: v.F, S: v.S}
+	}
+	switch t {
+	case TInt:
+		switch v.Typ {
+		case TFloat:
+			return Int(int64(v.F))
+		case TString:
+			if i, err := strconv.ParseInt(strings.TrimSpace(v.S), 10, 64); err == nil {
+				return Int(i)
+			}
+		}
+	case TFloat:
+		switch v.Typ {
+		case TInt:
+			return Float(float64(v.I))
+		case TString:
+			if f, err := strconv.ParseFloat(strings.TrimSpace(v.S), 64); err == nil {
+				return Float(f)
+			}
+		}
+	case TString:
+		return Str(v.String())
+	}
+	return NullOf(t)
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}

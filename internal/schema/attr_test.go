@@ -1,0 +1,70 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+const attrXSD = `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+ <xs:element name="catalog">
+  <xs:complexType>
+   <xs:sequence>
+    <xs:element name="product" minOccurs="0" maxOccurs="unbounded">
+     <xs:complexType>
+      <xs:sequence>
+       <xs:element name="name" type="xs:string"/>
+       <xs:element name="price" type="xs:decimal"/>
+      </xs:sequence>
+      <xs:attribute name="sku" type="xs:string" use="required"/>
+      <xs:attribute name="stock" type="xs:integer"/>
+     </xs:complexType>
+    </xs:element>
+   </xs:sequence>
+  </xs:complexType>
+ </xs:element>
+</xs:schema>`
+
+func TestParseXSDAttributes(t *testing.T) {
+	tr, err := ParseXSDString(attrXSD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sku := tr.ElementsNamed("@sku")
+	if len(sku) != 1 || !sku[0].IsLeaf() {
+		t.Fatalf("@sku not parsed as a leaf: %v", sku)
+	}
+	if sku[0].IsOptional() {
+		t.Error("required attribute parsed as optional")
+	}
+	stock := tr.ElementsNamed("@stock")
+	if len(stock) != 1 || !stock[0].IsOptional() {
+		t.Fatal("@stock should be an optional leaf")
+	}
+	if stock[0].LeafBase() != BaseInt {
+		t.Error("@stock should be integer-typed")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttributeXSDRoundTrip(t *testing.T) {
+	tr, err := ParseXSDString(attrXSD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteXSD(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `<xs:attribute name="sku"`) {
+		t.Fatalf("attributes not serialized:\n%s", b.String())
+	}
+	back, err := ParseXSDString(b.String())
+	if err != nil {
+		t.Fatalf("round trip parse: %v\n%s", err, b.String())
+	}
+	if len(back.ElementsNamed("@sku")) != 1 || len(back.ElementsNamed("@stock")) != 1 {
+		t.Error("attributes lost in round trip")
+	}
+}

@@ -1,0 +1,231 @@
+package schema
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file implements DTD input (footnote 3 of the paper: "Our work
+// also applies to XML data with DTD by first transforming DTD to
+// XSD"): a parser for element declarations with sequence, choice,
+// optional (?), and repetition (* and +) content particles, converted
+// directly into the schema-tree form. #PCDATA elements become string
+// leaves; occurrence markers become option/repetition constructors.
+//
+// Supported syntax:
+//
+//	<!ELEMENT movies (movie*)>
+//	<!ELEMENT movie (title, year, aka_title*, avg_rating?, (box_office | seasons))>
+//	<!ELEMENT title (#PCDATA)>
+//
+// Attributes (<!ATTLIST>) and entities are ignored; mixed content
+// other than pure #PCDATA is rejected.
+
+// ParseDTD reads a DTD and returns the schema tree rooted at the given
+// element, with hybrid-inlining annotations applied.
+func ParseDTD(r io.Reader, root string) (*Tree, error) {
+	text, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("dtd: %w", err)
+	}
+	decls, err := parseDTDDecls(string(text))
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := decls[root]; !ok {
+		return nil, fmt.Errorf("dtd: root element %q not declared", root)
+	}
+	b := &dtdBuilder{decls: decls, building: make(map[string]bool)}
+	rootNode, err := b.element(root)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTree(rootNode)
+	ApplyHybridInlining(t)
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("dtd: invalid schema: %w", err)
+	}
+	return t, nil
+}
+
+// ParseDTDString is ParseDTD over a string.
+func ParseDTDString(s, root string) (*Tree, error) {
+	return ParseDTD(strings.NewReader(s), root)
+}
+
+type dtdBuilder struct {
+	decls    map[string]string
+	building map[string]bool
+}
+
+// element expands one element declaration to a schema node.
+func (b *dtdBuilder) element(name string) (*Node, error) {
+	content, ok := b.decls[name]
+	if !ok {
+		return nil, fmt.Errorf("dtd: element %q referenced but not declared", name)
+	}
+	if b.building[name] {
+		return nil, fmt.Errorf("dtd: recursive element %q (recursion is out of scope, Section 2.1)", name)
+	}
+	b.building[name] = true
+	defer delete(b.building, name)
+	if content == "(#PCDATA)" || content == "#PCDATA" {
+		return Leaf(name, BaseString), nil
+	}
+	if content == "EMPTY" {
+		return Elem(name), nil
+	}
+	p := &dtdParser{src: content}
+	particle, err := p.particle(b)
+	if err != nil {
+		return nil, fmt.Errorf("dtd: element %q: %w", name, err)
+	}
+	p.ws()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("dtd: element %q: trailing content model %q", name, p.src[p.pos:])
+	}
+	return Elem(name, particle), nil
+}
+
+// parseDTDDecls extracts <!ELEMENT name model> declarations.
+func parseDTDDecls(text string) (map[string]string, error) {
+	decls := make(map[string]string)
+	rest := text
+	for {
+		i := strings.Index(rest, "<!ELEMENT")
+		if i < 0 {
+			break
+		}
+		rest = rest[i+len("<!ELEMENT"):]
+		j := strings.IndexByte(rest, '>')
+		if j < 0 {
+			return nil, fmt.Errorf("dtd: unterminated <!ELEMENT declaration")
+		}
+		decl := strings.TrimSpace(rest[:j])
+		rest = rest[j+1:]
+		fields := strings.Fields(decl)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("dtd: malformed declaration %q", decl)
+		}
+		name := fields[0]
+		model := strings.TrimSpace(strings.TrimPrefix(decl, name))
+		if _, dup := decls[name]; dup {
+			return nil, fmt.Errorf("dtd: element %q declared twice", name)
+		}
+		decls[name] = model
+	}
+	if len(decls) == 0 {
+		return nil, fmt.Errorf("dtd: no element declarations found")
+	}
+	return decls, nil
+}
+
+type dtdParser struct {
+	src string
+	pos int
+}
+
+// particle parses a parenthesized group with its occurrence marker.
+func (p *dtdParser) particle(b *dtdBuilder) (*Node, error) {
+	p.ws()
+	if p.peek() != '(' {
+		return nil, fmt.Errorf("expected '(' at %d", p.pos)
+	}
+	p.pos++
+	var children []*Node
+	sep := byte(0)
+	for {
+		p.ws()
+		var child *Node
+		var err error
+		if p.peek() == '(' {
+			child, err = p.particle(b)
+		} else {
+			child, err = p.name(b)
+		}
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, child)
+		p.ws()
+		switch p.peek() {
+		case ',', '|':
+			c := p.peek()
+			if sep != 0 && sep != c {
+				return nil, fmt.Errorf("mixed ',' and '|' at %d (parenthesize)", p.pos)
+			}
+			sep = c
+			p.pos++
+		case ')':
+			p.pos++
+			var group *Node
+			if len(children) == 1 {
+				group = children[0]
+			} else if sep == '|' {
+				group = Choice(children...)
+			} else {
+				group = Seq(children...)
+			}
+			return p.occurs(group), nil
+		default:
+			return nil, fmt.Errorf("expected ',', '|' or ')' at %d", p.pos)
+		}
+	}
+}
+
+// name parses an element reference with its occurrence marker.
+func (p *dtdParser) name(b *dtdBuilder) (*Node, error) {
+	start := p.pos
+	for p.pos < len(p.src) && isDTDNameChar(p.src[p.pos]) {
+		p.pos++
+	}
+	if start == p.pos {
+		return nil, fmt.Errorf("expected element name at %d", p.pos)
+	}
+	name := p.src[start:p.pos]
+	if name == "#PCDATA" {
+		return nil, fmt.Errorf("mixed content is not supported")
+	}
+	n, err := b.element(name)
+	if err != nil {
+		return nil, err
+	}
+	return p.occurs(n), nil
+}
+
+// occurs wraps a node according to the trailing ?, *, or + marker.
+func (p *dtdParser) occurs(n *Node) *Node {
+	switch p.peek() {
+	case '?':
+		p.pos++
+		return Opt(n)
+	case '*':
+		p.pos++
+		return Rep(n)
+	case '+':
+		p.pos++
+		r := Rep(n)
+		r.MinOccurs = 1
+		return r
+	}
+	return n
+}
+
+func (p *dtdParser) ws() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n' || p.src[p.pos] == '\r') {
+		p.pos++
+	}
+}
+
+func (p *dtdParser) peek() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func isDTDNameChar(c byte) bool {
+	return c == '_' || c == '-' || c == '.' || c == '#' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}

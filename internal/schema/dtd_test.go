@@ -1,0 +1,120 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+const movieDTD = `
+<!ELEMENT movies (movie*)>
+<!ELEMENT movie (title, year, aka_title*, avg_rating?, (box_office | seasons), actor+)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+<!ELEMENT aka_title (#PCDATA)>
+<!ELEMENT avg_rating (#PCDATA)>
+<!ELEMENT box_office (#PCDATA)>
+<!ELEMENT seasons (#PCDATA)>
+<!ELEMENT actor (#PCDATA)>
+`
+
+func TestParseDTD(t *testing.T) {
+	tr, err := ParseDTDString(movieDTD, "movies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root.Name != "movies" {
+		t.Fatalf("root = %s", tr.Root.Name)
+	}
+	movie := tr.ElementsNamed("movie")
+	if len(movie) != 1 || !movie[0].IsSetValued() {
+		t.Fatal("movie should be one set-valued element")
+	}
+	if !tr.ElementsNamed("avg_rating")[0].IsOptional() {
+		t.Error("avg_rating should be optional")
+	}
+	if tr.ElementsNamed("box_office")[0].UnderChoice() == nil {
+		t.Error("box_office should be under a choice")
+	}
+	actor := tr.ElementsNamed("actor")[0]
+	if !actor.IsSetValued() {
+		t.Error("actor+ should be set-valued")
+	}
+	// + has minOccurs 1.
+	for p := actor.Parent; p != nil; p = p.Parent {
+		if p.Kind == KindRepetition {
+			if p.MinOccurs != 1 {
+				t.Errorf("actor+ minOccurs = %d", p.MinOccurs)
+			}
+			break
+		}
+	}
+	// Hybrid annotations applied.
+	if movie[0].Annotation == "" || tr.ElementsNamed("aka_title")[0].Annotation == "" {
+		t.Error("hybrid annotations missing")
+	}
+	// All #PCDATA elements are string leaves.
+	if !tr.ElementsNamed("title")[0].IsLeaf() {
+		t.Error("title should be a leaf")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseDTDNestedGroups(t *testing.T) {
+	dtd := `
+	<!ELEMENT r (a, (b | (c, d))*, e?)>
+	<!ELEMENT a (#PCDATA)>
+	<!ELEMENT b (#PCDATA)>
+	<!ELEMENT c (#PCDATA)>
+	<!ELEMENT d (#PCDATA)>
+	<!ELEMENT e (#PCDATA)>
+	`
+	tr, err := ParseDTDString(dtd, "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := tr.ElementsNamed("b")[0]
+	if !b.IsSetValued() || b.UnderChoice() == nil {
+		t.Error("b should be set-valued under a choice")
+	}
+	c := tr.ElementsNamed("c")[0]
+	if !c.IsSetValued() {
+		t.Error("c should be set-valued (inside repeated group)")
+	}
+}
+
+func TestParseDTDErrors(t *testing.T) {
+	cases := map[string]struct{ dtd, root string }{
+		"missing root":      {`<!ELEMENT a (#PCDATA)>`, "r"},
+		"undeclared ref":    {`<!ELEMENT r (a)>`, "r"},
+		"recursive":         {`<!ELEMENT r (r?, a)> <!ELEMENT a (#PCDATA)>`, "r"},
+		"mixed separators":  {`<!ELEMENT r (a, b | c)> <!ELEMENT a (#PCDATA)> <!ELEMENT b (#PCDATA)> <!ELEMENT c (#PCDATA)>`, "r"},
+		"no declarations":   {`hello`, "r"},
+		"duplicate element": {`<!ELEMENT r (a)> <!ELEMENT a (#PCDATA)> <!ELEMENT a (#PCDATA)>`, "r"},
+		"mixed content":     {`<!ELEMENT r (#PCDATA | a)*> <!ELEMENT a (#PCDATA)>`, "r"},
+	}
+	for name, c := range cases {
+		if _, err := ParseDTDString(c.dtd, c.root); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestDTDToXSDRoundTrip(t *testing.T) {
+	tr, err := ParseDTDString(movieDTD, "movies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteXSD(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseXSDString(b.String())
+	if err != nil {
+		t.Fatalf("DTD -> XSD -> parse failed: %v\n%s", err, b.String())
+	}
+	if len(back.Elements()) != len(tr.Elements()) {
+		t.Errorf("element count changed: %d -> %d", len(tr.Elements()), len(back.Elements()))
+	}
+}

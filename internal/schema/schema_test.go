@@ -1,0 +1,366 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDBLPValid(t *testing.T) {
+	tr := DBLP()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("DBLP schema invalid: %v", err)
+	}
+	if tr.Root.Name != "dblp" {
+		t.Errorf("root = %q, want dblp", tr.Root.Name)
+	}
+}
+
+func TestMovieValid(t *testing.T) {
+	tr := Movie()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Movie schema invalid: %v", err)
+	}
+}
+
+func TestDBLPSharedTypes(t *testing.T) {
+	tr := DBLP()
+	groups := tr.SharedTypeGroups()
+	for _, name := range []string{"Title", "Author", "Cite", "Editor"} {
+		if len(groups[name]) != 2 {
+			t.Errorf("shared type %s has %d occurrences, want 2", name, len(groups[name]))
+		}
+	}
+}
+
+func TestDBLPAnnotations(t *testing.T) {
+	tr := DBLP()
+	// The two author occurrences share one annotation (hybrid inlining
+	// merges shared set-valued types).
+	authors := tr.ElementsNamed("author")
+	if len(authors) != 2 {
+		t.Fatalf("got %d author nodes, want 2", len(authors))
+	}
+	if authors[0].Annotation == "" || authors[0].Annotation != authors[1].Annotation {
+		t.Errorf("author annotations %q and %q, want equal and non-empty",
+			authors[0].Annotation, authors[1].Annotation)
+	}
+	// Book's title is outlined as title1; inproceedings' title inlined.
+	titles := tr.ElementsNamed("title")
+	var bookTitle, inprocTitle *Node
+	for _, n := range titles {
+		switch n.ElementParent().Name {
+		case "book":
+			bookTitle = n
+		case "inproceedings":
+			inprocTitle = n
+		}
+	}
+	if bookTitle == nil || bookTitle.Annotation != "title1" {
+		t.Errorf("book title annotation = %v, want title1", bookTitle)
+	}
+	if inprocTitle == nil || inprocTitle.Annotation != "" {
+		t.Errorf("inproceedings title should be inlined")
+	}
+}
+
+func TestMustAnnotate(t *testing.T) {
+	tr := Movie()
+	for _, n := range tr.Elements() {
+		switch n.Name {
+		case "movies", "movie", "aka_title", "director", "actor":
+			if !n.MustAnnotate() {
+				t.Errorf("%s must be annotated (root or set-valued)", n.Name)
+			}
+		default:
+			if n.MustAnnotate() {
+				t.Errorf("%s should be inlineable", n.Name)
+			}
+		}
+	}
+}
+
+func TestOptionalAndChoice(t *testing.T) {
+	tr := Movie()
+	rating := tr.ElementsNamed("avg_rating")[0]
+	if !rating.IsOptional() {
+		t.Errorf("avg_rating should be optional")
+	}
+	box := tr.ElementsNamed("box_office")[0]
+	if box.UnderChoice() == nil {
+		t.Errorf("box_office should be under a choice")
+	}
+	if box.IsOptional() {
+		t.Errorf("box_office is a choice branch, not an optional")
+	}
+	title := tr.ElementsNamed("title")[0]
+	if title.IsOptional() || title.IsSetValued() || title.UnderChoice() != nil {
+		t.Errorf("movie/title should be a plain required leaf")
+	}
+	aka := tr.ElementsNamed("aka_title")[0]
+	if !aka.IsSetValued() {
+		t.Errorf("aka_title should be set-valued")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	tr := DBLP()
+	cl := tr.Clone()
+	// Same IDs, distinct nodes.
+	for _, n := range tr.Elements() {
+		m := cl.Node(n.ID)
+		if m == nil {
+			t.Fatalf("clone lost node %d (%s)", n.ID, n.Name)
+		}
+		if m == n {
+			t.Fatalf("clone shares node %d", n.ID)
+		}
+		if m.Name != n.Name || m.Annotation != n.Annotation {
+			t.Fatalf("clone node %d differs: %s/%s vs %s/%s", n.ID, m.Name, m.Annotation, n.Name, n.Annotation)
+		}
+	}
+	// Mutating the clone must not affect the original.
+	cl.ElementsNamed("year")[0].Annotation = "zzz"
+	for _, n := range tr.ElementsNamed("year") {
+		if n.Annotation == "zzz" {
+			t.Fatal("clone mutation leaked into original")
+		}
+	}
+}
+
+func TestCloneDistributions(t *testing.T) {
+	tr := Movie()
+	movie := tr.ElementsNamed("movie")[0]
+	choice := tr.ElementsNamed("box_office")[0].UnderChoice()
+	movie.Distributions = []Distribution{{Choice: choice.ID}}
+	cl := tr.Clone()
+	m2 := cl.Node(movie.ID)
+	if len(m2.Distributions) != 1 || m2.Distributions[0].Choice != choice.ID {
+		t.Fatalf("distributions not cloned: %+v", m2.Distributions)
+	}
+	m2.Distributions[0].Choice = 0
+	if movie.Distributions[0].Choice == 0 {
+		t.Fatal("distribution mutation leaked into original")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	t.Run("unannotated set-valued", func(t *testing.T) {
+		tr := NewTree(Elem("r", Seq(Rep(Leaf("x", BaseString)))))
+		tr.Root.Annotation = "r"
+		if err := tr.Validate(); err == nil {
+			t.Error("want error for unannotated set-valued element")
+		}
+	})
+	t.Run("shared annotation across distinct types", func(t *testing.T) {
+		a := Leaf("a", BaseString)
+		b := Leaf("b", BaseInt)
+		tr := NewTree(Elem("r", Seq(Rep(a), Rep(b))))
+		tr.Root.Annotation = "r"
+		a.Annotation = "same"
+		b.Annotation = "same"
+		if err := tr.Validate(); err == nil {
+			t.Error("want error for shared annotation on non-equivalent types")
+		}
+	})
+	t.Run("split on non-leaf", func(t *testing.T) {
+		inner := Elem("x", Seq(Leaf("y", BaseString)))
+		tr := NewTree(Elem("r", Seq(Rep(inner))))
+		tr.Root.Annotation = "r"
+		inner.Annotation = "x"
+		inner.SplitCount = 3
+		if err := tr.Validate(); err == nil {
+			t.Error("want error for repetition split on non-leaf")
+		}
+	})
+	t.Run("distribution on unannotated node", func(t *testing.T) {
+		tr := Movie()
+		title := tr.ElementsNamed("title")[0]
+		title.Distributions = []Distribution{{Optionals: []int{tr.ElementsNamed("avg_rating")[0].ID}}}
+		if err := tr.Validate(); err == nil {
+			t.Error("want error for distribution on unannotated element")
+		}
+	})
+	t.Run("implicit union on non-optional", func(t *testing.T) {
+		tr := Movie()
+		movie := tr.ElementsNamed("movie")[0]
+		movie.Distributions = []Distribution{{Optionals: []int{tr.ElementsNamed("title")[0].ID}}}
+		if err := tr.Validate(); err == nil {
+			t.Error("want error for implicit union on required element")
+		}
+	})
+}
+
+func TestDistributionKey(t *testing.T) {
+	d1 := Distribution{Optionals: []int{3, 1, 2}}
+	d2 := Distribution{Optionals: []int{1, 2, 3}}
+	if d1.Key() != d2.Key() {
+		t.Errorf("keys differ for same optional set: %q vs %q", d1.Key(), d2.Key())
+	}
+	d3 := Distribution{Choice: 7}
+	if d3.Key() == d1.Key() {
+		t.Error("choice and implicit keys must differ")
+	}
+}
+
+func TestApplyFullySplit(t *testing.T) {
+	tr := Movie()
+	ApplyFullySplit(tr)
+	seen := make(map[string]bool)
+	for _, n := range tr.Elements() {
+		if n.Annotation == "" {
+			t.Fatalf("fully split left %s unannotated", n.Path())
+		}
+		if seen[n.Annotation] {
+			t.Fatalf("fully split reused annotation %q", n.Annotation)
+		}
+		seen[n.Annotation] = true
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("fully split invalid: %v", err)
+	}
+}
+
+func TestApplyFullInlining(t *testing.T) {
+	tr := DBLP() // has book title outlined as title1
+	ApplyFullInlining(tr)
+	for _, n := range tr.Elements() {
+		if n.MustAnnotate() && n.Annotation == "" {
+			t.Fatalf("full inlining removed a mandatory annotation on %s", n.Path())
+		}
+		if !n.MustAnnotate() && n.Annotation != "" {
+			t.Fatalf("full inlining left %s annotated %q", n.Path(), n.Annotation)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("fully inlined invalid: %v", err)
+	}
+}
+
+func TestTreeString(t *testing.T) {
+	s := Movie().String()
+	for _, want := range []string{"movie", "aka_title{aka_title}*", "avg_rating?", "(box_office|seasons)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("tree string %q missing %q", s, want)
+		}
+	}
+}
+
+const sampleXSD = `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+ <xs:complexType name="Person">
+  <xs:sequence>
+   <xs:element name="name" type="xs:string"/>
+   <xs:element name="age" type="xs:integer" minOccurs="0"/>
+  </xs:sequence>
+ </xs:complexType>
+ <xs:element name="library">
+  <xs:complexType>
+   <xs:sequence>
+    <xs:element name="book" minOccurs="0" maxOccurs="unbounded">
+     <xs:complexType>
+      <xs:sequence>
+       <xs:element name="title" type="xs:string"/>
+       <xs:element name="price" type="xs:decimal" minOccurs="0"/>
+       <xs:choice>
+        <xs:element name="isbn" type="xs:string"/>
+        <xs:element name="issn" type="xs:string"/>
+       </xs:choice>
+       <xs:element name="author" type="Person" minOccurs="0" maxOccurs="unbounded"/>
+       <xs:element name="editor" type="Person" minOccurs="0" maxOccurs="unbounded"/>
+      </xs:sequence>
+     </xs:complexType>
+    </xs:element>
+   </xs:sequence>
+  </xs:complexType>
+ </xs:element>
+</xs:schema>`
+
+func TestParseXSD(t *testing.T) {
+	tr, err := ParseXSDString(sampleXSD)
+	if err != nil {
+		t.Fatalf("ParseXSD: %v", err)
+	}
+	if tr.Root.Name != "library" {
+		t.Fatalf("root = %q", tr.Root.Name)
+	}
+	book := tr.ElementsNamed("book")
+	if len(book) != 1 || !book[0].IsSetValued() {
+		t.Fatalf("book should be one set-valued element, got %d", len(book))
+	}
+	price := tr.ElementsNamed("price")[0]
+	if !price.IsOptional() || price.LeafBase() != BaseFloat {
+		t.Errorf("price should be optional decimal")
+	}
+	isbn := tr.ElementsNamed("isbn")[0]
+	if isbn.UnderChoice() == nil {
+		t.Errorf("isbn should be under a choice")
+	}
+	authors := tr.ElementsNamed("author")
+	editors := tr.ElementsNamed("editor")
+	if len(authors) != 1 || len(editors) != 1 {
+		t.Fatalf("author/editor counts: %d/%d", len(authors), len(editors))
+	}
+	if authors[0].TypeName != "Person" || editors[0].TypeName != "Person" {
+		t.Errorf("author/editor should carry shared type Person")
+	}
+	groups := tr.SharedTypeGroups()
+	if len(groups["Person"]) != 2 {
+		t.Errorf("Person group size = %d, want 2", len(groups["Person"]))
+	}
+	// Hybrid annotations applied automatically (no annotation attrs).
+	if tr.Root.Annotation == "" || book[0].Annotation == "" {
+		t.Errorf("hybrid annotations missing")
+	}
+	// Named-type contents expand: name/age leaves under author.
+	names := tr.ElementsNamed("name")
+	if len(names) != 2 {
+		t.Errorf("Person expansion: got %d name leaves, want 2", len(names))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("parsed tree invalid: %v", err)
+	}
+}
+
+func TestParseXSDErrors(t *testing.T) {
+	cases := map[string]string{
+		"no root element":  `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"></xs:schema>`,
+		"unknown type ref": `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"><xs:element name="r" type="Nope"/></xs:schema>`,
+		"bad xml":          `<xs:schema`,
+		"bad minOccurs": `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"><xs:element name="r">
+		  <xs:complexType><xs:sequence><xs:element name="x" type="xs:string" minOccurs="banana"/></xs:sequence></xs:complexType>
+		 </xs:element></xs:schema>`,
+	}
+	for name, doc := range cases {
+		if _, err := ParseXSDString(doc); err == nil {
+			t.Errorf("%s: want parse error", name)
+		}
+	}
+}
+
+func TestXSDRoundTrip(t *testing.T) {
+	for _, tr := range []*Tree{DBLP(), Movie()} {
+		var b strings.Builder
+		if err := WriteXSD(&b, tr); err != nil {
+			t.Fatalf("WriteXSD: %v", err)
+		}
+		back, err := ParseXSDString(b.String())
+		if err != nil {
+			t.Fatalf("re-parse: %v\nXSD:\n%s", err, b.String())
+		}
+		// Round trip preserves the element structure and annotations.
+		orig, rt := tr.Elements(), back.Elements()
+		if len(orig) != len(rt) {
+			t.Fatalf("element count %d -> %d", len(orig), len(rt))
+		}
+		for i := range orig {
+			if orig[i].Name != rt[i].Name {
+				t.Fatalf("element %d: %s -> %s", i, orig[i].Name, rt[i].Name)
+			}
+			if orig[i].Annotation != rt[i].Annotation {
+				t.Errorf("element %s annotation %q -> %q", orig[i].Name, orig[i].Annotation, rt[i].Annotation)
+			}
+			if orig[i].IsOptional() != rt[i].IsOptional() || orig[i].IsSetValued() != rt[i].IsSetValued() {
+				t.Errorf("element %s occurrence flags changed", orig[i].Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package shred
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/rel"
+	"repro/internal/schema"
+	"repro/internal/transform"
+	"repro/internal/xmlgen"
+)
+
+// TestMappingInvariantsUnderRandomTransformations property-checks the
+// structural invariants every compiled mapping must satisfy, across
+// random transformation sequences on both datasets:
+//
+//  1. every relation starts with ID and PID columns;
+//  2. every column's LeafID resolves to a leaf element of the tree
+//     (or is a key column);
+//  3. every leaf element that is not partition-excluded everywhere has
+//     at least one column home, and every home points at an existing
+//     column of its relation;
+//  4. relation names are unique and non-empty;
+//  5. loading documents places every instance somewhere: total rows
+//     across an annotation's partitions equal the anchor instance
+//     counts (minus repetition-split inlined occurrences).
+func TestMappingInvariantsUnderRandomTransformations(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	cases := []struct {
+		name string
+		mk   func() *schema.Tree
+		doc  *xmlgen.Doc
+	}{
+		{"movie", schema.Movie, xmlgen.GenerateMovie(schema.Movie(), xmlgen.MovieOptions{Movies: 80, Seed: 14})},
+		{"dblp", schema.DBLP, xmlgen.GenerateDBLP(schema.DBLP(), xmlgen.DBLPOptions{Inproceedings: 80, Books: 15, Seed: 15})},
+	}
+	for _, tc := range cases {
+		base := tc.mk()
+		col := xmlgen.CollectStats(base, tc.doc)
+		for trial := 0; trial < 15; trial++ {
+			tree := tc.mk()
+			for s := 0; s < 1+r.Intn(4); s++ {
+				cands := transform.EnumerateAll(tree, col)
+				if len(cands) == 0 {
+					break
+				}
+				if next, err := cands[r.Intn(len(cands))].Apply(tree); err == nil {
+					tree = next
+				}
+			}
+			m, err := Compile(tree)
+			if err != nil {
+				t.Fatalf("%s trial %d: %v", tc.name, trial, err)
+			}
+			checkMappingInvariants(t, m)
+			db, err := Shred(m, tc.doc)
+			if err != nil {
+				t.Fatalf("%s trial %d: shred: %v", tc.name, trial, err)
+			}
+			checkRowConservation(t, m, db, col)
+		}
+	}
+}
+
+func checkMappingInvariants(t *testing.T, m *Mapping) {
+	t.Helper()
+	seen := map[string]bool{}
+	for _, r := range m.Relations {
+		if r.Name == "" || seen[r.Name] {
+			t.Fatalf("relation name %q duplicated or empty", r.Name)
+		}
+		seen[r.Name] = true
+		if len(r.Columns) < 2 || r.Columns[0].Name != rel.IDColumn || r.Columns[1].Name != rel.PIDColumn {
+			t.Fatalf("%s: missing key columns: %v", r.Name, r.Columns)
+		}
+		for _, c := range r.Columns[2:] {
+			leaf := m.Tree.Node(c.LeafID)
+			if leaf == nil || !leaf.IsLeaf() {
+				t.Fatalf("%s.%s: LeafID %d is not a leaf", r.Name, c.Name, c.LeafID)
+			}
+		}
+	}
+	for _, leaf := range m.Tree.Leaves() {
+		for _, h := range m.Homes(leaf.ID) {
+			ci := h.Rel.ColumnFor(leaf.ID, h.Occurrence)
+			if ci < 0 {
+				t.Fatalf("home of %s points at missing column %s.%s", leaf.Path(), h.Rel.Name, h.Column)
+			}
+			if h.Rel.Columns[ci].Name != h.Column {
+				t.Fatalf("home column mismatch for %s: %s vs %s", leaf.Path(), h.Rel.Columns[ci].Name, h.Column)
+			}
+		}
+	}
+}
+
+// checkRowConservation verifies that no instance is lost or duplicated
+// by partition routing and repetition-split overflow.
+func checkRowConservation(t *testing.T, m *Mapping, db *rel.Database, col interface{ InstanceCount(int) int64 }) {
+	t.Helper()
+	byAnn := map[string]int{}
+	for _, r := range m.Relations {
+		byAnn[r.Ann] += db.Table(r.Name).RowCount()
+	}
+	for ann, rows := range byAnn {
+		rels := m.RelationsOf(ann)
+		var want int64
+		for _, a := range rels[0].Anchors {
+			n := col.InstanceCount(a.ID)
+			if a.IsLeaf() && a.SplitCount > 0 {
+				// Inlined occurrences live in the parent relation.
+				inlined := int64(0)
+				for _, pr := range m.HostRelations(a.ElementParent()) {
+					for i := 1; i <= a.SplitCount; i++ {
+						ci := pr.ColumnFor(a.ID, i)
+						if ci < 0 {
+							continue
+						}
+						for _, row := range db.Table(pr.Name).Rows {
+							if !row[ci].Null {
+								inlined++
+							}
+						}
+					}
+				}
+				n -= inlined
+			}
+			want += n
+		}
+		if int64(rows) != want {
+			t.Fatalf("annotation %q: %d rows, want %d (instances conserved)", ann, rows, want)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package sqlast
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rel"
+)
+
+func sampleQuery() *Query {
+	id := &ColRef{Table: "inproc", Column: "ID"}
+	title := &ColRef{Table: "inproc", Column: "title"}
+	author := &ColRef{Table: "author", Column: "author"}
+	return &Query{
+		OrderBy: "ID",
+		Branches: []*Select{
+			{
+				Items: []SelectItem{{Col: id, As: "ID"}, {Col: title, As: "title"}, {As: "author"}},
+				From:  []string{"inproc"},
+				Where: []Pred{{
+					Kind: PredCompare, Op: OpEq,
+					Col:   ColRef{Table: "inproc", Column: "booktitle"},
+					Value: rel.Str("SIGMOD CONFERENCE"),
+				}},
+			},
+			{
+				Items: []SelectItem{{Col: id, As: "ID"}, {As: "title"}, {Col: author, As: "author"}},
+				From:  []string{"inproc", "author"},
+				Where: []Pred{
+					{Kind: PredJoin,
+						Left:  ColRef{Table: "author", Column: "PID"},
+						Right: ColRef{Table: "inproc", Column: "ID"}},
+					{Kind: PredCompare, Op: OpEq,
+						Col:   ColRef{Table: "inproc", Column: "booktitle"},
+						Value: rel.Str("SIGMOD CONFERENCE")},
+				},
+			},
+		},
+	}
+}
+
+func TestSQLRendering(t *testing.T) {
+	q := sampleQuery()
+	sql := q.SQL()
+	for _, want := range []string{
+		"SELECT inproc.ID, inproc.title",
+		"NULL AS author",
+		"UNION ALL",
+		"author.PID = inproc.ID",
+		"booktitle = 'SIGMOD CONFERENCE'",
+		"ORDER BY ID",
+	} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("SQL missing %q:\n%s", want, sql)
+		}
+	}
+}
+
+func TestValidateAcceptsSample(t *testing.T) {
+	if err := sampleQuery().Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	t.Run("no branches", func(t *testing.T) {
+		if err := (&Query{}).Validate(); err == nil {
+			t.Error("want error")
+		}
+	})
+	t.Run("union incompatible widths", func(t *testing.T) {
+		q := sampleQuery()
+		q.Branches[1].Items = q.Branches[1].Items[:2]
+		if err := q.Validate(); err == nil {
+			t.Error("want error")
+		}
+	})
+	t.Run("union incompatible names", func(t *testing.T) {
+		q := sampleQuery()
+		q.Branches[1].Items[1].As = "nope"
+		if err := q.Validate(); err == nil {
+			t.Error("want error")
+		}
+	})
+	t.Run("column out of scope", func(t *testing.T) {
+		q := sampleQuery()
+		q.Branches[0].Items[1].Col.Table = "elsewhere"
+		if err := q.Validate(); err == nil {
+			t.Error("want error")
+		}
+	})
+	t.Run("order by unknown column", func(t *testing.T) {
+		q := sampleQuery()
+		q.OrderBy = "nope"
+		if err := q.Validate(); err == nil {
+			t.Error("want error")
+		}
+	})
+	t.Run("empty OR predicate", func(t *testing.T) {
+		q := sampleQuery()
+		q.Branches[0].Where = append(q.Branches[0].Where, Pred{Kind: PredOr, Op: OpEq, Value: rel.Int(1)})
+		if err := q.Validate(); err == nil {
+			t.Error("want error")
+		}
+	})
+}
+
+func TestCmpOpMatches(t *testing.T) {
+	cases := []struct {
+		op   CmpOp
+		cmp  int
+		want bool
+	}{
+		{OpEq, 0, true}, {OpEq, 1, false},
+		{OpNe, 0, false}, {OpNe, -1, true},
+		{OpLt, -1, true}, {OpLt, 0, false},
+		{OpLe, 0, true}, {OpLe, 1, false},
+		{OpGt, 1, true}, {OpGt, 0, false},
+		{OpGe, 0, true}, {OpGe, -1, false},
+	}
+	for _, c := range cases {
+		if got := c.op.Matches(c.cmp); got != c.want {
+			t.Errorf("%v.Matches(%d) = %v", c.op, c.cmp, got)
+		}
+	}
+}
+
+func TestTablesAndColumnsOf(t *testing.T) {
+	q := sampleQuery()
+	tables := q.Tables()
+	if len(tables) != 2 || tables[0] != "author" || tables[1] != "inproc" {
+		t.Errorf("Tables = %v", tables)
+	}
+	cols := q.Branches[1].ColumnsOf("inproc")
+	want := map[string]bool{"ID": true, "booktitle": true}
+	for _, c := range cols {
+		if !want[c] {
+			t.Errorf("unexpected column %s", c)
+		}
+		delete(want, c)
+	}
+	if len(want) > 0 {
+		t.Errorf("missing columns %v", want)
+	}
+}
+
+func TestExistsPredicates(t *testing.T) {
+	p := Pred{
+		Kind: PredExists, Op: OpEq, Value: rel.Str("x"),
+		Table: "author", JoinCol: "PID", InnerCol: "author",
+		OuterCol: ColRef{Table: "inproc", Column: "ID"},
+	}
+	s := p.String()
+	for _, want := range []string{"EXISTS", "author.PID = inproc.ID", "author.author = 'x'"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("exists SQL missing %q: %s", want, s)
+		}
+	}
+	or := Pred{
+		Kind: PredOrExists, Op: OpEq, Value: rel.Str("x"),
+		Cols:  []ColRef{{Table: "inproc", Column: "author_1"}, {Table: "inproc", Column: "author_2"}},
+		Table: "author", JoinCol: "PID", InnerCol: "author",
+		OuterCol: ColRef{Table: "inproc", Column: "ID"},
+	}
+	s = or.String()
+	for _, want := range []string{"author_1 = 'x'", "OR", "EXISTS"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("or-exists SQL missing %q: %s", want, s)
+		}
+	}
+	// Branch.Tables must include the EXISTS inner table.
+	sel := &Select{From: []string{"inproc"}, Where: []Pred{p}}
+	tabs := sel.Tables()
+	if len(tabs) != 2 {
+		t.Errorf("Tables = %v", tabs)
+	}
+}
+
+func TestSelectItemRendering(t *testing.T) {
+	it := SelectItem{Col: &ColRef{Table: "t", Column: "c"}, As: "c"}
+	if it.String() != "t.c" {
+		t.Errorf("same-name alias should be omitted: %s", it.String())
+	}
+	it.As = "other"
+	if it.String() != "t.c AS other" {
+		t.Errorf("alias rendering: %s", it.String())
+	}
+}

@@ -1,0 +1,487 @@
+// Package stats implements the statistics layer of Section 4.1: value
+// distributions, presence counts, and set-valued cardinality histograms
+// collected once at the finest granularity (the fully split schema /
+// the documents themselves, which carry identical information), plus
+// the derived per-table statistics any enumerated mapping needs for
+// what-if costing. It also computes exact statistics from loaded
+// relational data, used when planning real execution.
+package stats
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rel"
+	"repro/internal/sqlast"
+)
+
+// histBuckets is the number of equi-depth histogram buckets.
+const histBuckets = 32
+
+// sampleCap is the reservoir size per column during collection.
+const sampleCap = 2048
+
+// Histogram is an equi-depth histogram over a sorted sample.
+type Histogram struct {
+	// Bounds are ascending bucket upper bounds; each bucket holds an
+	// equal fraction of the sampled values.
+	Bounds []rel.Value
+}
+
+// NewHistogram builds an equi-depth histogram from a value sample.
+func NewHistogram(sample []rel.Value) *Histogram {
+	if len(sample) == 0 {
+		return &Histogram{}
+	}
+	vals := append([]rel.Value(nil), sample...)
+	sort.Slice(vals, func(i, j int) bool { return vals[i].Compare(vals[j]) < 0 })
+	nb := histBuckets
+	if len(vals) < nb {
+		nb = len(vals)
+	}
+	h := &Histogram{Bounds: make([]rel.Value, nb)}
+	for i := 0; i < nb; i++ {
+		h.Bounds[i] = vals[(i+1)*len(vals)/nb-1]
+	}
+	return h
+}
+
+// FracLE estimates the fraction of values <= v.
+func (h *Histogram) FracLE(v rel.Value) float64 {
+	if len(h.Bounds) == 0 {
+		return 0.5
+	}
+	i := sort.Search(len(h.Bounds), func(i int) bool { return h.Bounds[i].Compare(v) >= 0 })
+	return float64(i+1) / float64(len(h.Bounds)+1)
+}
+
+// mcvCount is the number of most-common values tracked per column.
+const mcvCount = 8
+
+// MCV is one most-common-value entry.
+type MCV struct {
+	// Value is the frequent value.
+	Value rel.Value
+	// Frac is its fraction among non-NULL values.
+	Frac float64
+}
+
+// ColumnStats describes the value distribution of one column or leaf
+// element.
+type ColumnStats struct {
+	// Count is the number of non-NULL values.
+	Count int64
+	// Distinct is the (possibly estimated) distinct value count.
+	Distinct int64
+	// Min and Max bound the non-NULL values.
+	Min, Max rel.Value
+	// AvgWidth is the average byte width of non-NULL values.
+	AvgWidth float64
+	// NullFrac is the fraction of NULLs among the rows of the hosting
+	// table (0 when used as raw leaf stats).
+	NullFrac float64
+	// Hist approximates the value distribution.
+	Hist *Histogram
+	// MCVs lists the most common values and their frequencies, so
+	// equality selectivity on skewed columns (the Zipf conference
+	// distribution) is estimated from frequency rather than
+	// 1/distinct.
+	MCVs []MCV
+	// Typ is the value type.
+	Typ rel.Type
+}
+
+// Selectivity estimates the fraction of non-NULL values satisfying
+// "value op v".
+func (c *ColumnStats) Selectivity(op sqlast.CmpOp, v rel.Value) float64 {
+	if c.Count == 0 {
+		return 0
+	}
+	eq := c.eqSelectivity(v)
+	var s float64
+	switch op {
+	case sqlast.OpEq:
+		s = eq
+	case sqlast.OpNe:
+		s = 1 - eq
+	case sqlast.OpLe:
+		s = c.fracLE(v)
+	case sqlast.OpLt:
+		s = c.fracLE(v) - eq
+	case sqlast.OpGt:
+		s = 1 - c.fracLE(v)
+	case sqlast.OpGe:
+		s = 1 - c.fracLE(v) + eq
+	}
+	return clamp01(s)
+}
+
+// eqSelectivity estimates P(value = v): the tracked frequency for a
+// most-common value, otherwise the residual mass spread over the
+// remaining distinct values.
+func (c *ColumnStats) eqSelectivity(v rel.Value) float64 {
+	var mcvMass float64
+	for _, m := range c.MCVs {
+		if m.Value.Equal(v) {
+			return m.Frac
+		}
+		mcvMass += m.Frac
+	}
+	rest := float64(c.Distinct) - float64(len(c.MCVs))
+	if rest < 1 {
+		rest = 1
+	}
+	s := (1 - mcvMass) / rest
+	if s < 0 {
+		s = 0
+	}
+	return s
+}
+
+func (c *ColumnStats) fracLE(v rel.Value) float64 {
+	if c.Count > 0 && !c.Min.Null {
+		if v.Compare(c.Min) < 0 {
+			return 0
+		}
+		if v.Compare(c.Max) >= 0 {
+			return 1
+		}
+	}
+	if c.Hist != nil {
+		return c.Hist.FracLE(v)
+	}
+	return 0.33
+}
+
+// Scale returns a copy with Count scaled by f (for partitions); the
+// distinct count is capped at the new cardinality.
+func (c *ColumnStats) Scale(f float64) *ColumnStats {
+	out := *c
+	out.Count = int64(float64(c.Count) * f)
+	if out.Distinct > out.Count {
+		out.Distinct = out.Count
+	}
+	return &out
+}
+
+func clamp01(f float64) float64 {
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// ColumnCollector accumulates ColumnStats from a value stream using a
+// deterministic reservoir sample and exact value counts (capped).
+type ColumnCollector struct {
+	typ      rel.Type
+	count    int64
+	widthSum int64
+	min, max rel.Value
+	counts   map[string]int64
+	rep      map[string]rel.Value
+	overflow bool
+	sample   []rel.Value
+	rng      uint64
+}
+
+// NewColumnCollector creates a collector for values of type t.
+func NewColumnCollector(t rel.Type) *ColumnCollector {
+	return &ColumnCollector{
+		typ:    t,
+		counts: make(map[string]int64),
+		rep:    make(map[string]rel.Value),
+		rng:    0x9e3779b97f4a7c15,
+	}
+}
+
+// Add accumulates one non-NULL value.
+func (cc *ColumnCollector) Add(v rel.Value) {
+	if v.Null {
+		return
+	}
+	if cc.count == 0 || v.Compare(cc.min) < 0 {
+		cc.min = v
+	}
+	if cc.count == 0 || v.Compare(cc.max) > 0 {
+		cc.max = v
+	}
+	cc.count++
+	cc.widthSum += int64(v.Width())
+	key := v.String()
+	if n, ok := cc.counts[key]; ok {
+		cc.counts[key] = n + 1
+	} else if len(cc.counts) < 100000 {
+		cc.counts[key] = 1
+		cc.rep[key] = v
+	} else {
+		cc.overflow = true
+	}
+	if len(cc.sample) < sampleCap {
+		cc.sample = append(cc.sample, v)
+		return
+	}
+	// Deterministic xorshift reservoir.
+	cc.rng ^= cc.rng << 13
+	cc.rng ^= cc.rng >> 7
+	cc.rng ^= cc.rng << 17
+	if idx := cc.rng % uint64(cc.count); idx < uint64(sampleCap) {
+		cc.sample[idx] = v
+	}
+}
+
+// Stats finalizes the collected statistics.
+func (cc *ColumnCollector) Stats() *ColumnStats {
+	cs := &ColumnStats{
+		Count:    cc.count,
+		Distinct: int64(len(cc.counts)),
+		Min:      cc.min,
+		Max:      cc.max,
+		Typ:      cc.typ,
+	}
+	if cc.count > 0 {
+		cs.AvgWidth = float64(cc.widthSum) / float64(cc.count)
+	} else {
+		cs.Min, cs.Max = rel.NullOf(cc.typ), rel.NullOf(cc.typ)
+	}
+	cs.Hist = NewHistogram(cc.sample)
+	// Most-common values: only meaningful when the counts are exact
+	// and the value is genuinely frequent (above twice the uniform
+	// share).
+	if !cc.overflow && cc.count > 0 && len(cc.counts) > 0 {
+		type kv struct {
+			key string
+			n   int64
+		}
+		top := make([]kv, 0, len(cc.counts))
+		for k, n := range cc.counts {
+			top = append(top, kv{k, n})
+		}
+		sort.Slice(top, func(i, j int) bool {
+			if top[i].n != top[j].n {
+				return top[i].n > top[j].n
+			}
+			return top[i].key < top[j].key
+		})
+		uniform := float64(cc.count) / float64(len(cc.counts))
+		for i := 0; i < len(top) && i < mcvCount; i++ {
+			if float64(top[i].n) < 2*uniform {
+				break
+			}
+			cs.MCVs = append(cs.MCVs, MCV{
+				Value: cc.rep[top[i].key],
+				Frac:  float64(top[i].n) / float64(cc.count),
+			})
+		}
+	}
+	return cs
+}
+
+// CardHist is a cardinality histogram for a set-valued element: how
+// many parent instances have exactly c occurrences.
+type CardHist struct {
+	// CountByCard maps occurrence count -> number of parents.
+	CountByCard map[int]int64
+	// Parents is the total number of parent instances observed.
+	Parents int64
+	// Total is the total number of occurrences.
+	Total int64
+}
+
+// NewCardHist creates an empty cardinality histogram.
+func NewCardHist() *CardHist {
+	return &CardHist{CountByCard: make(map[int]int64)}
+}
+
+// Add records one parent instance with c occurrences.
+func (h *CardHist) Add(c int) {
+	h.CountByCard[c]++
+	h.Parents++
+	h.Total += int64(c)
+}
+
+// Max returns the maximum observed cardinality.
+func (h *CardHist) Max() int {
+	max := 0
+	for c := range h.CountByCard {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// FracAtMost returns the fraction of parents with cardinality <= k.
+func (h *CardHist) FracAtMost(k int) float64 {
+	if h.Parents == 0 {
+		return 1
+	}
+	var n int64
+	for c, cnt := range h.CountByCard {
+		if c <= k {
+			n += cnt
+		}
+	}
+	return float64(n) / float64(h.Parents)
+}
+
+// FracWithAtLeast returns the fraction of parents with cardinality >= i
+// (the non-NULL fraction of split column v_i).
+func (h *CardHist) FracWithAtLeast(i int) float64 {
+	if h.Parents == 0 {
+		return 0
+	}
+	var n int64
+	for c, cnt := range h.CountByCard {
+		if c >= i {
+			n += cnt
+		}
+	}
+	return float64(n) / float64(h.Parents)
+}
+
+// OverflowCount returns the number of occurrences beyond the first k
+// per parent: the row count of the overflow relation under repetition
+// split with count k.
+func (h *CardHist) OverflowCount(k int) int64 {
+	var n int64
+	for c, cnt := range h.CountByCard {
+		if c > k {
+			n += int64(c-k) * cnt
+		}
+	}
+	return n
+}
+
+// SplitCount chooses the repetition-split count per Section 4.6: the
+// smallest k <= cmax such that at least frac of parents have
+// cardinality <= k, or 0 if no such k exists (distribution not skewed
+// to the low-cardinality region).
+func (h *CardHist) SplitCount(cmax int, frac float64) int {
+	for k := 1; k <= cmax; k++ {
+		if h.FracAtMost(k) >= frac {
+			return k
+		}
+	}
+	return 0
+}
+
+// Collection is the statistics gathered once per dataset at the finest
+// granularity, keyed by schema node ID (stable across all mappings).
+type Collection struct {
+	// Count is the number of instances per element node.
+	Count map[int]int64
+	// Card is the per-parent cardinality histogram per set-valued
+	// element node.
+	Card map[int]*CardHist
+	// Cols is the value distribution per leaf element node.
+	Cols map[int]*ColumnStats
+	// DocBytes approximates the serialized document size.
+	DocBytes int64
+}
+
+// NewCollection creates an empty statistics collection.
+func NewCollection() *Collection {
+	return &Collection{
+		Count: make(map[int]int64),
+		Card:  make(map[int]*CardHist),
+		Cols:  make(map[int]*ColumnStats),
+	}
+}
+
+// InstanceCount returns the instance count for a node ID.
+func (c *Collection) InstanceCount(id int) int64 { return c.Count[id] }
+
+// Presence returns the fraction of parent instances that contain the
+// given child element node at least once.
+func (c *Collection) Presence(childID, parentID int) float64 {
+	p := c.Count[parentID]
+	if p == 0 {
+		return 0
+	}
+	if h, ok := c.Card[childID]; ok {
+		return h.FracWithAtLeast(1) * float64(h.Parents) / float64(p)
+	}
+	f := float64(c.Count[childID]) / float64(p)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// TableStats is what the optimizer consumes: per-relation cardinality,
+// width, and per-column distributions.
+type TableStats struct {
+	Name     string
+	Rows     int64
+	RowBytes float64
+	Cols     map[string]*ColumnStats
+}
+
+// Pages returns the table's size in pages under the accounting model.
+func (t *TableStats) Pages() int64 {
+	b := int64(t.RowBytes*float64(t.Rows)) + 8*t.Rows
+	p := (b + rel.PageSize - 1) / rel.PageSize
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// Bytes returns the accounted byte size.
+func (t *TableStats) Bytes() int64 { return int64(t.RowBytes*float64(t.Rows)) + 8*t.Rows }
+
+// Col returns stats for the named column, or nil.
+func (t *TableStats) Col(name string) *ColumnStats { return t.Cols[name] }
+
+// Provider supplies per-table statistics to the optimizer.
+type Provider interface {
+	// TableStats returns statistics for the named table, or nil if the
+	// table is unknown.
+	TableStats(name string) *TableStats
+}
+
+// MapProvider is a Provider over a map.
+type MapProvider map[string]*TableStats
+
+// TableStats implements Provider.
+func (m MapProvider) TableStats(name string) *TableStats { return m[name] }
+
+// FromDatabase computes exact TableStats from loaded relational data;
+// used when planning execution over real tables.
+func FromDatabase(db *rel.Database) MapProvider {
+	out := make(MapProvider)
+	for _, t := range db.Tables() {
+		ts := &TableStats{Name: t.Name, Rows: int64(t.RowCount()), Cols: make(map[string]*ColumnStats)}
+		if t.RowCount() > 0 {
+			ts.RowBytes = float64(t.Bytes())/float64(t.RowCount()) - 8
+		}
+		for ci, col := range t.Columns {
+			cc := NewColumnCollector(col.Typ)
+			nulls := int64(0)
+			for _, row := range t.Rows {
+				if row[ci].Null {
+					nulls++
+					continue
+				}
+				cc.Add(row[ci])
+			}
+			cs := cc.Stats()
+			if t.RowCount() > 0 {
+				cs.NullFrac = float64(nulls) / float64(t.RowCount())
+			}
+			ts.Cols[col.Name] = cs
+		}
+		out[t.Name] = ts
+	}
+	return out
+}
+
+// String summarizes a collection for diagnostics.
+func (c *Collection) String() string {
+	return fmt.Sprintf("stats.Collection{nodes=%d, leaves=%d, setValued=%d, docBytes=%d}",
+		len(c.Count), len(c.Cols), len(c.Card), c.DocBytes)
+}

@@ -1,0 +1,243 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rel"
+	"repro/internal/sqlast"
+)
+
+func collectInts(vals ...int64) *ColumnStats {
+	cc := NewColumnCollector(rel.TInt)
+	for _, v := range vals {
+		cc.Add(rel.Int(v))
+	}
+	return cc.Stats()
+}
+
+func TestColumnCollectorBasics(t *testing.T) {
+	cs := collectInts(1, 2, 3, 4, 5, 5, 5)
+	if cs.Count != 7 {
+		t.Errorf("Count = %d", cs.Count)
+	}
+	if cs.Distinct != 5 {
+		t.Errorf("Distinct = %d", cs.Distinct)
+	}
+	if cs.Min.I != 1 || cs.Max.I != 5 {
+		t.Errorf("bounds [%v,%v]", cs.Min, cs.Max)
+	}
+	if cs.AvgWidth != 8 {
+		t.Errorf("AvgWidth = %f", cs.AvgWidth)
+	}
+}
+
+func TestColumnCollectorIgnoresNulls(t *testing.T) {
+	cc := NewColumnCollector(rel.TInt)
+	cc.Add(rel.NullOf(rel.TInt))
+	cc.Add(rel.Int(1))
+	cs := cc.Stats()
+	if cs.Count != 1 {
+		t.Errorf("Count = %d", cs.Count)
+	}
+}
+
+func TestSelectivityUniform(t *testing.T) {
+	var vals []int64
+	for i := int64(0); i < 1000; i++ {
+		vals = append(vals, i%100)
+	}
+	cs := collectInts(vals...)
+	if s := cs.Selectivity(sqlast.OpEq, rel.Int(50)); math.Abs(s-0.01) > 0.005 {
+		t.Errorf("equality selectivity = %f, want ~0.01", s)
+	}
+	if s := cs.Selectivity(sqlast.OpGe, rel.Int(50)); math.Abs(s-0.5) > 0.1 {
+		t.Errorf("range selectivity = %f, want ~0.5", s)
+	}
+	if s := cs.Selectivity(sqlast.OpLe, rel.Int(99)); s < 0.9 {
+		t.Errorf("full range selectivity = %f, want ~1", s)
+	}
+	if s := cs.Selectivity(sqlast.OpLt, rel.Int(0)); s > 0.05 {
+		t.Errorf("empty range selectivity = %f, want ~0", s)
+	}
+}
+
+func TestSelectivityBoundsProperty(t *testing.T) {
+	f := func(raw []int16, probe int16, opIdx uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		cc := NewColumnCollector(rel.TInt)
+		for _, v := range raw {
+			cc.Add(rel.Int(int64(v)))
+		}
+		cs := cc.Stats()
+		op := sqlast.CmpOp(int(opIdx) % 6)
+		s := cs.Selectivity(op, rel.Int(int64(probe)))
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramFracLEMonotone(t *testing.T) {
+	var sample []rel.Value
+	for i := 0; i < 500; i++ {
+		sample = append(sample, rel.Int(int64(i*i%997)))
+	}
+	h := NewHistogram(sample)
+	prev := -1.0
+	for v := int64(-10); v < 1100; v += 37 {
+		f := h.FracLE(rel.Int(v))
+		if f < prev-1e-9 {
+			t.Fatalf("FracLE not monotone at %d: %f < %f", v, f, prev)
+		}
+		prev = f
+	}
+}
+
+func TestCardHist(t *testing.T) {
+	h := NewCardHist()
+	// 80 parents with 1..5, 20 with 10.
+	for i := 0; i < 80; i++ {
+		h.Add(1 + i%5)
+	}
+	for i := 0; i < 20; i++ {
+		h.Add(10)
+	}
+	if h.Parents != 100 {
+		t.Errorf("Parents = %d", h.Parents)
+	}
+	if h.Max() != 10 {
+		t.Errorf("Max = %d", h.Max())
+	}
+	if f := h.FracAtMost(5); math.Abs(f-0.8) > 1e-9 {
+		t.Errorf("FracAtMost(5) = %f", f)
+	}
+	if f := h.FracWithAtLeast(10); math.Abs(f-0.2) > 1e-9 {
+		t.Errorf("FracWithAtLeast(10) = %f", f)
+	}
+	if k := h.SplitCount(5, 0.8); k != 5 {
+		t.Errorf("SplitCount = %d, want 5", k)
+	}
+	if k := h.SplitCount(3, 0.8); k != 0 {
+		t.Errorf("SplitCount cap 3 = %d, want 0 (not skewed enough)", k)
+	}
+	// Overflow: 20 parents contribute 10-5 = 5 each beyond k=5.
+	if o := h.OverflowCount(5); o != 100 {
+		t.Errorf("OverflowCount(5) = %d, want 100", o)
+	}
+}
+
+func TestCardHistOverflowProperty(t *testing.T) {
+	f := func(cards []uint8, k uint8) bool {
+		h := NewCardHist()
+		var total int64
+		for _, c := range cards {
+			h.Add(int(c % 30))
+			total += int64(c % 30)
+		}
+		kk := int(k%10) + 1
+		over := h.OverflowCount(kk)
+		// Inline + overflow must equal the total occurrences.
+		var inline int64
+		for c, cnt := range h.CountByCard {
+			in := c
+			if in > kk {
+				in = kk
+			}
+			inline += int64(in) * cnt
+		}
+		return inline+over == total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMCVSelectivity(t *testing.T) {
+	// Zipf-ish: value 0 takes half the mass, the rest spread over 99
+	// values.
+	cc := NewColumnCollector(rel.TInt)
+	for i := 0; i < 500; i++ {
+		cc.Add(rel.Int(0))
+	}
+	for i := 0; i < 500; i++ {
+		cc.Add(rel.Int(int64(1 + i%99)))
+	}
+	cs := cc.Stats()
+	if len(cs.MCVs) == 0 {
+		t.Fatal("no MCVs tracked for skewed column")
+	}
+	if cs.MCVs[0].Value.I != 0 || math.Abs(cs.MCVs[0].Frac-0.5) > 0.01 {
+		t.Errorf("top MCV = %+v, want value 0 at ~0.5", cs.MCVs[0])
+	}
+	// Equality on the head uses the tracked frequency.
+	if s := cs.Selectivity(sqlast.OpEq, rel.Int(0)); math.Abs(s-0.5) > 0.02 {
+		t.Errorf("head selectivity = %f, want ~0.5", s)
+	}
+	// Equality on the tail uses the residual mass.
+	if s := cs.Selectivity(sqlast.OpEq, rel.Int(42)); s > 0.02 || s <= 0 {
+		t.Errorf("tail selectivity = %f, want ~0.005", s)
+	}
+}
+
+func TestMCVUniformColumnHasNone(t *testing.T) {
+	cc := NewColumnCollector(rel.TInt)
+	for i := 0; i < 1000; i++ {
+		cc.Add(rel.Int(int64(i % 100)))
+	}
+	cs := cc.Stats()
+	if len(cs.MCVs) != 0 {
+		t.Errorf("uniform column tracked %d MCVs", len(cs.MCVs))
+	}
+}
+
+func TestCollectionPresence(t *testing.T) {
+	c := NewCollection()
+	c.Count[1] = 100 // parent
+	c.Count[2] = 60  // optional child present in 60
+	if p := c.Presence(2, 1); math.Abs(p-0.6) > 1e-9 {
+		t.Errorf("Presence = %f", p)
+	}
+	// Set-valued via cardinality histogram.
+	h := NewCardHist()
+	for i := 0; i < 70; i++ {
+		h.Add(2)
+	}
+	for i := 0; i < 30; i++ {
+		h.Add(0)
+	}
+	c.Card[3] = h
+	c.Count[3] = 140
+	if p := c.Presence(3, 1); math.Abs(p-0.7) > 1e-9 {
+		t.Errorf("set-valued Presence = %f", p)
+	}
+}
+
+func TestTableStatsPages(t *testing.T) {
+	ts := &TableStats{Name: "t", Rows: 1000, RowBytes: 100}
+	if ts.Pages() < 13 || ts.Pages() > 14 {
+		t.Errorf("Pages = %d", ts.Pages())
+	}
+	empty := &TableStats{Name: "e"}
+	if empty.Pages() != 1 {
+		t.Errorf("empty table Pages = %d, want 1", empty.Pages())
+	}
+}
+
+func TestScale(t *testing.T) {
+	cs := collectInts(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	sc := cs.Scale(0.5)
+	if sc.Count != 5 {
+		t.Errorf("scaled Count = %d", sc.Count)
+	}
+	if sc.Distinct > sc.Count {
+		t.Errorf("Distinct %d > Count %d", sc.Distinct, sc.Count)
+	}
+	if cs.Count != 10 {
+		t.Error("Scale mutated the original")
+	}
+}

@@ -1,0 +1,561 @@
+// Package transform implements the logical design transformations of
+// Section 2.1 — outlining/inlining, type split/merge, union
+// distribution/factorization (explicit choices and implicit unions over
+// optionals), repetition split/merge, associativity and commutativity —
+// together with their classification into subsumed and non-subsumed
+// (Section 3) and the enumerators the search algorithms use.
+//
+// Transformations address schema nodes by ID, so one Transformation
+// value applies to any clone of the tree (searches apply candidates to
+// fresh clones every round).
+package transform
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/schema"
+	"repro/internal/stats"
+)
+
+// Kind enumerates transformation types.
+type Kind int
+
+const (
+	// Outline introduces an annotation on a node (Section 2.1, #1).
+	Outline Kind = iota
+	// Inline removes an annotation (the reverse).
+	Inline
+	// TypeSplit renames one occurrence's shared annotation (#2).
+	TypeSplit
+	// TypeMerge gives shared-type occurrences one annotation (#2).
+	TypeMerge
+	// UnionDist adds a union distribution (#3).
+	UnionDist
+	// UnionFact removes a union distribution (#3).
+	UnionFact
+	// RepSplit inlines the first k occurrences of a set-valued leaf
+	// (#4).
+	RepSplit
+	// RepMerge undoes a repetition split (#4).
+	RepMerge
+	// Assoc regroups adjacent sequence children (#5).
+	Assoc
+	// Comm swaps adjacent sequence children (#5).
+	Comm
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Outline:
+		return "outline"
+	case Inline:
+		return "inline"
+	case TypeSplit:
+		return "type-split"
+	case TypeMerge:
+		return "type-merge"
+	case UnionDist:
+		return "union-dist"
+	case UnionFact:
+		return "union-fact"
+	case RepSplit:
+		return "rep-split"
+	case RepMerge:
+		return "rep-merge"
+	case Assoc:
+		return "assoc"
+	case Comm:
+		return "comm"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Transformation is one applicable schema transformation.
+type Transformation struct {
+	// Kind is the transformation type.
+	Kind Kind
+	// Node is the primary target node ID (element for most kinds, the
+	// sequence node for Assoc/Comm).
+	Node int
+	// Nodes are the group members for TypeMerge.
+	Nodes []int
+	// Dist is the distribution added (UnionDist) or removed
+	// (UnionFact, matched by Key).
+	Dist schema.Distribution
+	// SplitCount is k for RepSplit.
+	SplitCount int
+	// Name is the annotation name for Outline/TypeSplit/TypeMerge
+	// (derived deterministically when empty).
+	Name string
+	// Pos is the child position for Assoc/Comm.
+	Pos int
+}
+
+// Subsumed reports whether the transformation alone is subsumed by
+// physical design (Theorem 1: outlining, inlining, associativity, and
+// commutativity generate vertical partitionings of the fully inlined
+// schema).
+func (t Transformation) Subsumed() bool {
+	switch t.Kind {
+	case Outline, Inline, Assoc, Comm:
+		return true
+	}
+	return false
+}
+
+// MergeType reports whether the transformation is a merge-type
+// candidate (applied during greedy search) as opposed to a split-type
+// candidate (applied once to form the initial fully split mapping).
+func (t Transformation) MergeType() bool {
+	switch t.Kind {
+	case Inline, TypeMerge, UnionFact, RepMerge:
+		return true
+	}
+	return false
+}
+
+// Key is a canonical identity for deduplication.
+func (t Transformation) Key() string {
+	switch t.Kind {
+	case TypeMerge:
+		ids := append([]int(nil), t.Nodes...)
+		sort.Ints(ids)
+		return fmt.Sprintf("%s:%v", t.Kind, ids)
+	case UnionDist, UnionFact:
+		return fmt.Sprintf("%s:%d:%s", t.Kind, t.Node, t.Dist.Key())
+	case RepSplit:
+		return fmt.Sprintf("%s:%d:%d", t.Kind, t.Node, t.SplitCount)
+	case Assoc, Comm:
+		return fmt.Sprintf("%s:%d:%d", t.Kind, t.Node, t.Pos)
+	default:
+		return fmt.Sprintf("%s:%d", t.Kind, t.Node)
+	}
+}
+
+// String describes the transformation against a tree for diagnostics.
+func (t Transformation) String() string { return t.Key() }
+
+// Describe renders a human-readable form using the tree's node names.
+func (t Transformation) Describe(tr *schema.Tree) string {
+	nodeName := func(id int) string {
+		if n := tr.Node(id); n != nil {
+			return n.Path()
+		}
+		return fmt.Sprintf("#%d", id)
+	}
+	switch t.Kind {
+	case TypeMerge:
+		names := make([]string, len(t.Nodes))
+		for i, id := range t.Nodes {
+			names[i] = nodeName(id)
+		}
+		return fmt.Sprintf("%s(%s)", t.Kind, strings.Join(names, ","))
+	case UnionDist, UnionFact:
+		return fmt.Sprintf("%s(%s, %s)", t.Kind, nodeName(t.Node), t.Dist.Key())
+	case RepSplit:
+		return fmt.Sprintf("%s(%s, k=%d)", t.Kind, nodeName(t.Node), t.SplitCount)
+	default:
+		return fmt.Sprintf("%s(%s)", t.Kind, nodeName(t.Node))
+	}
+}
+
+// Apply produces a transformed clone of the tree. The input is never
+// modified. The result is validated.
+func (t Transformation) Apply(tr *schema.Tree) (*schema.Tree, error) {
+	out := tr.Clone()
+	if err := t.applyInPlace(out); err != nil {
+		return nil, err
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("transform: %s produced invalid schema: %w", t.Describe(tr), err)
+	}
+	return out, nil
+}
+
+func (t Transformation) applyInPlace(tr *schema.Tree) error {
+	n := tr.Node(t.Node)
+	if n == nil && t.Kind != TypeMerge {
+		return fmt.Errorf("transform: %s targets missing node %d", t.Kind, t.Node)
+	}
+	switch t.Kind {
+	case Outline:
+		if n.Annotation != "" {
+			return fmt.Errorf("transform: outline of already-annotated %s", n.Path())
+		}
+		name := t.Name
+		if name == "" {
+			name = freshAnnotation(tr, n.Name)
+		}
+		n.Annotation = name
+		return nil
+	case Inline:
+		if n.Annotation == "" {
+			return fmt.Errorf("transform: inline of unannotated %s", n.Path())
+		}
+		if n.MustAnnotate() {
+			return fmt.Errorf("transform: cannot inline %s (in-degree != 1)", n.Path())
+		}
+		n.Annotation = ""
+		n.Distributions = nil
+		n.SplitCount = 0
+		return nil
+	case TypeSplit:
+		if n.Annotation == "" {
+			return fmt.Errorf("transform: type split of unannotated %s", n.Path())
+		}
+		shared := false
+		tr.Walk(func(m *schema.Node) {
+			if m != n && m.Annotation == n.Annotation {
+				shared = true
+			}
+		})
+		if !shared {
+			return fmt.Errorf("transform: type split of unshared annotation %q", n.Annotation)
+		}
+		name := t.Name
+		if name == "" {
+			parent := "x"
+			if p := n.ElementParent(); p != nil {
+				parent = p.Name
+			}
+			name = freshAnnotation(tr, parent+"_"+n.Name)
+		}
+		n.Annotation = name
+		return nil
+	case TypeMerge:
+		var members []*schema.Node
+		for _, id := range t.Nodes {
+			m := tr.Node(id)
+			if m == nil {
+				return fmt.Errorf("transform: type merge member %d missing", id)
+			}
+			members = append(members, m)
+		}
+		if len(members) < 2 {
+			return fmt.Errorf("transform: type merge needs at least two members")
+		}
+		tn := members[0].TypeName
+		for _, m := range members {
+			if m.TypeName == "" || m.TypeName != tn {
+				return fmt.Errorf("transform: type merge of non-equivalent types")
+			}
+			if m.SplitCount > 0 || len(m.Distributions) > 0 {
+				return fmt.Errorf("transform: type merge of split/distributed node %s", m.Path())
+			}
+		}
+		name := t.Name
+		if name == "" {
+			// Reuse an existing annotation when one member has one.
+			for _, m := range members {
+				if m.Annotation != "" {
+					name = m.Annotation
+					break
+				}
+			}
+			if name == "" {
+				name = freshAnnotation(tr, members[0].Name)
+			}
+		}
+		for _, m := range members {
+			// Deep merge: unannotated members are outlined into the
+			// merged relation (the inline-then-merge combination of
+			// Section 3.3).
+			m.Annotation = name
+			m.Distributions = nil
+			m.SplitCount = 0
+		}
+		return nil
+	case UnionDist:
+		if n.Annotation == "" {
+			return fmt.Errorf("transform: union distribution on unannotated %s", n.Path())
+		}
+		for _, d := range n.Distributions {
+			if d.Key() == t.Dist.Key() {
+				return fmt.Errorf("transform: distribution %s already applied", t.Dist.Key())
+			}
+		}
+		n.Distributions = append(n.Distributions, t.Dist)
+		return nil
+	case UnionFact:
+		for i, d := range n.Distributions {
+			if d.Key() == t.Dist.Key() {
+				n.Distributions = append(n.Distributions[:i], n.Distributions[i+1:]...)
+				return nil
+			}
+		}
+		return fmt.Errorf("transform: distribution %s not present on %s", t.Dist.Key(), n.Path())
+	case RepSplit:
+		if t.SplitCount < 1 {
+			return fmt.Errorf("transform: repetition split with k=%d", t.SplitCount)
+		}
+		if n.SplitCount > 0 {
+			return fmt.Errorf("transform: %s already split", n.Path())
+		}
+		n.SplitCount = t.SplitCount
+		return nil
+	case RepMerge:
+		if n.SplitCount == 0 {
+			return fmt.Errorf("transform: %s is not split", n.Path())
+		}
+		n.SplitCount = 0
+		return nil
+	case Comm:
+		if n.Kind != schema.KindSequence || t.Pos < 0 || t.Pos+1 >= len(n.Children) {
+			return fmt.Errorf("transform: bad commutativity target")
+		}
+		n.Children[t.Pos], n.Children[t.Pos+1] = n.Children[t.Pos+1], n.Children[t.Pos]
+		return nil
+	case Assoc:
+		if n.Kind != schema.KindSequence || t.Pos < 0 || t.Pos+1 >= len(n.Children) {
+			return fmt.Errorf("transform: bad associativity target")
+		}
+		grouped := &schema.Node{
+			ID:       tr.NewNodeID(),
+			Kind:     schema.KindSequence,
+			Children: []*schema.Node{n.Children[t.Pos], n.Children[t.Pos+1]},
+			Parent:   n,
+		}
+		grouped.Children[0].Parent = grouped
+		grouped.Children[1].Parent = grouped
+		rest := append([]*schema.Node{}, n.Children[:t.Pos]...)
+		rest = append(rest, grouped)
+		rest = append(rest, n.Children[t.Pos+2:]...)
+		n.Children = rest
+		return registerNode(tr, grouped)
+	}
+	return fmt.Errorf("transform: unknown kind %v", t.Kind)
+}
+
+// registerNode adds a created node to the tree's ID map via a
+// validation walk (Tree has no exported registration; re-wrap).
+func registerNode(tr *schema.Tree, n *schema.Node) error {
+	// NewTree re-indexes in place; rebuilding the map is O(tree).
+	reindexed := schema.NewTree(tr.Root)
+	*tr = *reindexed
+	return nil
+}
+
+// freshAnnotation derives an unused annotation name.
+func freshAnnotation(tr *schema.Tree, base string) string {
+	used := make(map[string]bool)
+	tr.Walk(func(n *schema.Node) {
+		if n.Annotation != "" {
+			used[n.Annotation] = true
+		}
+	})
+	name := strings.ToLower(base)
+	if !used[name] {
+		return name
+	}
+	for i := 1; ; i++ {
+		cand := fmt.Sprintf("%s%d", name, i)
+		if !used[cand] {
+			return cand
+		}
+	}
+}
+
+// DefaultSplitCap and DefaultSplitFrac are the Section 4.6 defaults
+// (cmax = 5, x = 80%).
+const (
+	DefaultSplitCap  = 5
+	DefaultSplitFrac = 0.8
+)
+
+// EnumerateAll lists every applicable transformation on the tree — the
+// space Naive-Greedy and Two-Step search. Statistics (optional) pick
+// repetition-split counts; without them k = DefaultSplitCap.
+func EnumerateAll(tr *schema.Tree, col *stats.Collection) []Transformation {
+	var out []Transformation
+	out = append(out, enumerateSubsumed(tr)...)
+	out = append(out, EnumerateNonSubsumed(tr, col)...)
+	return out
+}
+
+// enumerateSubsumed lists outlining, inlining, associativity, and
+// commutativity opportunities.
+func enumerateSubsumed(tr *schema.Tree) []Transformation {
+	var out []Transformation
+	tr.Walk(func(n *schema.Node) {
+		switch n.Kind {
+		case schema.KindElement:
+			if n.Annotation == "" {
+				out = append(out, Transformation{Kind: Outline, Node: n.ID})
+			} else if !n.MustAnnotate() {
+				out = append(out, Transformation{Kind: Inline, Node: n.ID})
+			}
+		case schema.KindSequence:
+			for i := 0; i+1 < len(n.Children); i++ {
+				out = append(out, Transformation{Kind: Comm, Node: n.ID, Pos: i})
+				out = append(out, Transformation{Kind: Assoc, Node: n.ID, Pos: i})
+			}
+		}
+	})
+	return out
+}
+
+// EnumerateNonSubsumed lists type split/merge, union distribution/
+// factorization (explicit and implicit), and repetition split/merge
+// opportunities — the space Greedy searches (Section 4.3).
+func EnumerateNonSubsumed(tr *schema.Tree, col *stats.Collection) []Transformation {
+	var out []Transformation
+	seen := make(map[string]bool)
+	add := func(t Transformation) {
+		k := t.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, t)
+		}
+	}
+	// Type splits: each anchor of a shared annotation.
+	byAnn := make(map[string][]*schema.Node)
+	tr.Walk(func(n *schema.Node) {
+		if n.Kind == schema.KindElement && n.Annotation != "" {
+			byAnn[n.Annotation] = append(byAnn[n.Annotation], n)
+		}
+	})
+	for _, group := range byAnn {
+		if len(group) < 2 {
+			continue
+		}
+		for _, n := range group {
+			add(Transformation{Kind: TypeSplit, Node: n.ID})
+		}
+	}
+	// Type merges: shared-type groups not already one annotation.
+	// Members must live under distinct annotated ancestors: merging
+	// siblings of one parent would make their rows indistinguishable
+	// after the PID join (the paper's merges — author, title — are
+	// always across distinct parents).
+	for _, group := range tr.SharedTypeGroups() {
+		mergeable := true
+		sameAnn := true
+		parents := make(map[*schema.Node]bool)
+		for _, n := range group {
+			if n.SplitCount > 0 || len(n.Distributions) > 0 {
+				mergeable = false
+			}
+			if n.Annotation == "" || n.Annotation != group[0].Annotation {
+				sameAnn = false
+			}
+			anc := n.AnnotatedAncestor()
+			if parents[anc] {
+				mergeable = false
+			}
+			parents[anc] = true
+		}
+		if mergeable && !sameAnn {
+			ids := make([]int, len(group))
+			for i, n := range group {
+				ids[i] = n.ID
+			}
+			add(Transformation{Kind: TypeMerge, Nodes: ids})
+		}
+	}
+	// Distributions on single-anchor annotated nodes.
+	for _, group := range byAnn {
+		if len(group) != 1 {
+			continue
+		}
+		anchor := group[0]
+		existing := make(map[string]bool)
+		distributedChoice := make(map[int]bool)
+		distributedOpt := make(map[int]bool)
+		for _, d := range anchor.Distributions {
+			existing[d.Key()] = true
+			if d.Choice != 0 {
+				distributedChoice[d.Choice] = true
+			}
+			for _, id := range d.Optionals {
+				distributedOpt[id] = true
+			}
+			// Factorization of every existing distribution.
+			add(Transformation{Kind: UnionFact, Node: anchor.ID, Dist: d})
+		}
+		for _, choice := range inlineChoices(anchor) {
+			if !distributedChoice[choice.ID] {
+				d := schema.Distribution{Choice: choice.ID}
+				if !existing[d.Key()] {
+					add(Transformation{Kind: UnionDist, Node: anchor.ID, Dist: d})
+				}
+			}
+		}
+		for _, opt := range inlineOptionals(anchor) {
+			if !distributedOpt[opt.ID] {
+				d := schema.Distribution{Optionals: []int{opt.ID}}
+				if !existing[d.Key()] {
+					add(Transformation{Kind: UnionDist, Node: anchor.ID, Dist: d})
+				}
+			}
+		}
+	}
+	// Repetition split/merge on set-valued annotated leaves.
+	tr.Walk(func(n *schema.Node) {
+		if n.Kind != schema.KindElement || !n.IsLeaf() || !n.IsSetValued() || n.Annotation == "" {
+			return
+		}
+		if n.SplitCount > 0 {
+			add(Transformation{Kind: RepMerge, Node: n.ID})
+			return
+		}
+		// Shared-annotation overflow tables are allowed; the split
+		// count belongs to this occurrence.
+		k := SplitCountFor(n, col)
+		if k > 0 {
+			add(Transformation{Kind: RepSplit, Node: n.ID, SplitCount: k})
+		}
+	})
+	return out
+}
+
+// SplitCountFor picks the repetition-split count per Section 4.6.
+func SplitCountFor(n *schema.Node, col *stats.Collection) int {
+	if col == nil {
+		return DefaultSplitCap
+	}
+	h := col.Card[n.ID]
+	if h == nil {
+		return 0
+	}
+	if max := h.Max(); max > 0 && max <= DefaultSplitCap {
+		return max
+	}
+	return h.SplitCount(DefaultSplitCap, DefaultSplitFrac)
+}
+
+// inlineChoices returns the choice constructors between the anchor and
+// its inlined content (not crossing annotated elements).
+func inlineChoices(anchor *schema.Node) []*schema.Node {
+	var out []*schema.Node
+	var walk func(n *schema.Node)
+	walk = func(n *schema.Node) {
+		switch n.Kind {
+		case schema.KindElement:
+			return // separate relation or leaf boundary
+		case schema.KindChoice:
+			out = append(out, n)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, c := range anchor.Children {
+		walk(c)
+	}
+	return out
+}
+
+// inlineOptionals returns the optional direct child leaf elements of
+// the anchor that are currently inlined (implicit union candidates).
+func inlineOptionals(anchor *schema.Node) []*schema.Node {
+	var out []*schema.Node
+	for _, c := range anchor.ElementChildren() {
+		if c.IsOptional() && c.IsLeaf() && c.Annotation == "" && c.ElementParent() == anchor {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,300 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/shred"
+	"repro/internal/xmlgen"
+)
+
+func movieStats() (*schema.Tree, *xmlgen.Doc) {
+	tr := schema.Movie()
+	doc := xmlgen.GenerateMovie(tr, xmlgen.MovieOptions{Movies: 200, Seed: 61})
+	return tr, doc
+}
+
+func TestOutlineInlineRoundTrip(t *testing.T) {
+	tr := schema.Movie()
+	title := tr.ElementsNamed("title")[0]
+	out, err := Transformation{Kind: Outline, Node: title.ID}.Apply(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Node(title.ID).Annotation == "" {
+		t.Fatal("outline did not annotate")
+	}
+	if tr.Node(title.ID).Annotation != "" {
+		t.Fatal("outline mutated the input tree")
+	}
+	back, err := Transformation{Kind: Inline, Node: title.ID}.Apply(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Node(title.ID).Annotation != "" {
+		t.Fatal("inline did not remove annotation")
+	}
+}
+
+func TestInlineMandatoryFails(t *testing.T) {
+	tr := schema.Movie()
+	movie := tr.ElementsNamed("movie")[0]
+	if _, err := (Transformation{Kind: Inline, Node: movie.ID}).Apply(tr); err == nil {
+		t.Error("inlining a set-valued element must fail")
+	}
+}
+
+func TestTypeSplitAndMerge(t *testing.T) {
+	tr := schema.DBLP()
+	var inprocAuthor *schema.Node
+	for _, n := range tr.ElementsNamed("author") {
+		if n.ElementParent().Name == "inproceedings" {
+			inprocAuthor = n
+		}
+	}
+	split, err := Transformation{Kind: TypeSplit, Node: inprocAuthor.ID}.Apply(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1 := split.Node(inprocAuthor.ID).Annotation
+	if a1 == "author" || a1 == "" {
+		t.Fatalf("split annotation = %q", a1)
+	}
+	// Merge them back.
+	var ids []int
+	for _, n := range split.ElementsNamed("author") {
+		ids = append(ids, n.ID)
+	}
+	merged, err := Transformation{Kind: TypeMerge, Nodes: ids}.Apply(split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anns := map[string]bool{}
+	for _, n := range merged.ElementsNamed("author") {
+		anns[n.Annotation] = true
+	}
+	if len(anns) != 1 {
+		t.Fatalf("merge left annotations %v", anns)
+	}
+}
+
+func TestTypeMergeRequiresInlineFirst(t *testing.T) {
+	// The Section 3.3 example: merging the two titles implicitly
+	// outlines the inlined inproceedings title into the merged
+	// relation.
+	tr := schema.DBLP()
+	var ids []int
+	for _, n := range tr.ElementsNamed("title") {
+		ids = append(ids, n.ID)
+	}
+	merged, err := Transformation{Kind: TypeMerge, Nodes: ids}.Apply(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anns := map[string]bool{}
+	for _, n := range merged.ElementsNamed("title") {
+		if n.Annotation == "" {
+			t.Fatal("merged member left unannotated")
+		}
+		anns[n.Annotation] = true
+	}
+	if len(anns) != 1 {
+		t.Fatalf("titles not merged: %v", anns)
+	}
+	// The merged mapping compiles and the shared relation has two
+	// anchors.
+	m, err := shred.Compile(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range m.Relations {
+		if r.Ann == merged.ElementsNamed("title")[0].Annotation && len(r.Anchors) != 2 {
+			t.Errorf("merged title relation has %d anchors", len(r.Anchors))
+		}
+	}
+}
+
+func TestUnionDistFact(t *testing.T) {
+	tr := schema.Movie()
+	movie := tr.ElementsNamed("movie")[0]
+	choice := tr.ElementsNamed("box_office")[0].UnderChoice()
+	dist := schema.Distribution{Choice: choice.ID}
+	d, err := Transformation{Kind: UnionDist, Node: movie.ID, Dist: dist}.Apply(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Node(movie.ID).Distributions) != 1 {
+		t.Fatal("distribution not added")
+	}
+	// Re-applying the same distribution fails.
+	if _, err := (Transformation{Kind: UnionDist, Node: movie.ID, Dist: dist}).Apply(d); err == nil {
+		t.Error("duplicate distribution should fail")
+	}
+	f, err := Transformation{Kind: UnionFact, Node: movie.ID, Dist: dist}.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Node(movie.ID).Distributions) != 0 {
+		t.Fatal("factorization did not remove distribution")
+	}
+}
+
+func TestRepSplitMerge(t *testing.T) {
+	tr, doc := movieStats()
+	col := xmlgen.CollectStats(tr, doc)
+	aka := tr.ElementsNamed("aka_title")[0]
+	k := SplitCountFor(aka, col)
+	if k < 1 || k > DefaultSplitCap {
+		t.Fatalf("split count = %d", k)
+	}
+	s, err := Transformation{Kind: RepSplit, Node: aka.ID, SplitCount: k}.Apply(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Node(aka.ID).SplitCount != k {
+		t.Fatal("split count not applied")
+	}
+	m, err := Transformation{Kind: RepMerge, Node: aka.ID}.Apply(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Node(aka.ID).SplitCount != 0 {
+		t.Fatal("merge did not clear split")
+	}
+}
+
+func TestCommAndAssocKeepValidity(t *testing.T) {
+	tr := schema.Movie()
+	var seq *schema.Node
+	tr.Walk(func(n *schema.Node) {
+		if seq == nil && n.Kind == schema.KindSequence && len(n.Children) > 2 {
+			seq = n
+		}
+	})
+	if seq == nil {
+		t.Skip("no wide sequence")
+	}
+	c, err := Transformation{Kind: Comm, Node: seq.ID, Pos: 0}.Apply(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := Transformation{Kind: Assoc, Node: seq.ID, Pos: 1}.Apply(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Mapping compiles identically column-wise modulo order.
+	m1, err := shred.Compile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0, _ := shred.Compile(schema.Movie())
+	if len(m1.Relations) != len(m0.Relations) {
+		t.Errorf("assoc changed relation count: %d vs %d", len(m1.Relations), len(m0.Relations))
+	}
+}
+
+func TestEnumerateAllCounts(t *testing.T) {
+	tr, doc := movieStats()
+	col := xmlgen.CollectStats(tr, doc)
+	all := EnumerateAll(tr, col)
+	nonsub := EnumerateNonSubsumed(tr, col)
+	if len(nonsub) >= len(all) {
+		t.Errorf("non-subsumed (%d) should be fewer than all (%d)", len(nonsub), len(all))
+	}
+	// The paper's Table 1 shape: subsumed transformations are a large
+	// share of the space.
+	if len(all) < 2*len(nonsub) {
+		t.Logf("all=%d nonsub=%d", len(all), len(nonsub))
+	}
+	kinds := map[Kind]int{}
+	for _, tf := range all {
+		kinds[tf.Kind]++
+	}
+	// Movie has no valid type merges (director/actor are siblings of
+	// one parent); TypeMerge coverage is asserted on DBLP below.
+	for _, k := range []Kind{Outline, Comm, Assoc, UnionDist, RepSplit} {
+		if kinds[k] == 0 {
+			t.Errorf("no %s transformations enumerated", k)
+		}
+	}
+	// All enumerated transformations must apply cleanly.
+	for _, tf := range all {
+		if _, err := tf.Apply(tr); err != nil {
+			t.Errorf("enumerated %s does not apply: %v", tf.Describe(tr), err)
+		}
+	}
+	// Keys are unique.
+	seen := map[string]bool{}
+	for _, tf := range all {
+		if seen[tf.Key()] {
+			t.Errorf("duplicate key %s", tf.Key())
+		}
+		seen[tf.Key()] = true
+	}
+}
+
+func TestEnumerateOnDBLP(t *testing.T) {
+	tr := schema.DBLP()
+	doc := xmlgen.GenerateDBLP(tr, xmlgen.DBLPOptions{Inproceedings: 200, Books: 30, Seed: 62})
+	col := xmlgen.CollectStats(tr, doc)
+	all := EnumerateAll(tr, col)
+	nonsub := EnumerateNonSubsumed(tr, col)
+	if len(all) == 0 || len(nonsub) == 0 {
+		t.Fatalf("counts: all=%d nonsub=%d", len(all), len(nonsub))
+	}
+	var haveSplitAuthor, haveMergeTitle bool
+	for _, tf := range nonsub {
+		if tf.Kind == RepSplit {
+			if n := tr.Node(tf.Node); n != nil && n.Name == "author" {
+				haveSplitAuthor = true
+			}
+		}
+		if tf.Kind == TypeMerge {
+			if n := tr.Node(tf.Nodes[0]); n != nil && n.Name == "title" {
+				haveMergeTitle = true
+			}
+		}
+	}
+	if !haveSplitAuthor {
+		t.Error("author repetition split not enumerated")
+	}
+	if !haveMergeTitle {
+		t.Error("title type merge (deep merge) not enumerated")
+	}
+}
+
+func TestAppliedTransformationsShredCorrectly(t *testing.T) {
+	// Every enumerated non-subsumed transformation yields a mapping
+	// that compiles and loads the documents.
+	tr, doc := movieStats()
+	col := xmlgen.CollectStats(tr, doc)
+	for _, tf := range EnumerateNonSubsumed(tr, col) {
+		nt, err := tf.Apply(tr)
+		if err != nil {
+			t.Fatalf("%s: %v", tf.Describe(tr), err)
+		}
+		m, err := shred.Compile(nt)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", tf.Describe(tr), err)
+		}
+		if _, err := shred.Shred(m, doc); err != nil {
+			t.Fatalf("%s: shred: %v", tf.Describe(tr), err)
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	tr := schema.Movie()
+	aka := tr.ElementsNamed("aka_title")[0]
+	d := Transformation{Kind: RepSplit, Node: aka.ID, SplitCount: 3}.Describe(tr)
+	if !strings.Contains(d, "rep-split") || !strings.Contains(d, "aka_title") {
+		t.Errorf("Describe = %q", d)
+	}
+}

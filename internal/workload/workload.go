@@ -1,0 +1,236 @@
+// Package workload generates the random XPath workloads of Section
+// 5.1.3: queries over a schema's context elements with a selection
+// predicate of controlled selectivity and a controlled number of
+// projection elements. Workloads are named after their parameters,
+// e.g. "HP-LS-20" (high projection count, low selectivity, 20
+// queries).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/rel"
+	"repro/internal/schema"
+	"repro/internal/sqlast"
+	"repro/internal/stats"
+	"repro/internal/xpath"
+)
+
+// Query is one weighted workload query.
+type Query struct {
+	// XPath is the query.
+	XPath *xpath.Query
+	// Weight is the frequency f_i.
+	Weight float64
+}
+
+// Update describes an insert stream: Rate new instances of the named
+// element per workload execution. Updates penalize physical structures
+// on the affected relations (the paper's future-work extension to
+// update queries).
+type Update struct {
+	// Element is the inserted element's tag name.
+	Element string
+	// Rate is the number of inserted instances per workload execution.
+	Rate float64
+}
+
+// Workload is a named set of weighted queries plus optional update
+// streams.
+type Workload struct {
+	Name    string
+	Queries []Query
+	// Updates lists insert streams the physical design must pay
+	// maintenance for.
+	Updates []Update
+}
+
+// Params controls generation.
+type Params struct {
+	// Name labels the workload ("LP-HS-20").
+	Name string
+	// NumQueries is the workload size.
+	NumQueries int
+	// MinProj and MaxProj bound the number of projection elements
+	// (LP: 1-4, HP: 5-20).
+	MinProj, MaxProj int
+	// SelLow and SelHigh bound the selection selectivity
+	// (HS: 0.01-0.1, LS: 0.5-1.0).
+	SelLow, SelHigh float64
+	// Seed drives the deterministic PRNG.
+	Seed int64
+}
+
+// StandardParams returns the paper's four parameter combinations for
+// the given workload size: {LP,HP} x {LS,HS}.
+func StandardParams(count int, seed int64) []Params {
+	return []Params{
+		{Name: fmt.Sprintf("LP-HS-%d", count), NumQueries: count, MinProj: 1, MaxProj: 4, SelLow: 0.01, SelHigh: 0.1, Seed: seed},
+		{Name: fmt.Sprintf("LP-LS-%d", count), NumQueries: count, MinProj: 1, MaxProj: 4, SelLow: 0.5, SelHigh: 1.0, Seed: seed + 1},
+		{Name: fmt.Sprintf("HP-HS-%d", count), NumQueries: count, MinProj: 5, MaxProj: 20, SelLow: 0.01, SelHigh: 0.1, Seed: seed + 2},
+		{Name: fmt.Sprintf("HP-LS-%d", count), NumQueries: count, MinProj: 5, MaxProj: 20, SelLow: 0.5, SelHigh: 1.0, Seed: seed + 3},
+	}
+}
+
+// Generate builds a workload against the schema using collected
+// statistics to hit the selectivity band.
+func Generate(tree *schema.Tree, col *stats.Collection, p Params) (*Workload, error) {
+	ctxs := contexts(tree, col)
+	if len(ctxs) == 0 {
+		return nil, fmt.Errorf("workload: schema has no queryable context elements")
+	}
+	r := rand.New(rand.NewSource(p.Seed))
+	w := &Workload{Name: p.Name}
+	for qi := 0; qi < p.NumQueries; qi++ {
+		ctx := ctxs[r.Intn(len(ctxs))]
+		q, err := generateQuery(tree, col, ctx, p, r)
+		if err != nil {
+			return nil, err
+		}
+		w.Queries = append(w.Queries, Query{XPath: q, Weight: 1})
+	}
+	return w, nil
+}
+
+// contexts picks annotated, populous, non-leaf context elements.
+func contexts(tree *schema.Tree, col *stats.Collection) []*schema.Node {
+	var out []*schema.Node
+	var best int64
+	for _, n := range tree.Annotated() {
+		if n.IsLeaf() || n.Parent == nil {
+			continue
+		}
+		if c := col.InstanceCount(n.ID); c > best {
+			best = c
+		}
+	}
+	for _, n := range tree.Annotated() {
+		if n.IsLeaf() || n.Parent == nil {
+			continue
+		}
+		// Keep contexts with a meaningful population (at least 5% of
+		// the largest), so queries are not trivially empty.
+		if c := col.InstanceCount(n.ID); c*20 >= best && c > 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func generateQuery(tree *schema.Tree, col *stats.Collection, ctx *schema.Node,
+	p Params, r *rand.Rand) (*xpath.Query, error) {
+	selLeaves := selectionLeaves(ctx)
+	if len(selLeaves) == 0 {
+		return nil, fmt.Errorf("workload: context %s has no selection leaves", ctx.Path())
+	}
+	projLeaves := projectionLeaves(ctx)
+	if len(projLeaves) == 0 {
+		return nil, fmt.Errorf("workload: context %s has no projection leaves", ctx.Path())
+	}
+	// Selection: try random leaves until one supports the band.
+	var pred *xpath.Predicate
+	for try := 0; try < 40 && pred == nil; try++ {
+		leaf := selLeaves[r.Intn(len(selLeaves))]
+		pred = predicateFor(leaf, col, p, r)
+	}
+	if pred == nil {
+		// Fall back to the widest predicate available.
+		leaf := selLeaves[0]
+		cs := col.Cols[leaf.ID]
+		if cs == nil || cs.Count == 0 {
+			return nil, fmt.Errorf("workload: no statistics for %s", leaf.Path())
+		}
+		pred = &xpath.Predicate{Path: xpath.Path{leaf.Name}, Op: xpath.OpGe, Value: litFor(cs.Min)}
+	}
+	// Projections: sample without replacement.
+	want := p.MinProj
+	if p.MaxProj > p.MinProj {
+		want += r.Intn(p.MaxProj - p.MinProj + 1)
+	}
+	if want > len(projLeaves) {
+		want = len(projLeaves)
+	}
+	perm := r.Perm(len(projLeaves))
+	var proj []xpath.Path
+	for _, i := range perm[:want] {
+		proj = append(proj, xpath.Path{projLeaves[i].Name})
+	}
+	sort.Slice(proj, func(i, j int) bool { return proj[i].String() < proj[j].String() })
+	return &xpath.Query{
+		Context: []xpath.Step{{Axis: xpath.Descendant, Name: ctx.Name}},
+		Pred:    pred,
+		Proj:    proj,
+	}, nil
+}
+
+// selectionLeaves lists single-valued inlined leaf children (selection
+// paths target scalar leaves, as in the paper's queries).
+func selectionLeaves(ctx *schema.Node) []*schema.Node {
+	var out []*schema.Node
+	for _, c := range ctx.ElementChildren() {
+		if c.IsLeaf() && !c.IsSetValued() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// projectionLeaves lists all leaf children (scalar, optional, choice,
+// and set-valued).
+func projectionLeaves(ctx *schema.Node) []*schema.Node {
+	var out []*schema.Node
+	for _, c := range ctx.ElementChildren() {
+		if c.IsLeaf() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// predicateFor builds a predicate on the leaf within the selectivity
+// band, or nil if the leaf's distribution cannot support it.
+func predicateFor(leaf *schema.Node, col *stats.Collection, p Params, r *rand.Rand) *xpath.Predicate {
+	cs := col.Cols[leaf.ID]
+	if cs == nil || cs.Count == 0 {
+		return nil
+	}
+	path := xpath.Path{leaf.Name}
+	inBand := func(s float64) bool { return s >= p.SelLow*0.5 && s <= p.SelHigh*1.5 }
+	// Equality on a sampled histogram value.
+	eqSel := 1.0 / math.Max(float64(cs.Distinct), 1)
+	if inBand(eqSel) && cs.Hist != nil && len(cs.Hist.Bounds) > 0 {
+		v := cs.Hist.Bounds[r.Intn(len(cs.Hist.Bounds))]
+		return &xpath.Predicate{Path: path, Op: xpath.OpEq, Value: litFor(v)}
+	}
+	// Range predicate at the right quantile.
+	if cs.Hist != nil && len(cs.Hist.Bounds) > 1 {
+		target := p.SelLow + r.Float64()*(p.SelHigh-p.SelLow)
+		i := int((1 - target) * float64(len(cs.Hist.Bounds)))
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(cs.Hist.Bounds) {
+			i = len(cs.Hist.Bounds) - 1
+		}
+		v := cs.Hist.Bounds[i]
+		sel := cs.Selectivity(sqlast.OpGe, v)
+		if inBand(sel) {
+			return &xpath.Predicate{Path: path, Op: xpath.OpGe, Value: litFor(v)}
+		}
+	}
+	return nil
+}
+
+func litFor(v rel.Value) xpath.Literal {
+	switch v.Typ {
+	case rel.TInt:
+		return xpath.IntLit(v.I)
+	case rel.TFloat:
+		return xpath.FloatLit(v.F)
+	default:
+		return xpath.StringLit(v.S)
+	}
+}

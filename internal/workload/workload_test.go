@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/sqlast"
+	"repro/internal/xmlgen"
+)
+
+func fixtures(t *testing.T) (*schema.Tree, *xmlgen.Doc) {
+	t.Helper()
+	tree := schema.Movie()
+	doc := xmlgen.GenerateMovie(tree, xmlgen.MovieOptions{Movies: 2000, Seed: 81})
+	return tree, doc
+}
+
+func TestGenerateRespectsParams(t *testing.T) {
+	tree, doc := fixtures(t)
+	col := xmlgen.CollectStats(tree, doc)
+	p := Params{Name: "LP-HS-10", NumQueries: 10, MinProj: 1, MaxProj: 4,
+		SelLow: 0.01, SelHigh: 0.1, Seed: 5}
+	w, err := Generate(tree, col, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Queries) != 10 {
+		t.Fatalf("queries = %d", len(w.Queries))
+	}
+	for _, q := range w.Queries {
+		if q.XPath.Pred == nil {
+			t.Errorf("query without selection: %s", q.XPath)
+		}
+		np := len(q.XPath.Proj)
+		if np < 1 || np > 4 {
+			t.Errorf("projection count %d outside [1,4]: %s", np, q.XPath)
+		}
+		if q.Weight != 1 {
+			t.Errorf("weight = %f", q.Weight)
+		}
+	}
+}
+
+func TestGenerateHighProjection(t *testing.T) {
+	tree, doc := fixtures(t)
+	col := xmlgen.CollectStats(tree, doc)
+	p := Params{Name: "HP", NumQueries: 10, MinProj: 5, MaxProj: 20,
+		SelLow: 0.5, SelHigh: 1.0, Seed: 6}
+	w, err := Generate(tree, col, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range w.Queries {
+		// Movie has 11 leaf children; HP queries take at least 5.
+		if len(q.XPath.Proj) < 5 {
+			t.Errorf("HP projection count %d: %s", len(q.XPath.Proj), q.XPath)
+		}
+	}
+}
+
+func TestGenerateSelectivityBands(t *testing.T) {
+	tree, doc := fixtures(t)
+	col := xmlgen.CollectStats(tree, doc)
+	count := func(selLow, selHigh float64, seed int64) (hits, total int) {
+		p := Params{Name: "x", NumQueries: 20, MinProj: 1, MaxProj: 2,
+			SelLow: selLow, SelHigh: selHigh, Seed: seed}
+		w, err := Generate(tree, col, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range w.Queries {
+			total++
+			// Estimate the actual selectivity from the stats.
+			ctxs := tree.ElementsNamed(q.XPath.ContextName())
+			if len(ctxs) == 0 {
+				continue
+			}
+			var leaf *schema.Node
+			for _, c := range ctxs[0].ElementChildren() {
+				if c.Name == q.XPath.Pred.Path[0] {
+					leaf = c
+				}
+			}
+			if leaf == nil {
+				continue
+			}
+			cs := col.Cols[leaf.ID]
+			if cs == nil {
+				continue
+			}
+			op := sqlast.OpEq
+			switch q.XPath.Pred.Op.String() {
+			case ">=":
+				op = sqlast.OpGe
+			case "=":
+				op = sqlast.OpEq
+			}
+			sel := cs.Selectivity(op, xmlgen.LiteralValue(q.XPath.Pred.Value))
+			if sel >= selLow*0.3 && sel <= selHigh*2 {
+				hits++
+			}
+		}
+		return hits, total
+	}
+	hs, total := count(0.01, 0.1, 9)
+	if hs*10 < total*7 {
+		t.Errorf("high-selectivity band hit rate %d/%d", hs, total)
+	}
+	ls, total2 := count(0.5, 1.0, 10)
+	if ls*10 < total2*7 {
+		t.Errorf("low-selectivity band hit rate %d/%d", ls, total2)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	tree, doc := fixtures(t)
+	col := xmlgen.CollectStats(tree, doc)
+	p := Params{Name: "x", NumQueries: 5, MinProj: 1, MaxProj: 3, SelLow: 0.1, SelHigh: 0.5, Seed: 42}
+	w1, err := Generate(tree, col, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Generate(tree, col, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w1.Queries {
+		if w1.Queries[i].XPath.String() != w2.Queries[i].XPath.String() {
+			t.Fatalf("non-deterministic: %s vs %s", w1.Queries[i].XPath, w2.Queries[i].XPath)
+		}
+	}
+}
+
+func TestStandardParams(t *testing.T) {
+	params := StandardParams(20, 1)
+	if len(params) != 4 {
+		t.Fatalf("params = %d", len(params))
+	}
+	names := map[string]bool{}
+	for _, p := range params {
+		names[p.Name] = true
+		if p.NumQueries != 20 {
+			t.Errorf("%s: NumQueries = %d", p.Name, p.NumQueries)
+		}
+	}
+	for _, want := range []string{"LP-HS-20", "LP-LS-20", "HP-HS-20", "HP-LS-20"} {
+		if !names[want] {
+			t.Errorf("missing workload %s", want)
+		}
+	}
+}
+
+func TestGenerateOnDBLP(t *testing.T) {
+	tree := schema.DBLP()
+	doc := xmlgen.GenerateDBLP(tree, xmlgen.DBLPOptions{Inproceedings: 1000, Books: 100, Seed: 82})
+	col := xmlgen.CollectStats(tree, doc)
+	for _, p := range StandardParams(10, 3) {
+		w, err := Generate(tree, col, p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if len(w.Queries) != 10 {
+			t.Errorf("%s: %d queries", p.Name, len(w.Queries))
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package xmlgen
+
+import (
+	"repro/internal/schema"
+	"repro/internal/stats"
+)
+
+// CollectStats gathers the Section 4.1 statistics from documents: per
+// element node instance counts (the ID ranges / PID distributions of
+// the fully split schema), per set-valued element the per-parent
+// cardinality histogram, and per leaf element the value distribution.
+// The information is identical to what loading the fully split schema
+// and scanning it would produce.
+func CollectStats(t *schema.Tree, docs ...*Doc) *stats.Collection {
+	c := stats.NewCollection()
+	collectors := make(map[int]*stats.ColumnCollector)
+	for _, leaf := range t.Leaves() {
+		collectors[leaf.ID] = stats.NewColumnCollector(baseToType(leaf.LeafBase()))
+	}
+	for _, d := range docs {
+		c.DocBytes += d.Root.Bytes()
+		d.Root.Walk(func(e *Elem) {
+			c.Count[e.Node.ID]++
+			if e.Leaf() {
+				collectors[e.Node.ID].Add(e.Value)
+				return
+			}
+			// Cardinalities of set-valued children, including zeros.
+			node := t.Node(e.Node.ID)
+			for _, child := range node.ElementChildren() {
+				if !child.IsSetValued() {
+					continue
+				}
+				h := c.Card[child.ID]
+				if h == nil {
+					h = stats.NewCardHist()
+					c.Card[child.ID] = h
+				}
+				h.Add(len(e.ChildrenOf(child)))
+			}
+		})
+	}
+	for id, cc := range collectors {
+		c.Cols[id] = cc.Stats()
+	}
+	return c
+}

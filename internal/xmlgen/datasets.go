@@ -1,0 +1,297 @@
+package xmlgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rel"
+	"repro/internal/schema"
+)
+
+// DBLPOptions sizes the DBLP-like dataset.
+type DBLPOptions struct {
+	// Inproceedings is the number of inproceedings publications.
+	Inproceedings int
+	// Books is the number of book publications.
+	Books int
+	// Seed drives the deterministic PRNG.
+	Seed int64
+}
+
+// DefaultDBLPOptions returns the laptop-scale default sizing.
+func DefaultDBLPOptions() DBLPOptions {
+	return DBLPOptions{Inproceedings: 20000, Books: 2000, Seed: 1}
+}
+
+// conference pool; queries select on booktitle as in the paper's
+// SIGMOD example. Weights are Zipf-ish so some conferences are large.
+var conferences = buildConferences()
+
+func buildConferences() []string {
+	base := []string{"SIGMOD CONFERENCE", "VLDB", "ICDE", "PODS", "EDBT", "KDD", "CIKM", "WWW", "SIGIR", "ICDT"}
+	out := append([]string(nil), base...)
+	for i := 0; i < 90; i++ {
+		out = append(out, fmt.Sprintf("WORKSHOP-%02d", i))
+	}
+	return out
+}
+
+// pickConference draws a conference with Zipf-like skew.
+func pickConference(r *rand.Rand) string {
+	// P(rank i) proportional to 1/(i+1).
+	h := 0.0
+	for i := range conferences {
+		h += 1.0 / float64(i+1)
+	}
+	pick := r.Float64() * h
+	for i := range conferences {
+		pick -= 1.0 / float64(i+1)
+		if pick < 0 {
+			return conferences[i]
+		}
+	}
+	return conferences[len(conferences)-1]
+}
+
+var titleWords = []string{
+	"efficient", "scalable", "adaptive", "relational", "semistructured",
+	"query", "index", "storage", "optimization", "processing", "xml",
+	"schema", "workload", "design", "physical", "logical", "mining",
+	"streams", "views", "joins", "approximate", "distributed", "cost",
+}
+
+func randomTitle(r *rand.Rand, ordinal int64) rel.Value {
+	n := 3 + r.Intn(4)
+	s := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			s += " "
+		}
+		s += titleWords[r.Intn(len(titleWords))]
+	}
+	return rel.Str(fmt.Sprintf("%s #%d", s, ordinal))
+}
+
+// authorCard draws the skewed author cardinality of Section 4.6:
+// about 99% of publications have at most five authors, max 20.
+func authorCard(r *rand.Rand) int {
+	x := r.Float64()
+	switch {
+	case x < 0.30:
+		return 1
+	case x < 0.60:
+		return 2
+	case x < 0.80:
+		return 3
+	case x < 0.93:
+		return 4
+	case x < 0.99:
+		return 5
+	default:
+		return 6 + r.Intn(15) // 6..20
+	}
+}
+
+var firstNames = []string{
+	"Alice", "Bob", "Carlos", "Dana", "Erik", "Fatima", "Grace", "Hiro",
+	"Ines", "Jonas", "Katya", "Liang", "Maria", "Nikhil", "Olga", "Pierre",
+}
+
+// personName draws names from a bounded pool; names are ~20-25 bytes
+// like real author names, so inlined author columns carry realistic
+// width (the Section 1.1 space/width trade-off depends on it).
+func personName(pool int) func(r *rand.Rand, ordinal int64) rel.Value {
+	return func(r *rand.Rand, ordinal int64) rel.Value {
+		id := r.Intn(pool)
+		return rel.Str(fmt.Sprintf("%s Author-%05d", firstNames[id%len(firstNames)], id))
+	}
+}
+
+// GenerateDBLP builds the DBLP schema's document per the options.
+// The returned doc's elements reference nodes of the given tree, which
+// must be (a clone of) schema.DBLP().
+func GenerateDBLP(t *schema.Tree, opts DBLPOptions) *Doc {
+	spec := NewGenSpec()
+	find := func(parent, name string) *schema.Node {
+		for _, n := range t.ElementsNamed(name) {
+			if p := n.ElementParent(); p != nil && p.Name == parent {
+				return n
+			}
+		}
+		panic(fmt.Sprintf("xmlgen: DBLP schema missing %s/%s", parent, name))
+	}
+	rep := func(n *schema.Node) int {
+		// The repetition node wrapping the element.
+		for p := n.Parent; p != nil; p = p.Parent {
+			if p.Kind == schema.KindRepetition {
+				return p.ID
+			}
+		}
+		panic("xmlgen: element not set-valued: " + n.Path())
+	}
+	opt := func(n *schema.Node) int {
+		for p := n.Parent; p != nil; p = p.Parent {
+			if p.Kind == schema.KindOption {
+				return p.ID
+			}
+		}
+		panic("xmlgen: element not optional: " + n.Path())
+	}
+
+	inTitle := find("inproceedings", "title")
+	bkTitle := find("book", "title")
+	spec.Value[inTitle.ID] = randomTitle
+	spec.Value[bkTitle.ID] = randomTitle
+	spec.Value[find("inproceedings", "booktitle").ID] = func(r *rand.Rand, _ int64) rel.Value {
+		return rel.Str(pickConference(r))
+	}
+	spec.Value[find("book", "booktitle").ID] = func(r *rand.Rand, _ int64) rel.Value {
+		return rel.Str(pickConference(r))
+	}
+	yearFn := func(r *rand.Rand, _ int64) rel.Value {
+		// Skewed toward recent years, 1970..2004.
+		y := 2004 - int(34*r.Float64()*r.Float64())
+		return rel.Int(int64(y))
+	}
+	spec.Value[find("inproceedings", "year").ID] = yearFn
+	spec.Value[find("book", "year").ID] = yearFn
+	spec.Value[find("inproceedings", "pages").ID] = func(r *rand.Rand, _ int64) rel.Value {
+		start := r.Intn(900) + 1
+		return rel.Str(fmt.Sprintf("%d-%d", start, start+8+r.Intn(20)))
+	}
+	spec.Value[find("inproceedings", "ee").ID] = func(r *rand.Rand, ord int64) rel.Value {
+		return rel.Str(fmt.Sprintf("db/conf/paper%d.html", ord))
+	}
+	spec.Value[find("inproceedings", "cdrom").ID] = func(r *rand.Rand, ord int64) rel.Value {
+		return rel.Str(fmt.Sprintf("CDROM/%d", ord))
+	}
+	spec.Value[find("inproceedings", "url").ID] = func(r *rand.Rand, ord int64) rel.Value {
+		return rel.Str(fmt.Sprintf("http://dblp/rec/%d", ord))
+	}
+	spec.Value[find("book", "publisher").ID] = func(r *rand.Rand, _ int64) rel.Value {
+		return rel.Str(fmt.Sprintf("publisher-%02d", r.Intn(40)))
+	}
+	spec.Value[find("book", "isbn").ID] = func(r *rand.Rand, ord int64) rel.Value {
+		return rel.Str(fmt.Sprintf("0-000-%05d-%d", ord%100000, ord%7))
+	}
+	spec.Value[find("book", "price").ID] = func(r *rand.Rand, _ int64) rel.Value {
+		return rel.Float(float64(10+r.Intn(90)) + 0.99)
+	}
+	pool := opts.Inproceedings/3 + 100
+	nameFn := personName(pool)
+	citeFn := func(r *rand.Rand, _ int64) rel.Value {
+		return rel.Str(fmt.Sprintf("ref-%06d", r.Intn(opts.Inproceedings+1)))
+	}
+	for _, parent := range []string{"inproceedings", "book"} {
+		spec.Value[find(parent, "author").ID] = nameFn
+		spec.Value[find(parent, "editor").ID] = nameFn
+		spec.Value[find(parent, "cite").ID] = citeFn
+		spec.Card[rep(find(parent, "author"))] = authorCard
+		spec.Card[rep(find(parent, "cite"))] = func(r *rand.Rand) int { return r.Intn(6) }
+		spec.Card[rep(find(parent, "editor"))] = func(r *rand.Rand) int {
+			if r.Float64() < 0.9 {
+				return 0
+			}
+			return 1 + r.Intn(2)
+		}
+	}
+	spec.Presence[opt(find("inproceedings", "ee"))] = 0.7
+	spec.Presence[opt(find("inproceedings", "cdrom"))] = 0.3
+	spec.Presence[opt(find("inproceedings", "url"))] = 0.6
+	spec.Presence[opt(find("book", "booktitle"))] = 0.3
+	spec.Presence[opt(find("book", "isbn"))] = 0.8
+	spec.Presence[opt(find("book", "price"))] = 0.5
+
+	g := NewGenerator(t, spec, opts.Seed)
+	return g.GenerateRootChildren(map[string]int{
+		"inproceedings": opts.Inproceedings,
+		"book":          opts.Books,
+	})
+}
+
+// MovieOptions sizes the synthetic Movie dataset.
+type MovieOptions struct {
+	// Movies is the number of movie elements.
+	Movies int
+	// Seed drives the deterministic PRNG.
+	Seed int64
+}
+
+// DefaultMovieOptions returns the laptop-scale default sizing.
+func DefaultMovieOptions() MovieOptions {
+	return MovieOptions{Movies: 10000, Seed: 7}
+}
+
+// GenerateMovie builds the Movie schema's document per the options;
+// values follow uniform distributions as in Section 5.1.2.
+func GenerateMovie(t *schema.Tree, opts MovieOptions) *Doc {
+	spec := NewGenSpec()
+	byName := func(name string) *schema.Node {
+		ns := t.ElementsNamed(name)
+		if len(ns) != 1 {
+			panic(fmt.Sprintf("xmlgen: Movie schema has %d %s elements", len(ns), name))
+		}
+		return ns[0]
+	}
+	rep := func(n *schema.Node) int {
+		for p := n.Parent; p != nil; p = p.Parent {
+			if p.Kind == schema.KindRepetition {
+				return p.ID
+			}
+		}
+		panic("xmlgen: element not set-valued: " + n.Path())
+	}
+	opt := func(n *schema.Node) int {
+		for p := n.Parent; p != nil; p = p.Parent {
+			if p.Kind == schema.KindOption {
+				return p.ID
+			}
+		}
+		panic("xmlgen: element not optional: " + n.Path())
+	}
+
+	spec.Value[byName("title").ID] = func(r *rand.Rand, ord int64) rel.Value {
+		return rel.Str(fmt.Sprintf("Movie Title %06d", ord))
+	}
+	spec.Value[byName("year").ID] = func(r *rand.Rand, _ int64) rel.Value {
+		return rel.Int(int64(1950 + r.Intn(55)))
+	}
+	spec.Value[byName("aka_title").ID] = func(r *rand.Rand, ord int64) rel.Value {
+		return rel.Str(fmt.Sprintf("AKA %06d", ord))
+	}
+	spec.Value[byName("avg_rating").ID] = func(r *rand.Rand, _ int64) rel.Value {
+		return rel.Float(float64(r.Intn(100)) / 10.0)
+	}
+	spec.Value[byName("box_office").ID] = func(r *rand.Rand, _ int64) rel.Value {
+		return rel.Int(int64(r.Intn(400_000_000)))
+	}
+	spec.Value[byName("seasons").ID] = func(r *rand.Rand, _ int64) rel.Value {
+		return rel.Int(int64(1 + r.Intn(20)))
+	}
+	person := personName(opts.Movies/4 + 50)
+	spec.Value[byName("director").ID] = person
+	spec.Value[byName("actor").ID] = person
+	spec.Value[byName("genre").ID] = func(r *rand.Rand, _ int64) rel.Value {
+		return rel.Str(fmt.Sprintf("genre-%02d", r.Intn(20)))
+	}
+	spec.Value[byName("country").ID] = func(r *rand.Rand, _ int64) rel.Value {
+		return rel.Str(fmt.Sprintf("country-%02d", r.Intn(50)))
+	}
+	spec.Value[byName("language").ID] = func(r *rand.Rand, _ int64) rel.Value {
+		return rel.Str(fmt.Sprintf("lang-%02d", r.Intn(30)))
+	}
+	spec.Value[byName("runtime").ID] = func(r *rand.Rand, _ int64) rel.Value {
+		return rel.Int(int64(60 + r.Intn(180)))
+	}
+
+	spec.Card[rep(byName("aka_title"))] = func(r *rand.Rand) int { return r.Intn(5) }
+	spec.Card[rep(byName("director"))] = func(r *rand.Rand) int { return 1 + r.Intn(2) }
+	spec.Card[rep(byName("actor"))] = func(r *rand.Rand) int { return r.Intn(11) }
+	spec.Presence[opt(byName("avg_rating"))] = 0.6
+	spec.Presence[opt(byName("language"))] = 0.5
+	spec.Presence[opt(byName("runtime"))] = 0.8
+	spec.ChoiceWeights[byName("box_office").UnderChoice().ID] = []float64{0.7, 0.3}
+
+	g := NewGenerator(t, spec, opts.Seed)
+	return g.GenerateRootChildren(map[string]int{"movie": opts.Movies})
+}

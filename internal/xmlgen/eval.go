@@ -1,0 +1,185 @@
+package xmlgen
+
+import (
+	"fmt"
+
+	"repro/internal/rel"
+	"repro/internal/schema"
+	"repro/internal/xpath"
+)
+
+// ResultGroup is the reference evaluator's output for one context
+// element instance that satisfies the selection: the values of each
+// projection path in document order. Integration tests compare these
+// groups against the grouped output of the translated SQL.
+type ResultGroup struct {
+	// Ordinal is the 0-based document-order index of the context
+	// instance among all matching context instances.
+	Ordinal int
+	// Values[i] lists the instances of projection path i.
+	Values [][]rel.Value
+}
+
+// Evaluate runs the XPath query directly over the document: the gold
+// standard the shred+translate+execute pipeline must agree with.
+func Evaluate(t *schema.Tree, d *Doc, q *xpath.Query) ([]ResultGroup, error) {
+	ctx, err := contextInstances(d, q.Context)
+	if err != nil {
+		return nil, err
+	}
+	var out []ResultGroup
+	for _, e := range ctx {
+		if q.Pred != nil {
+			leaves := resolveRel(e, q.Pred.Path)
+			if len(leaves) == 0 {
+				continue
+			}
+			match := false
+			for _, l := range leaves {
+				lit := literalValue(q.Pred.Value).Coerce(l.Value.Typ)
+				if lit.Null {
+					continue
+				}
+				if sqlOpMatches(q.Pred.Op, l.Value.Compare(lit)) {
+					match = true
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+		}
+		g := ResultGroup{Ordinal: len(out)}
+		proj := q.Proj
+		if len(proj) == 0 {
+			// Bare context: a leaf context projects its own value;
+			// otherwise project the single-valued direct leaf children
+			// (matching the translator's bare-context semantics).
+			if e.Leaf() {
+				g.Values = append(g.Values, []rel.Value{e.Value})
+			} else {
+				for _, c := range e.Children {
+					if c.Leaf() && !c.Node.IsSetValued() {
+						g.Values = append(g.Values, []rel.Value{c.Value})
+					}
+				}
+			}
+			out = append(out, g)
+			continue
+		}
+		for _, p := range proj {
+			leaves := resolveRel(e, p)
+			vals := make([]rel.Value, len(leaves))
+			for i, l := range leaves {
+				vals[i] = l.Value
+			}
+			g.Values = append(g.Values, vals)
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}
+
+// contextInstances resolves the location path to element instances in
+// document order.
+func contextInstances(d *Doc, steps []xpath.Step) ([]*Elem, error) {
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("xmlgen: empty location path")
+	}
+	cur := []*Elem{}
+	first := steps[0]
+	switch first.Axis {
+	case xpath.Child:
+		if d.Root.Node.Name == first.Name {
+			cur = append(cur, d.Root)
+		}
+	case xpath.Descendant:
+		d.Root.Walk(func(e *Elem) {
+			if e.Node.Name == first.Name {
+				cur = append(cur, e)
+			}
+		})
+	}
+	for _, s := range steps[1:] {
+		var next []*Elem
+		for _, e := range cur {
+			switch s.Axis {
+			case xpath.Child:
+				for _, c := range e.Children {
+					if c.Node.Name == s.Name {
+						next = append(next, c)
+					}
+				}
+			case xpath.Descendant:
+				for _, c := range e.Children {
+					c.Walk(func(x *Elem) {
+						if x.Node.Name == s.Name {
+							next = append(next, x)
+						}
+					})
+				}
+			}
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// resolveRel resolves a relative child path from an element to leaf
+// instances in document order.
+func resolveRel(e *Elem, p xpath.Path) []*Elem {
+	cur := []*Elem{e}
+	for _, name := range p {
+		var next []*Elem
+		for _, x := range cur {
+			for _, c := range x.Children {
+				if c.Node.Name == name {
+					next = append(next, c)
+				}
+			}
+		}
+		cur = next
+	}
+	var leaves []*Elem
+	for _, x := range cur {
+		if x.Leaf() {
+			leaves = append(leaves, x)
+		}
+	}
+	return leaves
+}
+
+// literalValue converts an xpath literal to a rel.Value.
+func literalValue(l xpath.Literal) rel.Value {
+	switch l.Kind {
+	case xpath.LitInt:
+		return rel.Int(l.I)
+	case xpath.LitFloat:
+		return rel.Float(l.F)
+	default:
+		return rel.Str(l.S)
+	}
+}
+
+// LiteralValue exposes literal conversion to other packages.
+func LiteralValue(l xpath.Literal) rel.Value { return literalValue(l) }
+
+// sqlOpMatches mirrors sqlast.CmpOp.Matches for xpath operators, which
+// share the same ordering semantics.
+func sqlOpMatches(op xpath.CmpOp, cmp int) bool {
+	switch op {
+	case xpath.OpEq:
+		return cmp == 0
+	case xpath.OpNe:
+		return cmp != 0
+	case xpath.OpLt:
+		return cmp < 0
+	case xpath.OpLe:
+		return cmp <= 0
+	case xpath.OpGt:
+		return cmp > 0
+	case xpath.OpGe:
+		return cmp >= 0
+	}
+	return false
+}

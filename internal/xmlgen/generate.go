@@ -1,0 +1,179 @@
+package xmlgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rel"
+	"repro/internal/schema"
+)
+
+// GenSpec configures the generic schema-driven document generator. All
+// hooks are keyed by schema node ID; unspecified nodes fall back to the
+// defaults.
+type GenSpec struct {
+	// Card returns the occurrence count for a repetition node instance.
+	Card map[int]func(r *rand.Rand) int
+	// Presence is the probability an option node's content is present.
+	Presence map[int]float64
+	// ChoiceWeights are relative branch weights for a choice node.
+	ChoiceWeights map[int][]float64
+	// Value generates the text value of a leaf element instance. The
+	// ordinal is the global instance number of that leaf, usable for
+	// distinct values.
+	Value map[int]func(r *rand.Rand, ordinal int64) rel.Value
+
+	// DefaultCard is used for repetition nodes without a Card hook.
+	DefaultCard func(r *rand.Rand) int
+	// DefaultPresence is used for option nodes without a hook.
+	DefaultPresence float64
+}
+
+// NewGenSpec returns a spec with sensible defaults: repetitions of
+// 0..3 occurrences, optionals present half the time, uniform choices,
+// and type-driven default values.
+func NewGenSpec() *GenSpec {
+	return &GenSpec{
+		Card:            make(map[int]func(*rand.Rand) int),
+		Presence:        make(map[int]float64),
+		ChoiceWeights:   make(map[int][]float64),
+		Value:           make(map[int]func(*rand.Rand, int64) rel.Value),
+		DefaultCard:     func(r *rand.Rand) int { return r.Intn(4) },
+		DefaultPresence: 0.5,
+	}
+}
+
+// Generator produces documents from a schema tree and spec with a
+// deterministic PRNG.
+type Generator struct {
+	tree     *schema.Tree
+	spec     *GenSpec
+	r        *rand.Rand
+	ordinals map[int]int64
+}
+
+// NewGenerator creates a generator with the given seed.
+func NewGenerator(t *schema.Tree, spec *GenSpec, seed int64) *Generator {
+	return &Generator{tree: t, spec: spec, r: rand.New(rand.NewSource(seed)), ordinals: make(map[int]int64)}
+}
+
+// GenerateRootChildren builds one document whose root contains the
+// given number of instances per repeated top-level element (keyed by
+// element name); other content follows the spec.
+func (g *Generator) GenerateRootChildren(counts map[string]int) *Doc {
+	root := &Elem{Node: g.tree.Root}
+	g.content(g.tree.Root.Children[0], root, counts)
+	return &Doc{Root: root}
+}
+
+// Generate builds a document entirely from the spec.
+func (g *Generator) Generate() *Doc {
+	return g.GenerateRootChildren(nil)
+}
+
+// element instantiates one element.
+func (g *Generator) element(n *schema.Node) *Elem {
+	e := &Elem{Node: n}
+	if n.IsLeaf() {
+		e.Value = g.leafValue(n)
+		return e
+	}
+	for _, c := range n.Children {
+		g.content(c, e, nil)
+	}
+	return e
+}
+
+// content expands a content-model node, appending instances to parent.
+// rootCounts overrides repetition cardinalities by element name (used
+// for top-level dataset sizing).
+func (g *Generator) content(n *schema.Node, parent *Elem, rootCounts map[string]int) {
+	switch n.Kind {
+	case schema.KindElement:
+		parent.Children = append(parent.Children, g.element(n))
+	case schema.KindSimple:
+		// handled by element()
+	case schema.KindSequence:
+		for _, c := range n.Children {
+			g.content(c, parent, rootCounts)
+		}
+	case schema.KindOption:
+		p, ok := g.spec.Presence[n.ID]
+		if !ok {
+			p = g.spec.DefaultPresence
+		}
+		if g.r.Float64() < p {
+			g.content(n.Children[0], parent, nil)
+		}
+	case schema.KindRepetition:
+		card := g.repetitionCard(n, rootCounts)
+		for i := 0; i < card; i++ {
+			g.content(n.Children[0], parent, nil)
+		}
+	case schema.KindChoice:
+		idx := g.chooseBranch(n)
+		g.content(n.Children[idx], parent, nil)
+	default:
+		panic(fmt.Sprintf("xmlgen: cannot generate node kind %v", n.Kind))
+	}
+}
+
+func (g *Generator) repetitionCard(n *schema.Node, rootCounts map[string]int) int {
+	if rootCounts != nil {
+		if elems := n.ElementChildren(); len(elems) == 1 {
+			if c, ok := rootCounts[elems[0].Name]; ok {
+				return c
+			}
+		}
+	}
+	fn, ok := g.spec.Card[n.ID]
+	if !ok {
+		fn = g.spec.DefaultCard
+	}
+	card := fn(g.r)
+	if card < 0 {
+		card = 0
+	}
+	if n.MaxOccurs != schema.Unbounded && card > n.MaxOccurs {
+		card = n.MaxOccurs
+	}
+	if card < n.MinOccurs {
+		card = n.MinOccurs
+	}
+	return card
+}
+
+func (g *Generator) chooseBranch(n *schema.Node) int {
+	w, ok := g.spec.ChoiceWeights[n.ID]
+	if !ok || len(w) != len(n.Children) {
+		return g.r.Intn(len(n.Children))
+	}
+	total := 0.0
+	for _, x := range w {
+		total += x
+	}
+	pick := g.r.Float64() * total
+	for i, x := range w {
+		pick -= x
+		if pick < 0 {
+			return i
+		}
+	}
+	return len(n.Children) - 1
+}
+
+func (g *Generator) leafValue(n *schema.Node) rel.Value {
+	ord := g.ordinals[n.ID]
+	g.ordinals[n.ID] = ord + 1
+	if fn, ok := g.spec.Value[n.ID]; ok {
+		return fn(g.r, ord)
+	}
+	switch n.LeafBase() {
+	case schema.BaseInt:
+		return rel.Int(int64(g.r.Intn(10000)))
+	case schema.BaseFloat:
+		return rel.Float(g.r.Float64() * 100)
+	default:
+		return rel.Str(fmt.Sprintf("%s-%d", n.Name, g.r.Intn(1000)))
+	}
+}

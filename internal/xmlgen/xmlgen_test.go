@@ -1,0 +1,365 @@
+package xmlgen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/rel"
+	"repro/internal/schema"
+	"repro/internal/xpath"
+)
+
+func smallDBLP(t *testing.T) (*schema.Tree, *Doc) {
+	t.Helper()
+	tr := schema.DBLP()
+	d := GenerateDBLP(tr, DBLPOptions{Inproceedings: 200, Books: 30, Seed: 42})
+	return tr, d
+}
+
+func smallMovie(t *testing.T) (*schema.Tree, *Doc) {
+	t.Helper()
+	tr := schema.Movie()
+	d := GenerateMovie(tr, MovieOptions{Movies: 150, Seed: 42})
+	return tr, d
+}
+
+func TestGenerateDBLPValid(t *testing.T) {
+	tr, d := smallDBLP(t)
+	if err := d.Validate(tr); err != nil {
+		t.Fatalf("generated DBLP invalid: %v", err)
+	}
+	if n := len(d.Root.Children); n != 230 {
+		t.Errorf("root children = %d, want 230", n)
+	}
+}
+
+func TestGenerateMovieValid(t *testing.T) {
+	tr, d := smallMovie(t)
+	if err := d.Validate(tr); err != nil {
+		t.Fatalf("generated Movie invalid: %v", err)
+	}
+	if n := len(d.Root.Children); n != 150 {
+		t.Errorf("root children = %d, want 150", n)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	tr := schema.Movie()
+	d1 := GenerateMovie(tr, MovieOptions{Movies: 50, Seed: 9})
+	d2 := GenerateMovie(tr, MovieOptions{Movies: 50, Seed: 9})
+	var b1, b2 bytes.Buffer
+	if err := WriteXML(&b1, d1); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteXML(&b2, d2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Error("same seed produced different documents")
+	}
+	d3 := GenerateMovie(tr, MovieOptions{Movies: 50, Seed: 10})
+	var b3 bytes.Buffer
+	if err := WriteXML(&b3, d3); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() == b3.String() {
+		t.Error("different seeds produced identical documents")
+	}
+}
+
+func TestAuthorCardinalitySkew(t *testing.T) {
+	tr, d := smallDBLP(t)
+	col := CollectStats(tr, d)
+	var authorNode *schema.Node
+	for _, n := range tr.ElementsNamed("author") {
+		if n.ElementParent().Name == "inproceedings" {
+			authorNode = n
+		}
+	}
+	h := col.Card[authorNode.ID]
+	if h == nil {
+		t.Fatal("no cardinality histogram for inproceedings/author")
+	}
+	if f := h.FracAtMost(5); f < 0.9 {
+		t.Errorf("FracAtMost(5) = %.3f, want >= 0.9 (skewed distribution)", f)
+	}
+	if h.Max() > 20 {
+		t.Errorf("max authors = %d, want <= 20", h.Max())
+	}
+	if k := h.SplitCount(5, 0.8); k < 1 || k > 5 {
+		t.Errorf("SplitCount = %d, want in [1,5]", k)
+	}
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	tr, d := smallMovie(t)
+	var buf bytes.Buffer
+	if err := WriteXML(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseXML(tr, &buf)
+	if err != nil {
+		t.Fatalf("ParseXML: %v", err)
+	}
+	// Structural equality: same element names and leaf values in order.
+	var flat func(e *Elem, out *[]string)
+	flat = func(e *Elem, out *[]string) {
+		s := e.Node.Name
+		if e.Leaf() {
+			s += "=" + e.Value.String()
+		}
+		*out = append(*out, s)
+		for _, c := range e.Children {
+			flat(c, out)
+		}
+	}
+	var a, b []string
+	flat(d.Root, &a)
+	flat(back.Root, &b)
+	if len(a) != len(b) {
+		t.Fatalf("round trip changed element count: %d -> %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("element %d: %q -> %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestParseXMLRejectsUnknownElement(t *testing.T) {
+	tr := schema.Movie()
+	_, err := ParseXML(tr, strings.NewReader(`<movies><bogus/></movies>`))
+	if err == nil {
+		t.Error("want error for unknown element")
+	}
+}
+
+func TestParseXMLRejectsWrongRoot(t *testing.T) {
+	tr := schema.Movie()
+	_, err := ParseXML(tr, strings.NewReader(`<films></films>`))
+	if err == nil {
+		t.Error("want error for wrong root")
+	}
+}
+
+func TestParseXMLRejectsBadValue(t *testing.T) {
+	tr := schema.Movie()
+	doc := `<movies><movie><title>t</title><year>banana</year></movie></movies>`
+	if _, err := ParseXML(tr, strings.NewReader(doc)); err == nil {
+		t.Error("want error for non-integer year")
+	}
+}
+
+func TestValidateCatchesChoiceViolation(t *testing.T) {
+	tr, d := smallMovie(t)
+	// Add both choice branches to the first movie.
+	movie := d.Root.Children[0]
+	box := tr.ElementsNamed("box_office")[0]
+	seasons := tr.ElementsNamed("seasons")[0]
+	movie.Children = append(movie.Children,
+		&Elem{Node: box, Value: rel.Int(1)},
+		&Elem{Node: seasons, Value: rel.Int(1)})
+	if err := d.Validate(tr); err == nil {
+		t.Error("want error for both choice branches present")
+	}
+}
+
+func TestValidateCatchesMissingRequired(t *testing.T) {
+	tr, d := smallMovie(t)
+	movie := d.Root.Children[0]
+	var kept []*Elem
+	for _, c := range movie.Children {
+		if c.Node.Name != "title" {
+			kept = append(kept, c)
+		}
+	}
+	movie.Children = kept
+	if err := d.Validate(tr); err == nil {
+		t.Error("want error for missing required title")
+	}
+}
+
+func TestCollectStats(t *testing.T) {
+	tr, d := smallMovie(t)
+	col := CollectStats(tr, d)
+	movies := tr.ElementsNamed("movie")[0]
+	if col.Count[movies.ID] != 150 {
+		t.Errorf("movie count = %d", col.Count[movies.ID])
+	}
+	year := tr.ElementsNamed("year")[0]
+	ys := col.Cols[year.ID]
+	if ys == nil || ys.Count != 150 {
+		t.Fatalf("year stats = %+v", ys)
+	}
+	if ys.Min.I < 1950 || ys.Max.I > 2004 {
+		t.Errorf("year range [%v,%v]", ys.Min, ys.Max)
+	}
+	// Selectivity sanity: P(year <= max) ~ 1.
+	if s := ys.Selectivity(0 /* OpEq */, rel.Int(1980)); s <= 0 || s > 0.5 {
+		t.Errorf("equality selectivity = %f", s)
+	}
+	rating := tr.ElementsNamed("avg_rating")[0]
+	pres := col.Presence(rating.ID, movies.ID)
+	if pres < 0.4 || pres > 0.8 {
+		t.Errorf("avg_rating presence = %.2f, want ~0.6", pres)
+	}
+	box := tr.ElementsNamed("box_office")[0]
+	bpres := col.Presence(box.ID, movies.ID)
+	if bpres < 0.55 || bpres > 0.85 {
+		t.Errorf("box_office presence = %.2f, want ~0.7", bpres)
+	}
+	if col.DocBytes <= 0 {
+		t.Error("DocBytes not collected")
+	}
+}
+
+func TestEvaluateSelection(t *testing.T) {
+	tr, d := smallMovie(t)
+	// Find an actual year value to query.
+	year := d.Root.Children[0].ChildrenOf(tr.ElementsNamed("year")[0])[0].Value.I
+	q := xpath.MustParse(`//movie[year = ` + year10(year) + `]/(title | aka_title)`)
+	groups, err := Evaluate(tr, d, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) == 0 {
+		t.Fatal("no matches for existing year")
+	}
+	for _, g := range groups {
+		if len(g.Values) != 2 {
+			t.Fatalf("group has %d projection slots", len(g.Values))
+		}
+		if len(g.Values[0]) != 1 {
+			t.Errorf("title should be single-valued, got %d", len(g.Values[0]))
+		}
+	}
+	// Count matches manually.
+	want := 0
+	for _, m := range d.Root.Children {
+		for _, y := range m.ChildrenOf(tr.ElementsNamed("year")[0]) {
+			if y.Value.I == year {
+				want++
+			}
+		}
+	}
+	if len(groups) != want {
+		t.Errorf("matches = %d, want %d", len(groups), want)
+	}
+}
+
+func TestEvaluateDescendant(t *testing.T) {
+	tr, d := smallDBLP(t)
+	q := xpath.MustParse(`//author`)
+	groups, err := Evaluate(tr, d, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every author element (from both inproceedings and book) matches.
+	count := 0
+	d.Root.Walk(func(e *Elem) {
+		if e.Node.Name == "author" {
+			count++
+		}
+	})
+	if len(groups) != count {
+		t.Errorf("//author groups = %d, want %d", len(groups), count)
+	}
+}
+
+func TestEvaluateRangePredicate(t *testing.T) {
+	tr, d := smallMovie(t)
+	q := xpath.MustParse(`//movie[year >= 2000]/title`)
+	groups, err := Evaluate(tr, d, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	yearNode := tr.ElementsNamed("year")[0]
+	for _, m := range d.Root.Children {
+		for _, y := range m.ChildrenOf(yearNode) {
+			if y.Value.I >= 2000 {
+				want++
+			}
+		}
+	}
+	if len(groups) != want {
+		t.Errorf("matches = %d, want %d", len(groups), want)
+	}
+}
+
+func TestEvaluatePredicateOnMissingOptional(t *testing.T) {
+	tr, d := smallMovie(t)
+	// Movies without avg_rating must not match any comparison on it.
+	q := xpath.MustParse(`//movie[avg_rating >= 0]/title`)
+	groups, err := Evaluate(tr, d, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rating := tr.ElementsNamed("avg_rating")[0]
+	want := 0
+	for _, m := range d.Root.Children {
+		if len(m.ChildrenOf(rating)) > 0 {
+			want++
+		}
+	}
+	if len(groups) != want {
+		t.Errorf("matches = %d, want %d (only movies with avg_rating)", len(groups), want)
+	}
+}
+
+func TestDBLPDataShape(t *testing.T) {
+	tr, d := smallDBLP(t)
+	// Some SIGMOD papers must exist (Zipf head).
+	q := xpath.MustParse(`//inproceedings[booktitle = "SIGMOD CONFERENCE"]/title`)
+	groups, err := Evaluate(tr, d, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) == 0 {
+		t.Error("no SIGMOD papers generated; conference skew broken")
+	}
+	if len(groups) > 150 {
+		t.Errorf("SIGMOD papers = %d of 200; too many", len(groups))
+	}
+}
+
+func year10(y int64) string {
+	return rel.Int(y).String()
+}
+
+func TestXMLEscapingRoundTrip(t *testing.T) {
+	tr := schema.Movie()
+	d := GenerateMovie(tr, MovieOptions{Movies: 3, Seed: 1})
+	// Inject values needing XML escaping.
+	title := tr.ElementsNamed("title")[0]
+	hostile := []string{`a <b> & "c" 'd'`, "tabs\tand\nnewlines", "<&>"}
+	i := 0
+	d.Root.Walk(func(e *Elem) {
+		if e.Node.ID == title.ID && i < len(hostile) {
+			e.Value = rel.Str(hostile[i])
+			i++
+		}
+	})
+	var buf bytes.Buffer
+	if err := WriteXML(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseXML(tr, &buf)
+	if err != nil {
+		t.Fatalf("ParseXML: %v\n%s", err, buf.String())
+	}
+	var got []string
+	back.Root.Walk(func(e *Elem) {
+		if e.Node.ID == title.ID {
+			got = append(got, e.Value.S)
+		}
+	})
+	for j, want := range hostile {
+		// The XML parser normalizes \r\n and trims surrounding space;
+		// compare after the same trim the reader applies.
+		if j < len(got) && got[j] != strings.TrimSpace(want) && got[j] != want {
+			t.Errorf("title %d: %q -> %q", j, want, got[j])
+		}
+	}
+}

@@ -1,0 +1,468 @@
+// Package xpath parses the XPath subset used by the paper (Section 2.1):
+// queries with child (/) and descendant (//) axes, an optional selection
+// predicate on the last step, and a projection that returns one element
+// or a union of elements, e.g.
+//
+//	//movie[title = "Titanic"]/(aka_title | avg_rating)
+//	/dblp/inproceedings[year = "2000"]/(title | author | pages)
+//	//movie/year
+//
+// The element named by the last location step is the context element;
+// [path op literal] is the selection path; the union members are the
+// projection elements.
+package xpath
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Axis is a location-step axis.
+type Axis int
+
+const (
+	// Child is the "/" axis.
+	Child Axis = iota
+	// Descendant is the "//" axis.
+	Descendant
+)
+
+func (a Axis) String() string {
+	if a == Descendant {
+		return "//"
+	}
+	return "/"
+}
+
+// Step is one location step.
+type Step struct {
+	Axis Axis
+	Name string
+}
+
+// Path is a relative child-axis path (used for selection paths and
+// projection elements).
+type Path []string
+
+func (p Path) String() string { return strings.Join(p, "/") }
+
+// CmpOp is a comparison operator in a selection predicate.
+type CmpOp int
+
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String returns the operator's surface syntax.
+func (op CmpOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	}
+	return "?"
+}
+
+// LiteralKind discriminates predicate literal types.
+type LiteralKind int
+
+const (
+	LitString LiteralKind = iota
+	LitInt
+	LitFloat
+)
+
+// Literal is a predicate comparison literal.
+type Literal struct {
+	Kind LiteralKind
+	S    string
+	I    int64
+	F    float64
+}
+
+// String renders the literal in XPath surface syntax.
+func (l Literal) String() string {
+	switch l.Kind {
+	case LitInt:
+		return strconv.FormatInt(l.I, 10)
+	case LitFloat:
+		return strconv.FormatFloat(l.F, 'g', -1, 64)
+	default:
+		return strconv.Quote(l.S)
+	}
+}
+
+// StringLit builds a string literal.
+func StringLit(s string) Literal { return Literal{Kind: LitString, S: s} }
+
+// IntLit builds an integer literal.
+func IntLit(i int64) Literal { return Literal{Kind: LitInt, I: i} }
+
+// FloatLit builds a float literal.
+func FloatLit(f float64) Literal { return Literal{Kind: LitFloat, F: f} }
+
+// Predicate is the selection [path op literal] on the context element.
+type Predicate struct {
+	Path  Path
+	Op    CmpOp
+	Value Literal
+}
+
+func (p *Predicate) String() string {
+	return fmt.Sprintf("[%s %s %s]", p.Path, p.Op, p.Value)
+}
+
+// Query is a parsed XPath query.
+type Query struct {
+	// Context locates the context element.
+	Context []Step
+	// Pred is the optional selection predicate (nil if none).
+	Pred *Predicate
+	// Proj lists the projection element paths relative to the context
+	// element. Empty means the query returns the context element with
+	// all of its content (projection of every leaf).
+	Proj []Path
+}
+
+// String renders the query back to XPath syntax.
+func (q *Query) String() string {
+	var b strings.Builder
+	for _, s := range q.Context {
+		b.WriteString(s.Axis.String())
+		b.WriteString(s.Name)
+	}
+	if q.Pred != nil {
+		b.WriteString(q.Pred.String())
+	}
+	switch len(q.Proj) {
+	case 0:
+	case 1:
+		b.WriteString("/")
+		b.WriteString(q.Proj[0].String())
+	default:
+		b.WriteString("/(")
+		for i, p := range q.Proj {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			b.WriteString(p.String())
+		}
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+// ContextName returns the tag name of the context element.
+func (q *Query) ContextName() string {
+	if len(q.Context) == 0 {
+		return ""
+	}
+	return q.Context[len(q.Context)-1].Name
+}
+
+// Parse parses an XPath query in the supported subset.
+func Parse(input string) (*Query, error) {
+	p := &parser{src: input}
+	q, err := p.query()
+	if err != nil {
+		return nil, fmt.Errorf("xpath: %w (in %q)", err, input)
+	}
+	return q, nil
+}
+
+// MustParse parses or panics; for tests and static query tables.
+func MustParse(input string) *Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) query() (*Query, error) {
+	q := &Query{}
+	p.ws()
+	for {
+		axis, ok := p.axis()
+		if !ok {
+			break
+		}
+		// A '(' after an axis starts the projection union.
+		p.ws()
+		if p.peek() == '(' {
+			proj, err := p.projection()
+			if err != nil {
+				return nil, err
+			}
+			q.Proj = proj
+			break
+		}
+		name, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		q.Context = append(q.Context, Step{Axis: axis, Name: name})
+		p.ws()
+		if p.peek() == '[' {
+			if q.Pred != nil {
+				return nil, fmt.Errorf("multiple predicates")
+			}
+			pred, err := p.predicate()
+			if err != nil {
+				return nil, err
+			}
+			q.Pred = pred
+			p.ws()
+			// After the predicate, an optional projection follows.
+			if p.peek() == '/' {
+				proj, err := p.projAfterSlash()
+				if err != nil {
+					return nil, err
+				}
+				q.Proj = proj
+			}
+			break
+		}
+	}
+	p.ws()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("trailing input at %d: %q", p.pos, p.src[p.pos:])
+	}
+	if len(q.Context) == 0 {
+		return nil, fmt.Errorf("empty location path")
+	}
+	// Steps after the predicate-free context that name leaves become
+	// the projection: //movie/year means context //movie, proj year.
+	// Without schema knowledge we keep the last step as projection only
+	// when the query had an explicit union or predicate; a plain path
+	// keeps its last step as projection of a single element.
+	if q.Pred == nil && len(q.Proj) == 0 && len(q.Context) > 1 {
+		last := q.Context[len(q.Context)-1]
+		if last.Axis == Child {
+			q.Context = q.Context[:len(q.Context)-1]
+			q.Proj = []Path{{last.Name}}
+		}
+	}
+	return q, nil
+}
+
+// projAfterSlash parses "/(a|b)" or "/a/b" after a predicate.
+func (p *parser) projAfterSlash() ([]Path, error) {
+	if p.peek() != '/' {
+		return nil, fmt.Errorf("expected '/' before projection")
+	}
+	p.pos++
+	p.ws()
+	if p.peek() == '(' {
+		return p.projection()
+	}
+	path, err := p.relPath()
+	if err != nil {
+		return nil, err
+	}
+	return []Path{path}, nil
+}
+
+// projection parses "(a | b/c | d)". The leading '(' is current.
+func (p *parser) projection() ([]Path, error) {
+	if p.peek() != '(' {
+		return nil, fmt.Errorf("expected '('")
+	}
+	p.pos++
+	var out []Path
+	for {
+		p.ws()
+		path, err := p.relPath()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, path)
+		p.ws()
+		switch p.peek() {
+		case '|':
+			p.pos++
+		case ')':
+			p.pos++
+			return out, nil
+		default:
+			return nil, fmt.Errorf("expected '|' or ')' at %d", p.pos)
+		}
+	}
+}
+
+// predicate parses "[path op literal]". The leading '[' is current.
+func (p *parser) predicate() (*Predicate, error) {
+	p.pos++ // consume '['
+	p.ws()
+	path, err := p.relPath()
+	if err != nil {
+		return nil, err
+	}
+	p.ws()
+	op, err := p.cmpOp()
+	if err != nil {
+		return nil, err
+	}
+	p.ws()
+	lit, err := p.literal()
+	if err != nil {
+		return nil, err
+	}
+	p.ws()
+	if p.peek() != ']' {
+		return nil, fmt.Errorf("expected ']' at %d", p.pos)
+	}
+	p.pos++
+	return &Predicate{Path: path, Op: op, Value: lit}, nil
+}
+
+func (p *parser) relPath() (Path, error) {
+	var path Path
+	for {
+		name, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		path = append(path, name)
+		if p.peek() == '/' && p.peekAt(1) != '/' {
+			p.pos++
+			continue
+		}
+		return path, nil
+	}
+}
+
+func (p *parser) cmpOp() (CmpOp, error) {
+	switch {
+	case p.consume("!="):
+		return OpNe, nil
+	case p.consume("<="):
+		return OpLe, nil
+	case p.consume(">="):
+		return OpGe, nil
+	case p.consume("="):
+		return OpEq, nil
+	case p.consume("<"):
+		return OpLt, nil
+	case p.consume(">"):
+		return OpGt, nil
+	}
+	return 0, fmt.Errorf("expected comparison operator at %d", p.pos)
+}
+
+func (p *parser) literal() (Literal, error) {
+	c := p.peek()
+	if c == '"' || c == '\'' {
+		quote := c
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] != quote {
+			p.pos++
+		}
+		if p.pos >= len(p.src) {
+			return Literal{}, fmt.Errorf("unterminated string literal")
+		}
+		s := p.src[start:p.pos]
+		p.pos++
+		return StringLit(s), nil
+	}
+	start := p.pos
+	for p.pos < len(p.src) && (isDigit(p.src[p.pos]) || p.src[p.pos] == '.' || p.src[p.pos] == '-') {
+		p.pos++
+	}
+	if start == p.pos {
+		return Literal{}, fmt.Errorf("expected literal at %d", p.pos)
+	}
+	text := p.src[start:p.pos]
+	if strings.ContainsRune(text, '.') {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return Literal{}, fmt.Errorf("bad float literal %q", text)
+		}
+		return FloatLit(f), nil
+	}
+	i, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return Literal{}, fmt.Errorf("bad int literal %q", text)
+	}
+	return IntLit(i), nil
+}
+
+// axis consumes "/" or "//" and reports whether one was present.
+func (p *parser) axis() (Axis, bool) {
+	if p.peek() != '/' {
+		return 0, false
+	}
+	p.pos++
+	if p.peek() == '/' {
+		p.pos++
+		return Descendant, true
+	}
+	return Child, true
+}
+
+func (p *parser) name() (string, error) {
+	start := p.pos
+	for p.pos < len(p.src) && isNameChar(p.src[p.pos]) {
+		p.pos++
+	}
+	if start == p.pos {
+		return "", fmt.Errorf("expected name at %d", p.pos)
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *parser) ws() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) peekAt(off int) byte {
+	if p.pos+off >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos+off]
+}
+
+func (p *parser) consume(s string) bool {
+	if strings.HasPrefix(p.src[p.pos:], s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+func isNameChar(c byte) bool {
+	return c == '_' || c == '-' || c == '.' || c == '@' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

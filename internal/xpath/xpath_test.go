@@ -1,0 +1,189 @@
+package xpath
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBasic(t *testing.T) {
+	q, err := Parse(`//movie[title = "Titanic"]/(aka_title | avg_rating)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Context) != 1 || q.Context[0].Name != "movie" || q.Context[0].Axis != Descendant {
+		t.Errorf("context = %+v", q.Context)
+	}
+	if q.Pred == nil || q.Pred.Path.String() != "title" || q.Pred.Op != OpEq || q.Pred.Value.S != "Titanic" {
+		t.Errorf("pred = %+v", q.Pred)
+	}
+	if len(q.Proj) != 2 || q.Proj[0].String() != "aka_title" || q.Proj[1].String() != "avg_rating" {
+		t.Errorf("proj = %+v", q.Proj)
+	}
+}
+
+func TestParseChildAxis(t *testing.T) {
+	q, err := Parse(`/dblp/inproceedings[year = "2000"]/(title | year | author)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Context) != 2 || q.Context[0].Name != "dblp" || q.Context[1].Name != "inproceedings" {
+		t.Errorf("context = %+v", q.Context)
+	}
+	if q.Context[0].Axis != Child || q.Context[1].Axis != Child {
+		t.Errorf("axes = %+v", q.Context)
+	}
+	if len(q.Proj) != 3 {
+		t.Errorf("proj = %+v", q.Proj)
+	}
+	if q.ContextName() != "inproceedings" {
+		t.Errorf("ContextName = %q", q.ContextName())
+	}
+}
+
+func TestParseTrailingStepBecomesProjection(t *testing.T) {
+	q, err := Parse(`//movie/year`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.ContextName() != "movie" {
+		t.Errorf("context = %+v", q.Context)
+	}
+	if len(q.Proj) != 1 || q.Proj[0].String() != "year" {
+		t.Errorf("proj = %+v", q.Proj)
+	}
+}
+
+func TestParseUnionNoPredicate(t *testing.T) {
+	q, err := Parse(`/dblp/inproceedings/(title | author)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.ContextName() != "inproceedings" || q.Pred != nil || len(q.Proj) != 2 {
+		t.Errorf("q = %+v", q)
+	}
+}
+
+func TestParseBareContext(t *testing.T) {
+	q, err := Parse(`//inproceedings`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.ContextName() != "inproceedings" || len(q.Proj) != 0 {
+		t.Errorf("q = %+v", q)
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	cases := map[string]CmpOp{
+		`//movie[year >= "1998"]/title`: OpGe,
+		`//movie[year <= "1998"]/title`: OpLe,
+		`//movie[year > "1998"]/title`:  OpGt,
+		`//movie[year < "1998"]/title`:  OpLt,
+		`//movie[year != "1998"]/title`: OpNe,
+		`//movie[year = "1998"]/title`:  OpEq,
+	}
+	for in, want := range cases {
+		q, err := Parse(in)
+		if err != nil {
+			t.Fatalf("%s: %v", in, err)
+		}
+		if q.Pred.Op != want {
+			t.Errorf("%s: op = %v, want %v", in, q.Pred.Op, want)
+		}
+	}
+}
+
+func TestParseNumericLiterals(t *testing.T) {
+	q := MustParse(`//movie[year >= 1998]/title`)
+	if q.Pred.Value.Kind != LitInt || q.Pred.Value.I != 1998 {
+		t.Errorf("literal = %+v", q.Pred.Value)
+	}
+	q = MustParse(`//movie[avg_rating > 7.5]/title`)
+	if q.Pred.Value.Kind != LitFloat || q.Pred.Value.F != 7.5 {
+		t.Errorf("literal = %+v", q.Pred.Value)
+	}
+	q = MustParse(`//movie[box_office > -3]/title`)
+	if q.Pred.Value.I != -3 {
+		t.Errorf("literal = %+v", q.Pred.Value)
+	}
+}
+
+func TestParseMultiStepPaths(t *testing.T) {
+	q := MustParse(`//book[author/name = "Knuth"]/(title | author/name)`)
+	if q.Pred.Path.String() != "author/name" {
+		t.Errorf("pred path = %v", q.Pred.Path)
+	}
+	if len(q.Proj) != 2 || q.Proj[1].String() != "author/name" {
+		t.Errorf("proj = %+v", q.Proj)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`movie`,
+		`//movie[`,
+		`//movie[year]`,
+		`//movie[year = ]`,
+		`//movie[year = "1998"`,
+		`//movie[year = "1998"]/()`,
+		`//movie[year = "1998"]/(a |`,
+		`//movie[a="1"][b="2"]/c`,
+		`//movie xyz`,
+		`//movie[year ~ "1998"]/title`,
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q): want error", in)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	queries := []string{
+		`//movie[title = "Titanic"]/(aka_title | avg_rating)`,
+		`/dblp/inproceedings[year = 2000]/(title | year | author)`,
+		`//movie/year`,
+		`//inproceedings`,
+		`//movie[year >= 1998]/(title | box_office)`,
+	}
+	for _, in := range queries {
+		q := MustParse(in)
+		back := MustParse(q.String())
+		if back.String() != q.String() {
+			t.Errorf("round trip changed: %q -> %q -> %q", in, q.String(), back.String())
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	// Property: rendering then re-parsing any constructible query is a
+	// fixpoint.
+	names := []string{"a", "bb", "movie", "aka_title", "x9"}
+	f := func(ctxIdx, predIdx, projIdx uint8, opIdx uint8, val int16, useDesc bool, nProj uint8) bool {
+		q := &Query{}
+		axis := Child
+		if useDesc {
+			axis = Descendant
+		}
+		q.Context = []Step{{Axis: axis, Name: names[int(ctxIdx)%len(names)]}}
+		q.Pred = &Predicate{
+			Path:  Path{names[int(predIdx)%len(names)]},
+			Op:    CmpOp(int(opIdx) % 6),
+			Value: IntLit(int64(val)),
+		}
+		n := int(nProj)%3 + 1
+		for i := 0; i < n; i++ {
+			q.Proj = append(q.Proj, Path{names[(int(projIdx)+i)%len(names)]})
+		}
+		s := q.String()
+		back, err := Parse(s)
+		if err != nil {
+			return false
+		}
+		return back.String() == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

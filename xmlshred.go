@@ -1,0 +1,261 @@
+// Package xmlshred is a combined logical + physical design advisor for
+// storing XML (with XSD) in SQL databases — a from-scratch Go
+// reproduction of Chaudhuri, Chen, Shim, and Wu, "Storing XML (with
+// XSD) in SQL Databases: Interplay of Logical and Physical Designs"
+// (ICDE 2004 / IEEE TKDE 17(12), 2005).
+//
+// Given an XSD schema, an XPath workload, and a storage bound, the
+// advisor searches the combined space of XML-to-relational mappings
+// (outlining/inlining, type split/merge, union distribution/
+// factorization, repetition split/merge) and relational physical
+// designs (indexes, materialized views, vertical partitions), returning
+// the mapping and configuration that minimize the estimated workload
+// cost. The full substrate — XSD parsing, XPath parsing, shredding,
+// sorted outer-union SQL translation, a cost-based optimizer, an
+// execution engine, and an index-tuning tool — is implemented in this
+// module with no dependencies beyond the Go standard library.
+//
+// Quick start:
+//
+//	tree := xmlshred.MovieSchema()
+//	doc := xmlshred.GenerateMovie(tree, xmlshred.MovieOptions{Movies: 10000, Seed: 1})
+//	col := xmlshred.CollectStatistics(tree, doc)
+//	w := xmlshred.MustWorkload("demo",
+//		`//movie[year >= 2000]/(title | box_office)`,
+//		`//movie[genre = "genre-03"]/(title | actor)`)
+//	adv := xmlshred.NewAdvisor(tree, col, w, xmlshred.Options{})
+//	res, err := adv.Greedy()
+//	// res.Mapping.SQLSchema(), res.Config, res.EstCost ...
+package xmlshred
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/optimizer"
+	"repro/internal/physdesign"
+	"repro/internal/physical"
+	"repro/internal/rel"
+	"repro/internal/schema"
+	"repro/internal/shred"
+	"repro/internal/sqlast"
+	"repro/internal/stats"
+	"repro/internal/translate"
+	"repro/internal/workload"
+	"repro/internal/xmlgen"
+	"repro/internal/xpath"
+)
+
+// Schema-layer types.
+type (
+	// SchemaTree is an annotated XSD schema tree (Section 2 of the
+	// paper): constructor nodes, tag names, simple types, and
+	// annotations naming target relations.
+	SchemaTree = schema.Tree
+	// SchemaNode is one node of a SchemaTree.
+	SchemaNode = schema.Node
+	// Distribution records a union distribution on an annotated node.
+	Distribution = schema.Distribution
+)
+
+// Data-layer types.
+type (
+	// Document is an in-memory XML document aligned with a schema.
+	Document = xmlgen.Doc
+	// Statistics is the finest-granularity statistics collection the
+	// advisor costs every candidate mapping from.
+	Statistics = stats.Collection
+	// Database is loaded relational data.
+	Database = rel.Database
+	// DBLPOptions sizes the DBLP generator.
+	DBLPOptions = xmlgen.DBLPOptions
+	// MovieOptions sizes the Movie generator.
+	MovieOptions = xmlgen.MovieOptions
+)
+
+// Query/mapping-layer types.
+type (
+	// XPathQuery is a parsed query in the paper's XPath subset.
+	XPathQuery = xpath.Query
+	// Workload is a named weighted query set.
+	Workload = workload.Workload
+	// WorkloadQuery is one weighted workload entry.
+	WorkloadQuery = workload.Query
+	// WorkloadParams controls random workload generation (Section
+	// 5.1.3).
+	WorkloadParams = workload.Params
+	// Mapping is a compiled XML-to-relational mapping.
+	Mapping = shred.Mapping
+	// SQLQuery is a translated sorted outer-union statement.
+	SQLQuery = sqlast.Query
+)
+
+// Advisor-layer types.
+type (
+	// Options configures the search (storage bound, merging strategy,
+	// ablation switches).
+	Options = core.Options
+	// Result is a search outcome: logical mapping + physical design.
+	Result = core.Result
+	// Execution is a measured workload execution.
+	Execution = core.Execution
+	// Advisor runs the search algorithms of the paper.
+	Advisor = core.Advisor
+	// Config is a physical configuration (indexes, views, vertical
+	// partitions).
+	Config = physical.Config
+	// Index is a composite-key secondary index with INCLUDE columns.
+	Index = physical.Index
+	// MaterializedView is a parent-child join view.
+	MaterializedView = physical.View
+	// VerticalPartition splits a table's columns into groups.
+	VerticalPartition = physical.VPartition
+)
+
+// Merge strategies for Section 4.7 candidate merging.
+const (
+	MergeGreedy     = core.MergeGreedy
+	MergeNone       = core.MergeNone
+	MergeExhaustive = core.MergeExhaustive
+)
+
+// ParseXSD parses an XSD document (the supported subset covers
+// sequences, choices, occurrence bounds, named simple and complex
+// types, and annotation extension attributes).
+func ParseXSD(r io.Reader) (*SchemaTree, error) { return schema.ParseXSD(r) }
+
+// ParseXSDString parses an XSD document from a string.
+func ParseXSDString(s string) (*SchemaTree, error) { return schema.ParseXSDString(s) }
+
+// ParseDTD parses a DTD rooted at the named element (the paper's
+// footnote 3: DTD input is supported by conversion to the schema-tree
+// form).
+func ParseDTD(r io.Reader, root string) (*SchemaTree, error) { return schema.ParseDTD(r, root) }
+
+// ParseDTDString parses a DTD from a string.
+func ParseDTDString(s, root string) (*SchemaTree, error) { return schema.ParseDTDString(s, root) }
+
+// WriteXSD serializes a schema tree back to XSD.
+func WriteXSD(w io.Writer, t *SchemaTree) error { return schema.WriteXSD(w, t) }
+
+// DBLPSchema returns the paper's Fig. 1a DBLP schema with hybrid
+// inlining annotations.
+func DBLPSchema() *SchemaTree { return schema.DBLP() }
+
+// MovieSchema returns the paper's Fig. 1b Movie schema with hybrid
+// inlining annotations.
+func MovieSchema() *SchemaTree { return schema.Movie() }
+
+// ApplyHybridInlining annotates a tree per the hybrid inlining mapping
+// of Shanmugasundaram et al. — the default mapping when no workload is
+// known.
+func ApplyHybridInlining(t *SchemaTree) *SchemaTree { return schema.ApplyHybridInlining(t) }
+
+// GenerateDBLP builds the DBLP-like dataset (skewed author
+// cardinality, Zipf conference distribution).
+func GenerateDBLP(t *SchemaTree, opts DBLPOptions) *Document { return xmlgen.GenerateDBLP(t, opts) }
+
+// GenerateMovie builds the synthetic Movie dataset (uniform values).
+func GenerateMovie(t *SchemaTree, opts MovieOptions) *Document { return xmlgen.GenerateMovie(t, opts) }
+
+// ParseXML parses XML text into a document aligned with the schema and
+// validates it.
+func ParseXML(t *SchemaTree, r io.Reader) (*Document, error) { return xmlgen.ParseXML(t, r) }
+
+// WriteXML serializes a document.
+func WriteXML(w io.Writer, d *Document) error { return xmlgen.WriteXML(w, d) }
+
+// CollectStatistics gathers the Section 4.1 statistics from documents;
+// collect once per dataset and reuse across advisor runs.
+func CollectStatistics(t *SchemaTree, docs ...*Document) *Statistics {
+	return xmlgen.CollectStats(t, docs...)
+}
+
+// ParseQuery parses an XPath query in the supported subset.
+func ParseQuery(s string) (*XPathQuery, error) { return xpath.Parse(s) }
+
+// MustWorkload builds a unit-weight workload from query strings,
+// panicking on parse errors (for examples and tests).
+func MustWorkload(name string, queries ...string) *Workload {
+	w := &Workload{Name: name}
+	for _, q := range queries {
+		w.Queries = append(w.Queries, WorkloadQuery{XPath: xpath.MustParse(q), Weight: 1})
+	}
+	return w
+}
+
+// GenerateWorkload builds a random workload in the paper's style
+// (selectivity band, projection count band).
+func GenerateWorkload(t *SchemaTree, col *Statistics, p WorkloadParams) (*Workload, error) {
+	return workload.Generate(t, col, p)
+}
+
+// StandardWorkloadParams returns the paper's four parameter
+// combinations ({LP,HP} x {LS,HS}) at the given workload size.
+func StandardWorkloadParams(count int, seed int64) []WorkloadParams {
+	return workload.StandardParams(count, seed)
+}
+
+// NewAdvisor creates an advisor over a schema, statistics, and
+// workload.
+func NewAdvisor(t *SchemaTree, col *Statistics, w *Workload, opts Options) *Advisor {
+	return core.New(t, col, w, opts)
+}
+
+// CompileMapping compiles an annotated schema tree into its relational
+// mapping (Section 2 mapping rules).
+func CompileMapping(t *SchemaTree) (*Mapping, error) { return shred.Compile(t) }
+
+// ShredDocuments loads documents into a fresh database under a
+// mapping.
+func ShredDocuments(m *Mapping, docs ...*Document) (*Database, error) {
+	return shred.Shred(m, docs...)
+}
+
+// TranslateQuery translates an XPath query to sorted outer-union SQL
+// under a mapping.
+func TranslateQuery(m *Mapping, q *XPathQuery) (*SQLQuery, error) {
+	return translate.Translate(m, q)
+}
+
+// ExecuteQuery plans and runs a translated query over loaded data
+// under a physical configuration, returning the output rows.
+func ExecuteQuery(db *Database, cfg *Config, q *SQLQuery) ([][]rel.Value, []string, error) {
+	if cfg == nil {
+		cfg = &Config{}
+	}
+	built, err := engine.Build(db, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	opt := optimizer.New(stats.FromDatabase(db))
+	plan, err := opt.PlanQuery(q, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := engine.Execute(built, plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Rows, res.Cols, nil
+}
+
+// TunePhysicalDesign runs the physical design tool alone on a
+// translated workload (the Index Tuning Wizard stand-in).
+func TunePhysicalDesign(m *Mapping, col *Statistics, w *Workload, storageBytes int64) (*Config, error) {
+	prov := shred.DeriveStats(m, col)
+	var pw physdesign.Workload
+	for _, q := range w.Queries {
+		sql, err := translate.Translate(m, q.XPath)
+		if err != nil {
+			return nil, err
+		}
+		pw = append(pw, physdesign.WeightedQuery{Q: sql, Weight: q.Weight})
+	}
+	rec, err := physdesign.Tune(pw, prov, physdesign.Options{StorageBytes: storageBytes})
+	if err != nil {
+		return nil, err
+	}
+	return rec.Config, nil
+}
