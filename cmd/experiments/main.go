@@ -28,6 +28,7 @@ func main() {
 		naive    = flag.Bool("naive", true, "include Naive-Greedy on the 10-query workloads (slow)")
 		naive20  = flag.Bool("naive20", false, "also run Naive-Greedy on 20-query workloads (very slow)")
 		seedBase = flag.Int64("seed", 7, "workload generation seed")
+		parallel = flag.Int("parallel", 1, "concurrent candidate evaluations per search (all strategies; results are identical at any setting)")
 	)
 	flag.Parse()
 	want := map[string]bool{}
@@ -37,19 +38,19 @@ func main() {
 		}
 	}
 	sel := func(name string) bool { return len(want) == 0 || want[name] }
-	if err := run(*scale, *quick, sel, *naive, *naive20, *seedBase); err != nil {
+	if err := run(*scale, *quick, sel, *naive, *naive20, *seedBase, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scale float64, quick bool, sel func(string) bool, naive, naive20 bool, seed int64) error {
+func run(scale float64, quick bool, sel func(string) bool, naive, naive20 bool, seed int64, parallel int) error {
 	start := time.Now()
 	fmt.Printf("loading datasets (scale %.2f)...\n", scale)
 	dblp := experiments.LoadDBLP(experiments.Scale(scale))
 	movie := experiments.LoadMovie(experiments.Scale(scale))
 
-	opts := core.Options{}
+	opts := core.Options{Parallelism: parallel}
 	if quick {
 		opts.MaxRounds = 2
 	}

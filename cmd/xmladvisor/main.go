@@ -39,12 +39,13 @@ func main() {
 		execute   = flag.Bool("execute", true, "load the data and measure workload execution")
 		showSQL   = flag.Bool("sql", false, "print the translated SQL per query")
 		trace     = flag.Bool("trace", false, "narrate the search per round on stderr")
+		parallel  = flag.Int("parallel", 1, "concurrent candidate evaluations (all algorithms; results are identical at any setting)")
 	)
 	flag.Parse()
 	if *trace {
 		traceWriter = os.Stderr
 	}
-	if err := run(*dataset, *scale, *xsdPath, *xmlPath, *queryPath, *algorithm, *storageMB, *execute, *showSQL); err != nil {
+	if err := run(*dataset, *scale, *xsdPath, *xmlPath, *queryPath, *algorithm, *storageMB, *parallel, *execute, *showSQL); err != nil {
 		fmt.Fprintln(os.Stderr, "xmladvisor:", err)
 		os.Exit(1)
 	}
@@ -54,7 +55,7 @@ func main() {
 var traceWriter io.Writer
 
 func run(dataset string, scale float64, xsdPath, xmlPath, queryPath, algorithm string,
-	storageMB int64, execute, showSQL bool) error {
+	storageMB int64, parallel int, execute, showSQL bool) error {
 	var tree *xmlshred.SchemaTree
 	var docs []*xmlshred.Document
 	switch {
@@ -100,6 +101,7 @@ func run(dataset string, scale float64, xsdPath, xmlPath, queryPath, algorithm s
 	col := xmlshred.CollectStatistics(tree, docs...)
 	adv := xmlshred.NewAdvisor(tree, col, w, core.Options{
 		StorageBytes: storageMB << 20,
+		Parallelism:  parallel,
 		Trace:        traceWriter,
 	})
 

@@ -51,10 +51,10 @@ func TestReadWorkloadErrors(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run("", 0.1, "", "", "", "greedy", 0, false, false); err == nil {
+	if err := run("", 0.1, "", "", "", "greedy", 0, 1, false, false); err == nil {
 		t.Error("want error without dataset or schema")
 	}
-	if err := run("movie", 0.01, "", "", "", "greedy", 0, false, false); err == nil {
+	if err := run("movie", 0.01, "", "", "", "greedy", 0, 1, false, false); err == nil {
 		t.Error("want error without queries")
 	}
 }

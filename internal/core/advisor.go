@@ -13,6 +13,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"repro/internal/optimizer"
@@ -72,9 +73,12 @@ type Options struct {
 	EnableVPartitions bool
 	// Trace, when non-nil, receives per-round search narration.
 	Trace io.Writer
-	// Parallelism bounds concurrent candidate evaluations in
-	// Naive-Greedy (0 or 1 = sequential). Candidate costing only reads
-	// shared state, so rounds parallelize cleanly.
+	// Parallelism bounds concurrent candidate evaluations in every
+	// search strategy — Greedy's per-round ranking and exact fallback
+	// sweep, Naive-Greedy's enumeration, and Two-Step's phase-1 loop
+	// (0 or 1 = sequential). Candidate costing only reads shared state,
+	// so rounds parallelize cleanly; results and metric counts are
+	// bit-identical to sequential runs at any setting.
 	Parallelism int
 }
 
@@ -102,6 +106,11 @@ type Metrics struct {
 	PhysDesignCalls int
 	// OptimizerCalls counts what-if optimizer invocations.
 	OptimizerCalls int64
+	// EvalCacheHits counts evaluations answered from the shared
+	// memoization cache instead of being recomputed; EvalCacheMisses
+	// counts evaluations computed and cached. Hits carry none of the
+	// tool/optimizer effort the other counters measure.
+	EvalCacheHits, EvalCacheMisses int
 }
 
 // merge accumulates another run's effort counters (used when candidate
@@ -112,6 +121,8 @@ func (m *Metrics) merge(o Metrics) {
 	m.CostsDerived += o.CostsDerived
 	m.PhysDesignCalls += o.PhysDesignCalls
 	m.OptimizerCalls += o.OptimizerCalls
+	m.EvalCacheHits += o.EvalCacheHits
+	m.EvalCacheMisses += o.EvalCacheMisses
 }
 
 // Result is a search outcome.
@@ -145,6 +156,13 @@ type Advisor struct {
 	W *workload.Workload
 	// Opts configures the run.
 	Opts Options
+
+	// svc is the shared evaluation service (worker pool + memoization
+	// cache), created lazily; it persists across strategy runs so
+	// Greedy, Naive-Greedy, and Two-Step on one advisor reuse each
+	// other's evaluations.
+	svcOnce sync.Once
+	svc     *evalService
 }
 
 // New creates an advisor.
@@ -246,9 +264,18 @@ type evalResult struct {
 	cost    float64
 }
 
-// evaluate compiles, translates, derives statistics, and tunes a
-// mapping — one full physical design tool call.
+// evaluate returns the full evaluation of a mapping, memoized by its
+// canonical signature: the first request per distinct mapping pays one
+// physical design tool call, and every repeat — across rounds,
+// candidates, and search strategies — is a cache hit.
 func (a *Advisor) evaluate(tree *schema.Tree, met *Metrics) (*evalResult, error) {
+	return a.service().evaluate(tree, met)
+}
+
+// evaluateFull compiles, translates, derives statistics, and tunes a
+// mapping — one full physical design tool call (the cache-miss path of
+// evaluate).
+func (a *Advisor) evaluateFull(tree *schema.Tree, met *Metrics) (*evalResult, error) {
 	ev, w, err := a.prepare(tree)
 	if err != nil {
 		return nil, err

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
 	"repro/internal/schema"
@@ -30,37 +29,25 @@ func (a *Advisor) NaiveGreedy() (*Result, error) {
 	if rounds == 0 {
 		rounds = naiveMaxRounds
 	}
-	par := a.Opts.Parallelism
-	if par < 1 {
-		par = 1
-	}
 	for round := 0; round < rounds; round++ {
 		cands := transform.EnumerateAll(curEval.tree, a.Col)
-		evals := make([]*evalResult, len(cands))
-		mets := make([]Metrics, len(cands))
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, par)
-		for i, t := range cands {
-			next, err := t.Apply(curEval.tree)
+		outcomes := make([]candOutcome, len(cands))
+		a.service().forEach(len(cands), func(i int) {
+			next, err := cands[i].Apply(curEval.tree)
 			if err != nil {
-				continue
+				return
 			}
-			met.Transformations++
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(i int, tree *schema.Tree) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				if ev, err := a.evaluate(tree, &mets[i]); err == nil {
-					evals[i] = ev
-				}
-			}(i, next)
-		}
-		wg.Wait()
+			o := &outcomes[i]
+			o.applied = true
+			o.met.Transformations++
+			if ev, err := a.evaluate(next, &o.met); err == nil {
+				o.ev = ev
+			}
+		})
 		var bestEval *evalResult
-		for i, ev := range evals {
-			met.merge(mets[i])
-			if ev != nil && (bestEval == nil || ev.cost < bestEval.cost) {
+		for i := range outcomes {
+			met.merge(outcomes[i].met)
+			if ev := outcomes[i].ev; ev != nil && (bestEval == nil || ev.cost < bestEval.cost) {
 				bestEval = ev
 			}
 		}
@@ -77,12 +64,13 @@ func (a *Advisor) NaiveGreedy() (*Result, error) {
 // TwoStep first searches the logical design alone — assuming only a
 // clustered ID index and a PID index, the best guess without workload
 // tuning (§5.1.1) — and then runs the physical design tool once on the
-// chosen mapping.
+// chosen mapping. Phase-1 candidate costing runs on the shared worker
+// pool with memoized results.
 func (a *Advisor) TwoStep() (*Result, error) {
 	start := time.Now()
 	var met Metrics
 	cur := a.Base.Clone()
-	_, curCost, err := a.costUnder(cur, defaultConfig, &met)
+	curCost, err := a.service().costUnderDefault(cur, &met)
 	if err != nil {
 		return nil, err
 	}
@@ -93,18 +81,35 @@ func (a *Advisor) TwoStep() (*Result, error) {
 	for round := 0; round < rounds; round++ {
 		var bestTree *schema.Tree
 		bestCost := curCost
-		for _, t := range transform.EnumerateAll(cur, a.Col) {
-			next, err := t.Apply(cur)
+		cands := transform.EnumerateAll(cur, a.Col)
+		outcomes := make([]candOutcome, len(cands))
+		a.service().forEach(len(cands), func(i int) {
+			next, err := cands[i].Apply(cur)
 			if err != nil {
+				return
+			}
+			o := &outcomes[i]
+			o.applied = true
+			o.tree = next
+			o.met.Transformations++
+			cost, err := a.service().costUnderDefault(next, &o.met)
+			if err != nil {
+				o.failed = true
+				return
+			}
+			o.cost = cost
+		})
+		for i := range outcomes {
+			o := &outcomes[i]
+			if !o.applied {
 				continue
 			}
-			met.Transformations++
-			_, cost, err := a.costUnder(next, defaultConfig, &met)
-			if err != nil {
+			met.merge(o.met)
+			if o.failed {
 				continue
 			}
-			if cost < bestCost {
-				bestTree, bestCost = next, cost
+			if o.cost < bestCost {
+				bestTree, bestCost = o.tree, o.cost
 			}
 		}
 		if bestTree == nil {

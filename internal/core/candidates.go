@@ -445,8 +445,15 @@ func projectionLeavesOf(ctx *schema.Node, q *xpath.Query) []*schema.Node {
 }
 
 // queryCostEstimate costs one query under the current mapping with a
-// bare configuration (cheap ranking oracle for merging).
+// bare configuration (cheap ranking oracle for merging), memoized per
+// (mapping, query): the pairwise merge loop re-asks for the same costs
+// once per candidate union.
 func (a *Advisor) queryCostEstimate(tree *schema.Tree, wq workload.Query, met *Metrics) float64 {
+	return a.service().queryCost(tree, wq, met)
+}
+
+// queryCostFull is the cache-miss path of queryCostEstimate.
+func (a *Advisor) queryCostFull(tree *schema.Tree, wq workload.Query, met *Metrics) float64 {
 	m, err := shred.Compile(tree)
 	if err != nil {
 		return 0

@@ -119,8 +119,14 @@ func TestTwoStepWorseOrEqual(t *testing.T) {
 	if ts.EstCost < gr.EstCost*0.9 {
 		t.Errorf("Two-Step (%.2f) substantially beat Greedy (%.2f); interplay should matter", ts.EstCost, gr.EstCost)
 	}
-	if ts.Metrics.PhysDesignCalls != 1 {
-		t.Errorf("Two-Step made %d tool calls, want exactly 1", ts.Metrics.PhysDesignCalls)
+	// Phase 1 never calls the tool; phase 2 calls it once — unless the
+	// advisor's shared cache already evaluated the chosen mapping
+	// during the Greedy run above, in which case it is a hit.
+	if ts.Metrics.PhysDesignCalls > 1 {
+		t.Errorf("Two-Step made %d tool calls, want at most 1", ts.Metrics.PhysDesignCalls)
+	}
+	if ts.Metrics.PhysDesignCalls+ts.Metrics.EvalCacheHits == 0 {
+		t.Error("Two-Step neither called the tool nor hit the cache")
 	}
 }
 

@@ -3,7 +3,10 @@ package core
 import (
 	"testing"
 
+	"repro/internal/physdesign"
+	"repro/internal/physical"
 	"repro/internal/schema"
+	"repro/internal/stats"
 	"repro/internal/transform"
 )
 
@@ -95,6 +98,42 @@ func TestDeriveCostMatchesExactForIrrelevantChange(t *testing.T) {
 	// exact estimate (Fig 9a: small quality deltas).
 	if derived < exact.cost*0.5 || derived > exact.cost*2 {
 		t.Errorf("derived %.2f vs exact %.2f", derived, exact.cost)
+	}
+}
+
+// TestRetainedStructBytes pins the storage-budget accounting during
+// derivation retuning: retained indexes, views, AND vertical partitions
+// must all reduce the retune budget. Partitions were previously
+// ignored, so a retune could recommend structures that no longer fit
+// alongside a retained partitioning.
+func TestRetainedStructBytes(t *testing.T) {
+	ts := &stats.TableStats{Name: "t", Rows: 100, RowBytes: 40}
+	cur := &evalResult{
+		prov: stats.MapProvider{"t": ts},
+		rec: &physdesign.Recommendation{Config: &physical.Config{
+			Indexes:    []*physical.Index{{Name: "i1", Table: "t", Key: []string{"a"}}},
+			Partitions: []*physical.VPartition{{Table: "t", Groups: [][]string{{"a"}, {"b"}}}},
+		}},
+	}
+	idx := cur.rec.Config.Indexes[0]
+	vp := cur.rec.Config.Partitions[0]
+
+	if got := retainedStructBytes(cur, map[string]bool{}); got != 0 {
+		t.Errorf("nothing retained: got %d bytes, want 0", got)
+	}
+	wantVP := vp.EstBytes(ts) - ts.Bytes()
+	if wantVP <= 0 {
+		t.Fatalf("fixture partition has no overhead (%d); test is vacuous", wantVP)
+	}
+	// Plans reference partition groups as table#gN (optimizer object
+	// naming); any referenced group retains the whole partitioning.
+	if got := retainedStructBytes(cur, map[string]bool{"t#g1": true}); got != wantVP {
+		t.Errorf("retained partition: got %d bytes, want %d", got, wantVP)
+	}
+	wantBoth := idx.EstBytes(ts) + wantVP
+	retained := map[string]bool{idx.ID(): true, "t#g0": true}
+	if got := retainedStructBytes(cur, retained); got != wantBoth {
+		t.Errorf("index+partition: got %d bytes, want %d", got, wantBoth)
 	}
 }
 

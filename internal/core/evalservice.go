@@ -1,0 +1,221 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/physdesign"
+	"repro/internal/schema"
+	"repro/internal/workload"
+)
+
+// evalService is the shared candidate-evaluation service: a bounded
+// worker pool plus memoization caches keyed by the canonical mapping
+// signature (schema-tree serialization + physical-design options).
+// Every search path — Greedy's per-round ranking and exact fallback
+// sweep, Naive-Greedy's enumeration, and Two-Step's phase-1 loop —
+// evaluates through it, so a mapping costed in one round, by one
+// candidate, or by one strategy is never re-costed by another.
+//
+// Evaluations are pure (they only read the advisor's base tree,
+// statistics, and workload), so concurrent calls are safe; identical
+// keys are single-flighted so a mapping is computed exactly once no
+// matter how many workers request it simultaneously. Because a cache
+// with no eviction makes the set of computed keys a function of the set
+// of requested keys (not of request order), hit/miss counts — and with
+// them every Metrics counter — are bit-identical between sequential and
+// parallel runs.
+type evalService struct {
+	a *Advisor
+	// optsKey folds the advisor-level physical-design options into
+	// every cache key (per-mapping options such as insert rates are a
+	// function of the tree and need not be keyed separately).
+	optsKey string
+
+	mu      sync.Mutex
+	evals   map[string]*evalEntry   // full tool evaluations, by tree signature
+	derives map[string]*deriveEntry // cost derivations, by (cur, next) signatures
+	fixed   map[string]*fixedEntry  // fixed-config costings (Two-Step phase 1)
+	qcosts  map[string]*qcostEntry  // bare single-query costs (merging oracle)
+}
+
+// evalEntry is a memoized full evaluation. done is closed when ev/err
+// and the effort metrics are final.
+type evalEntry struct {
+	done chan struct{}
+	ev   *evalResult
+	err  error
+	met  Metrics
+}
+
+// deriveEntry is a memoized cost derivation.
+type deriveEntry struct {
+	done chan struct{}
+	cost float64
+	err  error
+	met  Metrics
+}
+
+// fixedEntry is a memoized fixed-configuration workload costing.
+type fixedEntry struct {
+	done chan struct{}
+	cost float64
+	err  error
+	met  Metrics
+}
+
+// qcostEntry is a memoized bare single-query cost.
+type qcostEntry struct {
+	done chan struct{}
+	cost float64
+	met  Metrics
+}
+
+// service returns the advisor's evaluation service, creating it on
+// first use (searches may run concurrently on one advisor).
+func (a *Advisor) service() *evalService {
+	a.svcOnce.Do(func() {
+		a.svc = &evalService{
+			a: a,
+			optsKey: physdesign.Options{
+				StorageBytes:      a.Opts.StorageBytes,
+				DisableViews:      a.Opts.DisableViews,
+				EnableVPartitions: a.Opts.EnableVPartitions,
+			}.Key(),
+			evals:   make(map[string]*evalEntry),
+			derives: make(map[string]*deriveEntry),
+			fixed:   make(map[string]*fixedEntry),
+			qcosts:  make(map[string]*qcostEntry),
+		}
+	})
+	return a.svc
+}
+
+// key builds a full cache key from a tree signature.
+func (s *evalService) key(treeSig string) string {
+	return treeSig + "|" + s.optsKey
+}
+
+// forEach runs fn(i) for every i in [0, n) on the bounded worker pool:
+// min(Options.Parallelism, n) workers pull indices from a channel.
+// With Parallelism <= 1 it runs inline. Callers collect results into
+// index-addressed slices and reduce them sequentially in index order,
+// which keeps selection (lowest candidate index wins ties) and Metrics
+// aggregation deterministic at any parallelism.
+func (s *evalService) forEach(n int, fn func(i int)) {
+	par := s.a.Opts.Parallelism
+	if par > n {
+		par = n
+	}
+	if par <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(par)
+	for w := 0; w < par; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// evaluate returns the memoized full evaluation of a tree, computing it
+// once per canonical signature. On a miss the computing caller's
+// metrics absorb the full effort (tool call, optimizer calls) plus an
+// EvalCacheMisses tick; every other caller records only an
+// EvalCacheHits tick.
+func (s *evalService) evaluate(tree *schema.Tree, met *Metrics) (*evalResult, error) {
+	key := s.key(tree.Signature())
+	s.mu.Lock()
+	if ent, ok := s.evals[key]; ok {
+		s.mu.Unlock()
+		<-ent.done
+		met.EvalCacheHits++
+		return ent.ev, ent.err
+	}
+	ent := &evalEntry{done: make(chan struct{})}
+	s.evals[key] = ent
+	s.mu.Unlock()
+	ent.ev, ent.err = s.a.evaluateFull(tree, &ent.met)
+	close(ent.done)
+	met.EvalCacheMisses++
+	met.merge(ent.met)
+	return ent.ev, ent.err
+}
+
+// deriveCost returns the memoized Section 4.8 derived cost of moving
+// from cur to next. Rounds that reject their winner re-rank the same
+// candidates against an unchanged current mapping, so derivations
+// repeat across rounds; the cache answers the repeats.
+func (s *evalService) deriveCost(cur *evalResult, next *schema.Tree, met *Metrics) (float64, error) {
+	key := s.key(cur.tree.Signature() + "->" + next.Signature())
+	s.mu.Lock()
+	if ent, ok := s.derives[key]; ok {
+		s.mu.Unlock()
+		<-ent.done
+		met.EvalCacheHits++
+		return ent.cost, ent.err
+	}
+	ent := &deriveEntry{done: make(chan struct{})}
+	s.derives[key] = ent
+	s.mu.Unlock()
+	ent.cost, ent.err = s.a.deriveCostFull(cur, next, &ent.met)
+	close(ent.done)
+	met.EvalCacheMisses++
+	met.merge(ent.met)
+	return ent.cost, ent.err
+}
+
+// costUnderDefault returns the memoized workload cost of a tree under
+// Two-Step's phase-1 default configuration (no tuning).
+func (s *evalService) costUnderDefault(tree *schema.Tree, met *Metrics) (float64, error) {
+	key := s.key("2step:" + tree.Signature())
+	s.mu.Lock()
+	if ent, ok := s.fixed[key]; ok {
+		s.mu.Unlock()
+		<-ent.done
+		met.EvalCacheHits++
+		return ent.cost, ent.err
+	}
+	ent := &fixedEntry{done: make(chan struct{})}
+	s.fixed[key] = ent
+	s.mu.Unlock()
+	_, ent.cost, ent.err = s.a.costUnder(tree, defaultConfig, &ent.met)
+	close(ent.done)
+	met.EvalCacheMisses++
+	met.merge(ent.met)
+	return ent.cost, ent.err
+}
+
+// queryCost returns the memoized bare-configuration cost of one query
+// under a tree (the candidate-merging ranking oracle of Section 4.7,
+// which re-costs the same queries for every pairwise merge).
+func (s *evalService) queryCost(tree *schema.Tree, wq workload.Query, met *Metrics) float64 {
+	key := s.key(tree.Signature() + "|q:" + wq.XPath.String())
+	s.mu.Lock()
+	if ent, ok := s.qcosts[key]; ok {
+		s.mu.Unlock()
+		<-ent.done
+		met.EvalCacheHits++
+		return ent.cost
+	}
+	ent := &qcostEntry{done: make(chan struct{})}
+	s.qcosts[key] = ent
+	s.mu.Unlock()
+	ent.cost = s.a.queryCostFull(tree, wq, &ent.met)
+	close(ent.done)
+	met.EvalCacheMisses++
+	met.merge(ent.met)
+	return ent.cost
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestEvaluateMemoized pins the cache contract: re-evaluating a mapping
+// with the same canonical signature (here, a fresh clone — exactly what
+// a repeated candidate in the exact fallback sweep produces) returns
+// the cached result without another physical design tool call.
+func TestEvaluateMemoized(t *testing.T) {
+	fx := movieFixture(t, movieTestQueries[:2])
+	adv := New(fx.base, fx.col, fx.w, Options{})
+	var met Metrics
+	ev1, err := adv.evaluate(fx.base.Clone(), &met)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.PhysDesignCalls != 1 || met.EvalCacheMisses != 1 {
+		t.Fatalf("first evaluation: %+v", met)
+	}
+	before := met.PhysDesignCalls
+	ev2, err := adv.evaluate(fx.base.Clone(), &met)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev2 != ev1 {
+		t.Error("repeated evaluation did not return the cached result")
+	}
+	if met.PhysDesignCalls != before {
+		t.Errorf("repeated evaluation incremented PhysDesignCalls: %d -> %d",
+			before, met.PhysDesignCalls)
+	}
+	if met.EvalCacheHits != 1 {
+		t.Errorf("EvalCacheHits = %d, want 1", met.EvalCacheHits)
+	}
+}
+
+// TestEvaluateSingleFlight: concurrent requests for the same signature
+// compute the mapping exactly once; the others wait and record hits.
+func TestEvaluateSingleFlight(t *testing.T) {
+	fx := movieFixture(t, movieTestQueries[:2])
+	adv := New(fx.base, fx.col, fx.w, Options{Parallelism: 8})
+	const n = 8
+	mets := make([]Metrics, n)
+	evs := make([]*evalResult, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			ev, err := adv.evaluate(fx.base.Clone(), &mets[i])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			evs[i] = ev
+		}(i)
+	}
+	wg.Wait()
+	var total Metrics
+	for i := range mets {
+		total.merge(mets[i])
+		if evs[i] != evs[0] {
+			t.Error("concurrent callers got different results")
+		}
+	}
+	if total.PhysDesignCalls != 1 || total.EvalCacheMisses != 1 {
+		t.Errorf("tool called %d times (misses %d), want exactly 1",
+			total.PhysDesignCalls, total.EvalCacheMisses)
+	}
+	if total.EvalCacheHits != n-1 {
+		t.Errorf("EvalCacheHits = %d, want %d", total.EvalCacheHits, n-1)
+	}
+}
+
+// TestGreedyReportsCacheHits: a real Greedy search reuses evaluations
+// (the merging oracle, rejected-round re-derivations, and the fallback
+// sweep all repeat work the cache now answers), and the hits surface in
+// the result metrics.
+func TestGreedyReportsCacheHits(t *testing.T) {
+	fx := movieFixture(t, movieTestQueries)
+	res, err := New(fx.base, fx.col, fx.w, Options{}).Greedy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.EvalCacheHits == 0 {
+		t.Error("Greedy search recorded no eval cache hits")
+	}
+	if res.Metrics.EvalCacheMisses == 0 {
+		t.Error("Greedy search recorded no eval cache misses")
+	}
+}
+
+// TestStrategiesShareCache: running a second strategy on the same
+// advisor reuses the first strategy's evaluations.
+func TestStrategiesShareCache(t *testing.T) {
+	fx := movieFixture(t, movieTestQueries[:2])
+	adv := New(fx.base, fx.col, fx.w, Options{MaxRounds: 1})
+	if _, err := adv.NaiveGreedy(); err != nil {
+		t.Fatal(err)
+	}
+	// Naive-Greedy evaluated the hybrid base mapping; the hybrid
+	// baseline on the same advisor must hit it.
+	hy, err := adv.HybridBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hy.Metrics.EvalCacheHits != 1 || hy.Metrics.PhysDesignCalls != 0 {
+		t.Errorf("hybrid after naive: hits=%d tool calls=%d, want 1 hit / 0 calls",
+			hy.Metrics.EvalCacheHits, hy.Metrics.PhysDesignCalls)
+	}
+}

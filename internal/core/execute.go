@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/engine"
@@ -27,8 +28,9 @@ type Execution struct {
 
 // MeasureExecution loads the documents under the result's mapping,
 // materializes the recommended configuration, and executes every
-// workload query (repeated by its integer weight), returning real
-// execution measurements — the quality metric of Section 5.1.4.
+// workload query, repeated in proportion to its weight (fractional
+// weights are scaled and rounded half-up; see executionReps), returning
+// real execution measurements — the quality metric of Section 5.1.4.
 func (a *Advisor) MeasureExecution(res *Result, docs ...*xmlgen.Doc) (*Execution, error) {
 	db, err := shredLoad(res, docs)
 	if err != nil {
@@ -45,26 +47,26 @@ func (a *Advisor) MeasureExecution(res *Result, docs ...*xmlgen.Doc) (*Execution
 		weight float64
 	}
 	var plans []prepared
-	for i, wq := range a.W.Queries {
+	for _, wq := range a.W.Queries {
 		sql, err := translate.Translate(res.Mapping, wq.XPath)
 		if err != nil {
 			return nil, fmt.Errorf("core: translating %s: %w", wq.XPath, err)
 		}
-		_ = i
 		plan, err := opt.PlanQuery(sql, res.Config)
 		if err != nil {
 			return nil, fmt.Errorf("core: planning %s: %w", wq.XPath, err)
 		}
 		plans = append(plans, prepared{plan: plan, weight: wq.Weight})
 	}
+	weights := make([]float64, len(plans))
+	for i, p := range plans {
+		weights[i] = p.weight
+	}
+	reps := executionReps(weights)
 	ex := &Execution{DataBytes: db.Bytes(), StructBytes: built.StructBytes}
 	runOnce := func(count bool) error {
-		for _, p := range plans {
-			reps := int(p.weight)
-			if reps < 1 {
-				reps = 1
-			}
-			for r := 0; r < reps; r++ {
+		for pi, p := range plans {
+			for r := 0; r < reps[pi]; r++ {
 				out, err := engine.Execute(built, p.plan)
 				if err != nil {
 					return fmt.Errorf("core: executing workload: %w", err)
@@ -100,6 +102,46 @@ func (a *Advisor) MeasureExecution(res *Result, docs ...*xmlgen.Doc) (*Execution
 	}
 	ex.Elapsed = elapsed
 	return ex, nil
+}
+
+// maxExecReps caps per-query repetitions so scaled-up fractional
+// weights cannot blow up measurement time.
+const maxExecReps = 64
+
+// executionReps converts workload weights to repetition counts that
+// preserve weight ratios: weights are scaled so the smallest positive
+// weight executes at least once (and the largest at most maxExecReps
+// times), then rounded half-up, with a floor of one execution per
+// query. Truncating instead (the old behavior) made a weight of 2.9
+// execute twice and 0.5 once — the measured workload no longer matched
+// the weighted cost the advisor optimized.
+func executionReps(weights []float64) []int {
+	minW, maxW := math.Inf(1), 0.0
+	for _, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		minW = math.Min(minW, w)
+		maxW = math.Max(maxW, w)
+	}
+	scale := 1.0
+	if maxW > 0 {
+		if minW < 1 {
+			scale = 1 / minW
+		}
+		if maxW*scale > maxExecReps {
+			scale = maxExecReps / maxW
+		}
+	}
+	reps := make([]int, len(weights))
+	for i, w := range weights {
+		r := int(math.Floor(w*scale + 0.5))
+		if r < 1 {
+			r = 1
+		}
+		reps[i] = r
+	}
+	return reps
 }
 
 func shredLoad(res *Result, docs []*xmlgen.Doc) (*rel.Database, error) {

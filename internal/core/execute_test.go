@@ -1,0 +1,41 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestExecutionReps pins the weight-to-repetition scaling: ratios are
+// preserved by scaling the smallest positive weight to at least one
+// execution and rounding half-up, instead of the old int() truncation
+// that turned {2.9, 0.5} into {2, 0} reps (then floored to {2, 1},
+// a 2:1 workload instead of the intended ~6:1).
+func TestExecutionReps(t *testing.T) {
+	cases := []struct {
+		name    string
+		weights []float64
+		want    []int
+	}{
+		{"uniform", []float64{1, 1, 1}, []int{1, 1, 1}},
+		{"integral", []float64{1, 3}, []int{1, 3}},
+		// 0.5 scales to 1; 2.9 scales to 5.8, rounds half-up to 6.
+		{"fractional", []float64{2.9, 0.5}, []int{6, 1}},
+		// 2.9 alone: min weight >= 1 so no scale-up; rounds to 3.
+		{"round half up", []float64{2.9}, []int{3}},
+		{"round down", []float64{1, 2.4}, []int{1, 2}},
+		// 0.5 would scale 128 to 256; the cap rescales so the largest
+		// runs maxExecReps times and the smallest keeps its floor of 1.
+		{"capped", []float64{0.5, 128}, []int{1, maxExecReps}},
+		// Non-positive weights still execute once (floor).
+		{"zero weight", []float64{0, 2}, []int{1, 2}},
+		{"empty", []float64{}, []int{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := executionReps(tc.weights)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("executionReps(%v) = %v, want %v", tc.weights, got, tc.want)
+			}
+		})
+	}
+}

@@ -92,32 +92,58 @@ func (a *Advisor) Greedy() (*Result, error) {
 			cost float64
 		}
 		var ranked []rankedCand
-		for ci, c := range cands {
+		// Rank every surviving candidate on the shared worker pool:
+		// each evaluation is pure and memoized, and the reduction below
+		// runs sequentially in candidate order, so strike bookkeeping,
+		// tie-breaking (lowest index wins), and Metrics totals match a
+		// sequential run exactly.
+		outcomes := make([]candOutcome, len(cands))
+		a.service().forEach(len(cands), func(ci int) {
+			c := cands[ci]
 			if c == nil {
-				continue
+				return
 			}
+			o := &outcomes[ci]
 			next, err := c.apply(curEval.tree)
 			if err != nil {
-				continue // not applicable this round; may apply later
+				return // not applicable this round; may apply later
 			}
-			met.Transformations++
-			var cost float64
+			o.applied = true
+			o.tree = next
+			o.met.Transformations++
 			if a.Opts.DisableCostDerivation {
-				ev, err := a.evaluate(next, &met)
+				ev, err := a.evaluate(next, &o.met)
 				if err != nil {
-					cands[ci] = nil
-					continue
+					o.failed = true
+					return
 				}
-				cost = ev.cost
+				o.cost = ev.cost
 			} else {
-				cost, err = a.deriveCost(curEval, next, &met)
+				cost, err := a.deriveCost(curEval, next, &o.met)
 				if err != nil {
-					cands[ci] = nil
-					continue
+					o.failed = true
+					return
 				}
-				ranked = append(ranked, rankedCand{ci, next, cost})
+				o.cost = cost
 			}
-			if cost < curEval.cost {
+		})
+		for ci := range cands {
+			if cands[ci] == nil {
+				continue
+			}
+			o := &outcomes[ci]
+			if !o.applied {
+				continue
+			}
+			met.merge(o.met)
+			if o.failed {
+				cands[ci] = nil
+				continue
+			}
+			if !a.Opts.DisableCostDerivation {
+				ranked = append(ranked, rankedCand{ci, o.tree, o.cost})
+			}
+			if o.cost < curEval.cost {
 				strikes[ci] = 0
 			} else {
 				strikes[ci]++
@@ -125,8 +151,8 @@ func (a *Advisor) Greedy() (*Result, error) {
 					cands[ci] = nil
 				}
 			}
-			if cost < bestCost {
-				bestIdx, bestTree, bestCost = ci, next, cost
+			if o.cost < bestCost {
+				bestIdx, bestTree, bestCost = ci, o.tree, o.cost
 			}
 		}
 		if !a.Opts.DisableCostDerivation && len(ranked) > 0 {
@@ -164,22 +190,39 @@ func (a *Advisor) Greedy() (*Result, error) {
 			if a.Opts.DisableCostDerivation {
 				break
 			}
-			for ci, c := range cands {
+			sweep := make([]candOutcome, len(cands))
+			a.service().forEach(len(cands), func(ci int) {
+				c := cands[ci]
 				if c == nil {
-					continue
+					return
 				}
+				o := &sweep[ci]
 				next, err := c.apply(curEval.tree)
 				if err != nil {
+					return
+				}
+				o.applied = true
+				o.tree = next
+				o.met.Transformations++
+				ev, err := a.evaluate(next, &o.met)
+				if err != nil {
+					o.failed = true
+					return
+				}
+				o.ev, o.cost = ev, ev.cost
+			})
+			for ci := range cands {
+				if cands[ci] == nil || !sweep[ci].applied {
 					continue
 				}
-				met.Transformations++
-				ev, err := a.evaluate(next, &met)
-				if err != nil {
+				o := &sweep[ci]
+				met.merge(o.met)
+				if o.failed {
 					cands[ci] = nil
 					continue
 				}
-				if ev.cost < bestCost {
-					bestIdx, bestTree, bestCost, bestEv = ci, next, ev.cost, ev
+				if o.cost < bestCost {
+					bestIdx, bestTree, bestCost, bestEv = ci, o.tree, o.cost, o.ev
 				}
 			}
 			if bestIdx < 0 {
@@ -227,6 +270,18 @@ func (a *Advisor) Greedy() (*Result, error) {
 	return a.result("Greedy", curEval, met), nil
 }
 
+// candOutcome carries one candidate's evaluation out of a parallel
+// ranking or sweep phase; results are reduced sequentially in candidate
+// order afterwards.
+type candOutcome struct {
+	tree    *schema.Tree
+	ev      *evalResult // exact evaluation, when one was produced
+	cost    float64
+	met     Metrics
+	applied bool // the candidate applied to the current tree
+	failed  bool // evaluation/derivation error: retire the candidate
+}
+
 // invertCandidate builds the reverse of an applied candidate where a
 // clean inverse exists (distribution/factorization and repetition
 // split/merge sequences); nil otherwise.
@@ -254,14 +309,21 @@ func invertCandidate(c *candidate) *candidate {
 	return inv
 }
 
-// deriveCost estimates the workload cost of a transformed mapping from
-// the current evaluation (§4.8): queries whose plans avoid every
+// deriveCost returns the Section 4.8 derived cost of moving from cur
+// to next, memoized by the pair of mapping signatures (rejected-winner
+// rounds re-derive identical pairs).
+func (a *Advisor) deriveCost(cur *evalResult, next *schema.Tree, met *Metrics) (float64, error) {
+	return a.service().deriveCost(cur, next, met)
+}
+
+// deriveCostFull estimates the workload cost of a transformed mapping
+// from the current evaluation (§4.8): queries whose plans avoid every
 // changed relation keep their cost (irrelevant-relation rule; the
 // repetition-split rule falls out because covering-index-only plans do
 // not list the base table among their objects), and only the remaining
 // queries are re-tuned with the space left after the retained
 // structures.
-func (a *Advisor) deriveCost(cur *evalResult, next *schema.Tree, met *Metrics) (float64, error) {
+func (a *Advisor) deriveCostFull(cur *evalResult, next *schema.Tree, met *Metrics) (float64, error) {
 	ev, w, err := a.prepare(next)
 	if err != nil {
 		return 0, err
@@ -269,7 +331,6 @@ func (a *Advisor) deriveCost(cur *evalResult, next *schema.Tree, met *Metrics) (
 	changed := changedTables(cur, ev)
 	total := 0.0
 	var retune physdesign.Workload
-	var retainedBytes int64
 	retained := make(map[string]bool)
 	for i := range a.W.Queries {
 		if derivable(cur, i, changed, ev) {
@@ -287,19 +348,9 @@ func (a *Advisor) deriveCost(cur *evalResult, next *schema.Tree, met *Metrics) (
 	}
 	// Reduce the tool's budget by the structures the derived queries
 	// keep using.
-	for _, idx := range cur.rec.Config.Indexes {
-		if retained[idx.ID()] {
-			retainedBytes += idx.EstBytes(cur.prov.TableStats(idx.Table))
-		}
-	}
-	for _, v := range cur.rec.Config.Views {
-		if retained["view:"+v.Name] {
-			retainedBytes += v.EstBytes(cur.prov)
-		}
-	}
 	opts := a.physOpts(ev.prov, ev.mapping)
 	if opts.StorageBytes > 0 {
-		opts.StorageBytes -= retainedBytes
+		opts.StorageBytes -= retainedStructBytes(cur, retained)
 		if opts.StorageBytes < 1 {
 			opts.StorageBytes = 1
 		}
@@ -319,6 +370,43 @@ func (a *Advisor) deriveCost(cur *evalResult, next *schema.Tree, met *Metrics) (
 		ri++
 	}
 	return total, nil
+}
+
+// retainedStructBytes sums the sizes of the current configuration's
+// structures that derived-query plans keep using, charged against the
+// re-tuning budget the same way the tool accounts for them: full size
+// for indexes and views, and the key-replication overhead over the base
+// data for vertical partitions (derivable plans may scan partition
+// groups — "table#gN" objects — so with EnableVPartitions on, omitting
+// them would hand the re-tuning call an inflated budget).
+func retainedStructBytes(cur *evalResult, retained map[string]bool) int64 {
+	var bytes int64
+	for _, idx := range cur.rec.Config.Indexes {
+		if retained[idx.ID()] {
+			bytes += idx.EstBytes(cur.prov.TableStats(idx.Table))
+		}
+	}
+	for _, v := range cur.rec.Config.Views {
+		if retained["view:"+v.Name] {
+			bytes += v.EstBytes(cur.prov)
+		}
+	}
+	for _, vp := range cur.rec.Config.Partitions {
+		used := false
+		for gi := range vp.Groups {
+			if retained[fmt.Sprintf("%s#g%d", vp.Table, gi)] {
+				used = true
+				break
+			}
+		}
+		if !used {
+			continue
+		}
+		if ts := cur.prov.TableStats(vp.Table); ts != nil {
+			bytes += vp.EstBytes(ts) - ts.Bytes()
+		}
+	}
+	return bytes
 }
 
 // changedTables diffs two mappings: tables that exist in only one, or

@@ -19,6 +19,8 @@ func (r *Result) WriteReport(w io.Writer, verbose bool) error {
 	fmt.Fprintf(&b, "search: %s | %d transformations searched | %d tool calls | %d optimizer calls | %d costs derived\n",
 		r.Metrics.Duration.Round(1e6), r.Metrics.Transformations, r.Metrics.PhysDesignCalls,
 		r.Metrics.OptimizerCalls, r.Metrics.CostsDerived)
+	fmt.Fprintf(&b, "eval cache: %d hits | %d misses\n",
+		r.Metrics.EvalCacheHits, r.Metrics.EvalCacheMisses)
 
 	b.WriteString("\n--- logical design ---\n")
 	b.WriteString(r.Tree.String())

@@ -100,6 +100,10 @@ type Row struct {
 	PhysDesignCalls int
 	OptimizerCalls  int64
 	CostsDerived    int
+	// EvalCacheHits / EvalCacheMisses count memoized evaluation reuse
+	// in the shared evaluation service.
+	EvalCacheHits   int
+	EvalCacheMisses int
 }
 
 // Algorithms selects which algorithms a comparison run includes.
@@ -197,6 +201,8 @@ func resultRow(d *Dataset, w *workload.Workload, res *core.Result, ex *core.Exec
 		PhysDesignCalls: res.Metrics.PhysDesignCalls,
 		OptimizerCalls:  res.Metrics.OptimizerCalls,
 		CostsDerived:    res.Metrics.CostsDerived,
+		EvalCacheHits:   res.Metrics.EvalCacheHits,
+		EvalCacheMisses: res.Metrics.EvalCacheMisses,
 	}
 	if hyEx.Elapsed > 0 {
 		r.NormExec = float64(ex.Elapsed) / float64(hyEx.Elapsed)
@@ -213,14 +219,15 @@ func resultRow(d *Dataset, w *workload.Workload, res *core.Result, ex *core.Exec
 // PrintRows renders rows as an aligned table.
 func PrintRows(w io.Writer, title string, rows []Row) {
 	fmt.Fprintf(w, "\n== %s ==\n", title)
-	fmt.Fprintf(w, "%-8s %-10s %-14s %10s %9s %10s %9s %7s %6s %8s\n",
-		"dataset", "workload", "algorithm", "exec(ms)", "norm", "search(ms)", "normTS", "#trans", "#tool", "#optcall")
+	fmt.Fprintf(w, "%-8s %-10s %-14s %10s %9s %10s %9s %7s %6s %8s %11s\n",
+		"dataset", "workload", "algorithm", "exec(ms)", "norm", "search(ms)", "normTS", "#trans", "#tool", "#optcall", "cache(h/m)")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-8s %-10s %-14s %10.2f %9.3f %10.1f %9.2f %7d %6d %8d\n",
+		fmt.Fprintf(w, "%-8s %-10s %-14s %10.2f %9.3f %10.1f %9.2f %7d %6d %8d %11s\n",
 			r.Dataset, r.Workload, r.Algorithm,
 			float64(r.ExecTime.Microseconds())/1000, r.NormExec,
 			float64(r.SearchTime.Microseconds())/1000, r.NormSearch,
-			r.Transformations, r.PhysDesignCalls, r.OptimizerCalls)
+			r.Transformations, r.PhysDesignCalls, r.OptimizerCalls,
+			fmt.Sprintf("%d/%d", r.EvalCacheHits, r.EvalCacheMisses))
 	}
 }
 

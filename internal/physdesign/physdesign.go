@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"repro/internal/optimizer"
 	"repro/internal/physical"
@@ -52,6 +53,26 @@ type Options struct {
 	// update-heavy workloads receive leaner configurations (the
 	// paper's future-work extension).
 	InsertRates map[string]float64
+}
+
+// Key returns a canonical string identity for the options, so advisor
+// caches can include the physical-design configuration in their
+// memoization keys. InsertRates are serialized in sorted table order.
+func (o Options) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "s=%d;dv=%t;vp=%t;mc=%d", o.StorageBytes, o.DisableViews,
+		o.EnableVPartitions, o.MaxCandidatesPerQuery)
+	if len(o.InsertRates) > 0 {
+		tables := make([]string, 0, len(o.InsertRates))
+		for t := range o.InsertRates {
+			tables = append(tables, t)
+		}
+		sort.Strings(tables)
+		for _, t := range tables {
+			fmt.Fprintf(&b, ";ir:%s=%g", t, o.InsertRates[t])
+		}
+	}
+	return b.String()
 }
 
 // Recommendation is the tool's output.

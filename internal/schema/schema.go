@@ -561,6 +561,80 @@ func nearestElement(n *Node) *Node {
 	return nil
 }
 
+// Signature renders a canonical serialization of the tree for use as a
+// memoization key: everything mapping compilation and statistics
+// derivation read — structure, element identities, annotations, split
+// counts, union distributions, simple types, and occurrence bounds.
+// Two trees with equal signatures compile to identical mappings with
+// identical derived statistics, so an evaluation of one can be reused
+// for the other. Unlike String, it disambiguates same-named elements by
+// node ID and includes distribution metadata.
+func (t *Tree) Signature() string {
+	var b strings.Builder
+	var render func(n *Node)
+	render = func(n *Node) {
+		switch n.Kind {
+		case KindElement:
+			fmt.Fprintf(&b, "%s#%d", n.Name, n.ID)
+			if n.Annotation != "" {
+				fmt.Fprintf(&b, "{%s}", n.Annotation)
+			}
+			if n.TypeName != "" {
+				fmt.Fprintf(&b, "<%s>", n.TypeName)
+			}
+			if n.SplitCount > 0 {
+				fmt.Fprintf(&b, "[k=%d]", n.SplitCount)
+			}
+			if len(n.Distributions) > 0 {
+				keys := make([]string, len(n.Distributions))
+				for i, d := range n.Distributions {
+					keys[i] = d.Key()
+				}
+				sort.Strings(keys)
+				fmt.Fprintf(&b, "[d=%s]", strings.Join(keys, ";"))
+			}
+			if len(n.Children) > 0 {
+				b.WriteByte('(')
+				for i, c := range n.Children {
+					if i > 0 {
+						b.WriteByte(',')
+					}
+					render(c)
+				}
+				b.WriteByte(')')
+			}
+		case KindSequence:
+			b.WriteByte('[')
+			for i, c := range n.Children {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				render(c)
+			}
+			b.WriteByte(']')
+		case KindChoice:
+			b.WriteByte('(')
+			for i, c := range n.Children {
+				if i > 0 {
+					b.WriteByte('|')
+				}
+				render(c)
+			}
+			b.WriteByte(')')
+		case KindOption:
+			render(n.Children[0])
+			b.WriteByte('?')
+		case KindRepetition:
+			render(n.Children[0])
+			fmt.Fprintf(&b, "*%d..%d", n.MinOccurs, n.MaxOccurs)
+		case KindSimple:
+			fmt.Fprintf(&b, ":%d", n.Base)
+		}
+	}
+	render(t.Root)
+	return b.String()
+}
+
 // String renders the tree in a compact single-line grammar form for
 // diagnostics, e.g. movie(title,year,aka_title*,avg_rating?,(box_office|seasons)).
 func (t *Tree) String() string {

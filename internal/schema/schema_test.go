@@ -245,6 +245,42 @@ func TestTreeString(t *testing.T) {
 	}
 }
 
+// TestSignature pins the properties the memoization cache key relies
+// on: the signature is stable across Clone (so re-derived candidate
+// trees hit the cache) and distinguishes every logical-design decision
+// — annotations, repetition splits, and union distributions — that
+// changes the resulting mapping.
+func TestSignature(t *testing.T) {
+	base := Movie()
+	if got, want := base.Signature(), base.Clone().Signature(); got != want {
+		t.Errorf("clone changed signature:\n%s\n%s", want, got)
+	}
+	distinct := map[string]string{"base": base.Signature()}
+	check := func(label string, tr *Tree) {
+		sig := tr.Signature()
+		for prev, psig := range distinct {
+			if sig == psig {
+				t.Errorf("%s and %s share a signature: %s", label, prev, sig)
+			}
+		}
+		distinct[label] = sig
+	}
+
+	split := base.Clone()
+	split.ElementsNamed("aka_title")[0].SplitCount = 2
+	check("split", split)
+
+	ann := base.Clone()
+	ann.ElementsNamed("actor")[0].Annotation = "cast"
+	check("annotation", ann)
+
+	dist := base.Clone()
+	movie := dist.ElementsNamed("movie")[0]
+	rating := dist.ElementsNamed("avg_rating")[0]
+	movie.Distributions = []Distribution{{Optionals: []int{rating.ID}}}
+	check("distribution", dist)
+}
+
 const sampleXSD = `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
  <xs:complexType name="Person">
   <xs:sequence>
