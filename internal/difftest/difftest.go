@@ -1,0 +1,376 @@
+package difftest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/optimizer"
+	"repro/internal/physdesign"
+	"repro/internal/physical"
+	"repro/internal/shred"
+	"repro/internal/sqlast"
+	"repro/internal/stats"
+	"repro/internal/transform"
+	"repro/internal/translate"
+	"repro/internal/xmlgen"
+	"repro/internal/xpath"
+)
+
+// Case identifies one differential trial. Every random decision derives
+// deterministically from Seed, so a Case is a complete replay spec.
+type Case struct {
+	// Seed drives schema, document, workload, transformation, and
+	// physical-design generation through independent substreams.
+	Seed int64
+	// RootInstances scales the document (top-level element counts are
+	// drawn from 1..2*RootInstances).
+	RootInstances int
+	// Steps is the length of the random transformation sequence.
+	Steps int
+	// Queries is the workload size.
+	Queries int
+	// Only restricts execution to the query with this index; -1 runs
+	// all queries (used by shrinking to isolate a failure).
+	Only int
+	// CheckCosts enables the cost-model invariant checks.
+	CheckCosts bool
+}
+
+// DefaultCase is the standard trial shape for a seed.
+func DefaultCase(seed int64) Case {
+	return Case{Seed: seed, RootInstances: 8, Steps: 4, Queries: 6, Only: -1, CheckCosts: true}
+}
+
+// ReplaySpec renders the case in the format DIFFTEST_REPLAY accepts.
+func (c Case) ReplaySpec() string {
+	return fmt.Sprintf("seed=%d,roots=%d,steps=%d,queries=%d,only=%d",
+		c.Seed, c.RootInstances, c.Steps, c.Queries, c.Only)
+}
+
+// ParseReplay parses a ReplaySpec back into a Case.
+func ParseReplay(s string) (Case, error) {
+	c := DefaultCase(0)
+	for _, kv := range strings.Split(s, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			return c, fmt.Errorf("difftest: bad replay component %q", kv)
+		}
+		v, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil {
+			return c, fmt.Errorf("difftest: bad replay value %q: %v", kv, err)
+		}
+		switch parts[0] {
+		case "seed":
+			c.Seed = v
+		case "roots":
+			c.RootInstances = int(v)
+		case "steps":
+			c.Steps = int(v)
+		case "queries":
+			c.Queries = int(v)
+		case "only":
+			c.Only = int(v)
+		default:
+			return c, fmt.Errorf("difftest: unknown replay key %q", parts[0])
+		}
+	}
+	return c, nil
+}
+
+// Mismatch is a differential failure: the oracle and the pipeline
+// disagree, or an invariant broke, at the given stage.
+type Mismatch struct {
+	Case     Case
+	Stage    string
+	QueryIdx int // -1 when not tied to one query
+	Query    string
+	Detail   string
+}
+
+func (m *Mismatch) Error() string {
+	q := ""
+	if m.Query != "" {
+		q = fmt.Sprintf(" query %d %s", m.QueryIdx, m.Query)
+	}
+	return fmt.Sprintf("[%s] stage %s%s: %s", m.Case.ReplaySpec(), m.Stage, q, m.Detail)
+}
+
+// RunStats summarizes one trial.
+type RunStats struct {
+	// Queries is the workload size; Executed of them ran end to end,
+	// Skipped hit a mapping/grammar combination the translator cannot
+	// express, and ProvenEmpty were pruned to nothing by the translator
+	// (verified empty against the evaluator).
+	Queries, Executed, Skipped, ProvenEmpty int
+	// Transforms counts successfully applied transformation steps.
+	Transforms int
+	// Tuned is 1 when the physical design came from physdesign.Tune.
+	Tuned int
+	// MaxCostRatio is the largest derived-vs-measured cost ratio seen.
+	MaxCostRatio float64
+}
+
+// Add accumulates another trial's stats.
+func (s *RunStats) Add(o RunStats) {
+	s.Queries += o.Queries
+	s.Executed += o.Executed
+	s.Skipped += o.Skipped
+	s.ProvenEmpty += o.ProvenEmpty
+	s.Transforms += o.Transforms
+	s.Tuned += o.Tuned
+	if o.MaxCostRatio > s.MaxCostRatio {
+		s.MaxCostRatio = o.MaxCostRatio
+	}
+}
+
+// mix derives an independent substream seed from the case seed (a
+// splitmix64 step). Separate streams per generation phase keep
+// shrinking prefix-stable: changing Steps or Only never shifts the
+// schema, document, or workload randomness.
+func mix(seed int64, stream uint64) int64 {
+	z := uint64(seed) + (stream+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// Run executes one differential trial and reports the first mismatch,
+// if any.
+func Run(c Case) (RunStats, *Mismatch) {
+	var st RunStats
+	fail := func(stage string, qi int, query, format string, a ...any) *Mismatch {
+		return &Mismatch{Case: c, Stage: stage, QueryIdx: qi, Query: query, Detail: fmt.Sprintf(format, a...)}
+	}
+	base := RandomSchema(rand.New(rand.NewSource(mix(c.Seed, 1))))
+	doc, err := RandomDoc(base, rand.New(rand.NewSource(mix(c.Seed, 2))), c.RootInstances)
+	if err != nil {
+		return st, fail("document", -1, "", "%v", err)
+	}
+	queries, err := RandomWorkload(base, rand.New(rand.NewSource(mix(c.Seed, 3))), c.Queries)
+	if err != nil {
+		return st, fail("workload", -1, "", "%v", err)
+	}
+	st.Queries = len(queries)
+
+	// Random transformation sequence, exactly as the advisor applies
+	// them: enumerate applicable candidates, pick one, apply, repeat.
+	col := xmlgen.CollectStats(base, doc)
+	rt := rand.New(rand.NewSource(mix(c.Seed, 4)))
+	tree := base.Clone()
+	var applied []string
+	for s := 0; s < c.Steps; s++ {
+		cands := transform.EnumerateAll(tree, col)
+		if len(cands) == 0 {
+			break
+		}
+		tf := cands[rt.Intn(len(cands))]
+		next, aerr := tf.Apply(tree)
+		if aerr != nil {
+			continue // combination not applicable under the current tree
+		}
+		applied = append(applied, tf.Key())
+		tree = next
+	}
+	st.Transforms = len(applied)
+
+	m, err := shred.Compile(tree)
+	if err != nil {
+		return st, fail("compile", -1, "", "%v (applied %v)", err, applied)
+	}
+	db, err := shred.Shred(m, doc)
+	if err != nil {
+		return st, fail("shred", -1, "", "%v (applied %v)", err, applied)
+	}
+
+	type tq struct {
+		idx int
+		q   *xpath.Query
+		sql *sqlast.Query
+	}
+	var translated []tq
+	for i, q := range queries {
+		if c.Only >= 0 && i != c.Only {
+			continue
+		}
+		sql, terr := translate.Translate(m, q)
+		if terr != nil {
+			switch classifyTranslateErr(terr) {
+			case skipClass:
+				st.Skipped++
+				continue
+			case emptyClass:
+				// The translator pruned every branch: the query must
+				// really be empty on the document.
+				gold, gerr := xmlgen.Evaluate(base, doc, q)
+				if gerr != nil {
+					return st, fail("evaluate", i, q.String(), "%v", gerr)
+				}
+				if n := len(dropEmpty(normalizeGold(gold, q.Proj, bareNames(base, q)))); n > 0 {
+					return st, fail("prune", i, q.String(),
+						"translator proved the query empty but the evaluator returns %d non-empty groups (applied %v)", n, applied)
+				}
+				st.ProvenEmpty++
+				continue
+			default:
+				return st, fail("translate", i, q.String(), "%v (applied %v)", terr, applied)
+			}
+		}
+		translated = append(translated, tq{i, q, sql})
+	}
+
+	prov := stats.FromDatabase(db)
+	rp := rand.New(rand.NewSource(mix(c.Seed, 5)))
+	var cfg *physical.Config
+	if len(translated) > 0 && rp.Intn(100) < 15 {
+		// Tuner-chosen design under a random storage bound; doubles as
+		// the storage-bound invariant check.
+		var w physdesign.Workload
+		for _, t := range translated {
+			w = append(w, physdesign.WeightedQuery{Q: t.sql, Weight: float64(1 + rp.Intn(3)), Tag: t.q.String()})
+		}
+		bound := db.Bytes()/2 + int64(rp.Intn(4096))
+		rec, rerr := physdesign.Tune(w, prov, physdesign.Options{
+			StorageBytes:      bound,
+			EnableVPartitions: rp.Intn(2) == 0,
+		})
+		if rerr != nil {
+			return st, fail("tune", -1, "", "%v (applied %v)", rerr, applied)
+		}
+		if c.CheckCosts {
+			if rec.StructBytes > bound {
+				return st, fail("storage-bound", -1, "",
+					"recommendation StructBytes %d exceeds bound %d", rec.StructBytes, bound)
+			}
+			if est := rec.Config.EstBytes(prov); est > bound {
+				return st, fail("storage-bound", -1, "",
+					"config EstBytes %d exceeds bound %d", est, bound)
+			}
+		}
+		cfg = rec.Config
+		st.Tuned = 1
+	} else {
+		cfg = RandomConfig(rp, db)
+	}
+
+	built, err := engine.Build(db, cfg)
+	if err != nil {
+		return st, fail("build", -1, "", "%v (config %v)", err, cfg)
+	}
+	opt := optimizer.New(prov)
+	var optDerived *optimizer.Optimizer
+	if c.CheckCosts {
+		optDerived = optimizer.New(shred.DeriveStats(m, col))
+	}
+	for _, t := range translated {
+		plan, perr := opt.PlanQuery(t.sql, cfg)
+		if perr != nil {
+			return st, fail("plan", t.idx, t.q.String(), "%v\nSQL:\n%s", perr, t.sql.SQL())
+		}
+		res, xerr := engine.Execute(built, plan)
+		if xerr != nil {
+			return st, fail("execute", t.idx, t.q.String(), "%v\nSQL:\n%s", xerr, t.sql.SQL())
+		}
+		gold, gerr := xmlgen.Evaluate(base, doc, t.q)
+		if gerr != nil {
+			return st, fail("evaluate", t.idx, t.q.String(), "%v", gerr)
+		}
+		got := dropEmpty(normalizeSQL(res))
+		want := dropEmpty(normalizeGold(gold, t.q.Proj, bareNames(base, t.q)))
+		if d := diffGroups(got, want); d != "" {
+			return st, fail("compare", t.idx, t.q.String(), "%s (applied %v)\nSQL:\n%s", d, applied, t.sql.SQL())
+		}
+		st.Executed++
+		if c.CheckCosts {
+			if cerr := checkCosts(&st, optDerived, t.sql, cfg, plan); cerr != "" {
+				return st, fail("cost", t.idx, t.q.String(), "%s (applied %v)", cerr, applied)
+			}
+		}
+	}
+	return st, nil
+}
+
+func diffGroups(got, want []string) string {
+	if len(got) != len(want) {
+		return fmt.Sprintf("got %d groups, want %d\n got: %s\nwant: %s",
+			len(got), len(want), strings.Join(got, " || "), strings.Join(want, " || "))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Sprintf("group %d differs\n got: %s\nwant: %s", i, got[i], want[i])
+		}
+	}
+	return ""
+}
+
+type errClass int
+
+const (
+	failClass errClass = iota
+	skipClass
+	emptyClass
+)
+
+// classifyTranslateErr sorts translator errors into three bins: shapes
+// a mapping legitimately cannot express (skipped), queries the
+// translator proves return nothing (verified against the evaluator),
+// and everything else (a failure).
+func classifyTranslateErr(err error) errClass {
+	msg := err.Error()
+	switch {
+	case strings.Contains(msg, "selects nothing under this mapping"):
+		return emptyClass
+	case strings.Contains(msg, "resolves to"),
+		strings.Contains(msg, "crosses more than one relation level"),
+		strings.Contains(msg, "selection on partitioned child relation"),
+		strings.Contains(msg, "split selection with partitioned overflow"),
+		strings.Contains(msg, "ambiguous with incompatible projections"):
+		return skipClass
+	default:
+		return failClass
+	}
+}
+
+// Cost-model invariant bounds. The derived cost comes from document
+// statistics pushed through the mapping (shred.DeriveStats); the
+// measured cost from scanning the loaded database. They estimate the
+// same plans with different inputs, so they must stay within a fixed
+// factor once a small epsilon absorbs the constant terms of near-empty
+// tables.
+const (
+	costEpsilon  = 8.0
+	costMaxRatio = 64.0
+)
+
+func checkCosts(st *RunStats, derived *optimizer.Optimizer, sql *sqlast.Query,
+	cfg *physical.Config, plan *optimizer.Plan) string {
+	if math.IsNaN(plan.Cost) || math.IsInf(plan.Cost, 0) || plan.Cost <= 0 {
+		return fmt.Sprintf("measured plan cost %v is not finite and positive", plan.Cost)
+	}
+	dcost, err := derived.Cost(sql, cfg)
+	if err != nil {
+		return fmt.Sprintf("derived-stats costing failed: %v", err)
+	}
+	if math.IsNaN(dcost) || math.IsInf(dcost, 0) || dcost < 0 {
+		return fmt.Sprintf("derived plan cost %v is not finite", dcost)
+	}
+	ratio := (dcost + costEpsilon) / (plan.Cost + costEpsilon)
+	if ratio < 1 {
+		ratio = 1 / ratio
+	}
+	if ratio > st.MaxCostRatio {
+		st.MaxCostRatio = ratio
+	}
+	if ratio > costMaxRatio {
+		return fmt.Sprintf("derived cost %.1f vs measured %.1f: ratio %.1f exceeds %g",
+			dcost, plan.Cost, ratio, costMaxRatio)
+	}
+	return ""
+}

@@ -1,0 +1,64 @@
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/rel"
+	"repro/internal/schema"
+	"repro/internal/xmlgen"
+)
+
+// poolValue draws a leaf value from a small per-leaf pool so that
+// workload predicates actually hit: strings are "<name>-00".."<name>-07",
+// ints are 0..11, and floats are k+odd/8 — exact in binary and never
+// integral, so float literals survive the XPath printer round trip.
+func poolValue(leaf *schema.Node, r *rand.Rand) rel.Value {
+	switch leaf.LeafBase() {
+	case schema.BaseInt:
+		return rel.Int(int64(r.Intn(12)))
+	case schema.BaseFloat:
+		odds := [...]int64{1, 3, 5, 7}
+		return rel.Float(float64(r.Intn(10)) + float64(odds[r.Intn(4)])/8)
+	default:
+		return rel.Str(fmt.Sprintf("%s-%02d", strings.TrimPrefix(leaf.Name, "@"), r.Intn(8)))
+	}
+}
+
+// RandomDoc generates a document valid for the tree: pool-driven leaf
+// values, per-option presence probabilities, and rootInstances scaling
+// the top-level element counts. This generalizes the hand-coded
+// GenerateMovie/GenerateDBLP to arbitrary generated schemas.
+func RandomDoc(t *schema.Tree, r *rand.Rand, rootInstances int) (*xmlgen.Doc, error) {
+	if rootInstances < 1 {
+		rootInstances = 1
+	}
+	spec := xmlgen.NewGenSpec()
+	for _, leaf := range t.Leaves() {
+		leaf := leaf
+		spec.Value[leaf.ID] = func(rr *rand.Rand, _ int64) rel.Value {
+			return poolValue(leaf, rr)
+		}
+	}
+	t.Walk(func(n *schema.Node) {
+		if n.Kind == schema.KindOption {
+			spec.Presence[n.ID] = 0.25 + r.Float64()*0.5
+		}
+	})
+	counts := make(map[string]int)
+	for _, c := range t.Root.Children[0].Children {
+		if c.Kind != schema.KindRepetition {
+			continue
+		}
+		if elems := c.ElementChildren(); len(elems) == 1 {
+			counts[elems[0].Name] = 1 + r.Intn(2*rootInstances)
+		}
+	}
+	g := xmlgen.NewGenerator(t, spec, r.Int63())
+	doc := g.GenerateRootChildren(counts)
+	if err := doc.Validate(t); err != nil {
+		return nil, fmt.Errorf("difftest: generated document is invalid: %w", err)
+	}
+	return doc, nil
+}

@@ -1,0 +1,78 @@
+package difftest
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/xpath"
+)
+
+// FuzzDifferential feeds arbitrary seeds to a reduced differential
+// trial. Without -fuzz the checked-in corpus under
+// testdata/fuzz/FuzzDifferential runs as regular deterministic tests.
+func FuzzDifferential(f *testing.F) {
+	for _, s := range []int64{0, 1, 2, 105, -7} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		c := Case{Seed: seed, RootInstances: 5, Steps: 3, Queries: 4, Only: -1, CheckCosts: true}
+		if _, m := Run(c); m != nil {
+			sc, sm := Shrink(c, m)
+			t.Fatalf("differential mismatch; replay with DIFFTEST_REPLAY=%q\nshrunk:   %v\noriginal: %v",
+				sc.ReplaySpec(), sm, m)
+		}
+	})
+}
+
+// FuzzXPathRoundTrip checks parse(print(q)) == q over generated
+// workloads: RandomWorkload already rejects any printer divergence, so
+// a reported error here is a printer or parser bug (schemas too small
+// to yield a workload are skipped).
+func FuzzXPathRoundTrip(f *testing.F) {
+	for _, s := range []int64{3, 17, 2026} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		tree := RandomSchema(rand.New(rand.NewSource(mix(seed, 1))))
+		_, err := RandomWorkload(tree, rand.New(rand.NewSource(mix(seed, 3))), 4)
+		if err == nil {
+			return
+		}
+		if strings.Contains(err.Error(), "could only generate") {
+			t.Skip("schema yields too few expressible queries")
+		}
+		t.Fatal(err)
+	})
+}
+
+// FuzzXPathParse checks that any string the parser accepts prints to a
+// fixed point: print(parse(s)) must itself parse, and print again to
+// the same string.
+func FuzzXPathParse(f *testing.F) {
+	for _, s := range []string{
+		"//movie",
+		"/dblp/article[author=\"Jones\"]/(title|year)",
+		"//a/b[c/d>=2.5]",
+		"//x[y!=-3]/(p/q|r)",
+		"/a/b/c",
+		"//t['it''s']",
+		"//n[v<\"s\"]/(@id)",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		q, err := xpath.Parse(s)
+		if err != nil {
+			t.Skip()
+		}
+		printed := q.String()
+		q2, err := xpath.Parse(printed)
+		if err != nil {
+			t.Fatalf("printed form %q of accepted input %q does not parse: %v", printed, s, err)
+		}
+		if again := q2.String(); again != printed {
+			t.Fatalf("printer not a fixed point: %q -> %q -> %q", s, printed, again)
+		}
+	})
+}

@@ -1,0 +1,112 @@
+package difftest
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/schema"
+	"repro/internal/translate"
+	"repro/internal/xmlgen"
+	"repro/internal/xpath"
+)
+
+// The comparison convention (shared with the engine integration tests):
+// group SQL rows by the context ID column in first-appearance order,
+// render each group as a sorted multiset of name=value items, drop
+// NULLs, fold repetition-split columns (x__2 -> x), and drop empty
+// groups on both sides — the evaluator emits a group even when every
+// projection is empty, while SQL prunes all-NULL rows.
+
+// normalizeSQL renders grouped SQL output.
+func normalizeSQL(res *engine.Result) []string {
+	idIdx := -1
+	for i, c := range res.Cols {
+		if c == "ID" {
+			idIdx = i
+		}
+	}
+	groups := make(map[string][]string)
+	var order []string
+	for _, row := range res.Rows {
+		id := row[idIdx].String()
+		if _, ok := groups[id]; !ok {
+			groups[id] = []string{}
+			order = append(order, id)
+		}
+		for i, v := range row {
+			if i == idIdx || v.Null {
+				continue
+			}
+			name := res.Cols[i]
+			if k := strings.Index(name, "__"); k >= 0 {
+				name = name[:k]
+			}
+			groups[id] = append(groups[id], name+"="+v.String())
+		}
+	}
+	out := make([]string, 0, len(order))
+	for _, id := range order {
+		g := groups[id]
+		sort.Strings(g)
+		out = append(out, strings.Join(g, ";"))
+	}
+	return out
+}
+
+// normalizeGold renders evaluator result groups the same way.
+func normalizeGold(groups []xmlgen.ResultGroup, proj []xpath.Path, bare []string) []string {
+	var out []string
+	for _, g := range groups {
+		var items []string
+		for i, vals := range g.Values {
+			name := ""
+			if len(proj) > 0 {
+				name = strings.Join(proj[i], "_")
+			} else if i < len(bare) {
+				name = bare[i]
+			}
+			for _, v := range vals {
+				items = append(items, name+"="+v.String())
+			}
+		}
+		sort.Strings(items)
+		out = append(out, strings.Join(items, ";"))
+	}
+	return out
+}
+
+func dropEmpty(in []string) []string {
+	var out []string
+	for _, s := range in {
+		if s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// bareNames reconstructs the implicit projection names of a bare query
+// from the base tree, mirroring the translator's bare-context
+// projections: the context's name for a leaf context, otherwise its
+// single-valued direct leaf children in schema order.
+func bareNames(t *schema.Tree, q *xpath.Query) []string {
+	if len(q.Proj) > 0 {
+		return nil
+	}
+	nodes := translate.ResolveContext(t, q.Context)
+	if len(nodes) == 0 {
+		return nil
+	}
+	ctx := nodes[0]
+	if ctx.IsLeaf() {
+		return []string{ctx.Name}
+	}
+	var out []string
+	for _, c := range ctx.ElementChildren() {
+		if c.IsLeaf() && !c.IsSetValued() {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}

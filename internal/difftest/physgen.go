@@ -1,0 +1,89 @@
+package difftest
+
+import (
+	"math/rand"
+
+	"repro/internal/physical"
+	"repro/internal/rel"
+)
+
+// RandomConfig draws a random physical design over the shredded
+// database: PID and value-column indexes (with random include lists),
+// two-group vertical partitions, and parent-child join views where the
+// parent relation exists under its annotation name (i.e. is not itself
+// partitioned). About one config in five is left empty.
+func RandomConfig(r *rand.Rand, db *rel.Database) *physical.Config {
+	cfg := &physical.Config{}
+	if r.Intn(5) == 0 {
+		return cfg
+	}
+	for _, tb := range db.Tables() {
+		var valueCols []string
+		for _, c := range tb.Columns {
+			if c.Name != rel.IDColumn && c.Name != rel.PIDColumn {
+				valueCols = append(valueCols, c.Name)
+			}
+		}
+		if tb.HasColumn(rel.PIDColumn) && r.Intn(10) < 4 {
+			idx := &physical.Index{
+				Name: "p_" + tb.Name, Table: tb.Name, Key: []string{rel.PIDColumn},
+			}
+			if len(valueCols) > 0 && r.Intn(2) == 0 {
+				idx.Include = []string{valueCols[r.Intn(len(valueCols))]}
+			}
+			cfg.AddIndex(idx)
+		}
+		if len(valueCols) > 0 && r.Intn(10) < 4 {
+			key := valueCols[r.Intn(len(valueCols))]
+			idx := &physical.Index{
+				Name: "v_" + tb.Name + "_" + key, Table: tb.Name, Key: []string{key},
+			}
+			if r.Intn(2) == 0 {
+				idx.Include = append(idx.Include, rel.IDColumn)
+			}
+			cfg.AddIndex(idx)
+		}
+		if len(valueCols) >= 2 && r.Intn(10) < 2 {
+			perm := r.Perm(len(valueCols))
+			cut := 1 + r.Intn(len(valueCols)-1)
+			groups := [][]string{{}, {}}
+			for k, i := range perm {
+				g := 0
+				if k >= cut {
+					g = 1
+				}
+				groups[g] = append(groups[g], valueCols[i])
+			}
+			cfg.AddPartition(&physical.VPartition{Table: tb.Name, Groups: groups})
+		}
+		if tb.Parent != "" && r.Intn(10) < 3 {
+			outer := db.Table(tb.Parent)
+			if outer == nil {
+				continue // parent annotation is partitioned; no single table
+			}
+			oCols := []string{rel.IDColumn}
+			for _, c := range outer.Columns {
+				if c.Name != rel.IDColumn && c.Name != rel.PIDColumn && r.Intn(2) == 0 {
+					oCols = append(oCols, c.Name)
+				}
+			}
+			var iCols []string
+			for _, c := range valueCols {
+				if r.Intn(2) == 0 {
+					iCols = append(iCols, c)
+				}
+			}
+			if len(iCols) == 0 && len(valueCols) > 0 {
+				iCols = append(iCols, valueCols[0])
+			}
+			cfg.AddView(&physical.View{
+				Name:      "jv_" + tb.Name,
+				Outer:     outer.Name,
+				Inner:     tb.Name,
+				OuterCols: oCols,
+				InnerCols: iCols,
+			})
+		}
+	}
+	return cfg
+}

@@ -1,0 +1,177 @@
+// Package difftest is a generative differential-testing harness: it
+// draws random XSD schema trees, documents valid for them, and XPath
+// workloads in the supported grammar, then pushes each triple through a
+// random transformation sequence and physical design and checks that
+// shred → translate → plan → execute returns exactly what the
+// reference evaluator (xmlgen.Evaluate) returns on the document.
+// Failures shrink to a minimal case and print a replay spec.
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/schema"
+)
+
+// RootName is the document root element of every generated schema.
+const RootName = "r0"
+
+// schemaGen carries the name counters so every generated element and
+// attribute name is globally unique (shared-type twins excepted, which
+// deliberately reuse one name under two distinct parents).
+type schemaGen struct {
+	r     *rand.Rand
+	nameN int
+	attrN int
+}
+
+func (g *schemaGen) name() string {
+	g.nameN++
+	return fmt.Sprintf("e%d", g.nameN)
+}
+
+func (g *schemaGen) attrName() string {
+	g.attrN++
+	return fmt.Sprintf("@a%d", g.attrN)
+}
+
+// base draws a leaf base type: strings half the time, then ints, then
+// floats — all three rel value types appear in any non-trivial schema.
+func (g *schemaGen) base() schema.BaseType {
+	switch g.r.Intn(10) {
+	case 0, 1, 2:
+		return schema.BaseInt
+	case 3, 4:
+		return schema.BaseFloat
+	default:
+		return schema.BaseString
+	}
+}
+
+// RandomSchema draws a bounded random schema tree: a root holding 2-4
+// repeated complex elements, each with a mix of required/optional/
+// repeated leaves, attributes, choice groups, and up to two levels of
+// nested complex content; sometimes a pair of shared-type twin leaves
+// spans two top-level elements (the DBLP author/cite pattern). The
+// tree is annotated with hybrid inlining and always validates.
+func RandomSchema(r *rand.Rand) *schema.Tree {
+	g := &schemaGen{r: r}
+	nTop := 2 + r.Intn(3)
+	tops := make([]*schema.Node, nTop)
+	var rootKids []*schema.Node
+	for i := range tops {
+		tops[i] = g.complexElem(1)
+		rootKids = append(rootKids, schema.Rep(tops[i]))
+	}
+	// Occasionally a single-valued root leaf (dataset metadata).
+	if r.Intn(3) == 0 {
+		rootKids = append(rootKids, schema.Leaf(g.name(), g.base()))
+	}
+	if nTop >= 2 && r.Intn(10) < 7 {
+		g.addSharedPair(tops)
+	}
+	t := schema.NewTree(schema.Elem(RootName, schema.Seq(rootKids...)))
+	schema.ApplyHybridInlining(t)
+	if err := t.Validate(); err != nil {
+		// A generator bug, not a system-under-test failure.
+		panic(fmt.Sprintf("difftest: generated schema is invalid: %v", err))
+	}
+	return t
+}
+
+// complexElem builds one complex element at the given nesting depth.
+func (g *schemaGen) complexElem(depth int) *schema.Node {
+	name := g.name()
+	var kids []*schema.Node
+	// An attribute first, sometimes optional — attributes precede
+	// content in the XSD surface form.
+	if g.r.Intn(10) < 4 {
+		a := schema.Leaf(g.attrName(), g.base())
+		if g.r.Intn(2) == 0 {
+			kids = append(kids, schema.Opt(a))
+		} else {
+			kids = append(kids, a)
+		}
+	}
+	// Always at least one required leaf so the element has content for
+	// bare-context queries and partition signatures.
+	kids = append(kids, schema.Leaf(g.name(), g.base()))
+	n := 1 + g.r.Intn(4)
+	for i := 0; i < n; i++ {
+		kids = append(kids, g.contentItem(depth))
+	}
+	return schema.Elem(name, schema.Seq(kids...))
+}
+
+// contentItem draws one content-model item.
+func (g *schemaGen) contentItem(depth int) *schema.Node {
+	w := g.r.Intn(100)
+	switch {
+	case w < 20: // required leaf
+		return schema.Leaf(g.name(), g.base())
+	case w < 40: // optional leaf (implicit-union candidate)
+		return schema.Opt(schema.Leaf(g.name(), g.base()))
+	case w < 58: // unbounded repeated leaf (rep-split candidate)
+		return schema.Rep(schema.Leaf(g.name(), g.base()))
+	case w < 65: // bounded repeated leaf
+		return schema.RepN(schema.Leaf(g.name(), g.base()), 2+g.r.Intn(3))
+	case w < 78: // choice group (choice-distribution candidate)
+		return g.choiceGroup(depth)
+	case w < 88 && depth < 2: // nested single-valued complex element
+		return g.complexElem(depth + 1)
+	case w < 96 && depth < 2: // nested repeated complex element
+		return schema.Rep(g.complexElem(depth + 1))
+	case depth < 2: // optional complex element
+		return schema.Opt(g.complexElem(depth + 1))
+	default:
+		return schema.Opt(schema.Leaf(g.name(), g.base()))
+	}
+}
+
+// choiceGroup builds a 2-3 branch choice; branches are leaves, with an
+// occasional complex-element branch at shallow depth.
+func (g *schemaGen) choiceGroup(depth int) *schema.Node {
+	n := 2 + g.r.Intn(2)
+	branches := make([]*schema.Node, n)
+	for i := range branches {
+		if depth < 2 && g.r.Intn(10) == 0 {
+			branches[i] = g.complexElem(depth + 1)
+		} else {
+			branches[i] = schema.Leaf(g.name(), g.base())
+		}
+	}
+	return schema.Choice(branches...)
+}
+
+// addSharedPair inserts twin leaves with one shared name, base type,
+// and TypeName under two distinct top-level elements. When both twins
+// are set-valued, hybrid inlining gives them one shared annotation
+// (type merge); mixing a set-valued and a single-valued twin exercises
+// the DBLP title/title1 outline pattern instead.
+func (g *schemaGen) addSharedPair(tops []*schema.Node) {
+	i := g.r.Intn(len(tops))
+	j := g.r.Intn(len(tops) - 1)
+	if j >= i {
+		j++
+	}
+	name := g.name()
+	typeName := "T" + name
+	base := g.base()
+	twin := func() *schema.Node { return schema.TypedLeaf(name, base, typeName) }
+	appendTo := func(top *schema.Node, n *schema.Node) {
+		seq := top.Children[0]
+		seq.Children = append(seq.Children, n)
+	}
+	if g.r.Intn(10) < 6 {
+		appendTo(tops[i], schema.Rep(twin()))
+		appendTo(tops[j], schema.Rep(twin()))
+		return
+	}
+	appendTo(tops[i], schema.Rep(twin()))
+	if g.r.Intn(2) == 0 {
+		appendTo(tops[j], twin())
+	} else {
+		appendTo(tops[j], schema.Opt(twin()))
+	}
+}

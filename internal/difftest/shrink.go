@@ -1,0 +1,46 @@
+package difftest
+
+// Shrink minimizes a failing case. Generation is prefix-stable by
+// construction — each phase draws from its own seeded substream, and
+// later draws never affect earlier ones — so shrinking one knob
+// (queries, transformation steps, document size) replays an identical
+// prefix of everything else. The shrunk case's ReplaySpec is what the
+// tests print for replay via DIFFTEST_REPLAY.
+func Shrink(c Case, m *Mismatch) (Case, *Mismatch) {
+	best, bestM := c, m
+	try := func(cand Case) bool {
+		if _, cm := Run(cand); cm != nil {
+			best, bestM = cand, cm
+			return true
+		}
+		return false
+	}
+	// Isolate the failing query and drop the workload tail after it.
+	if best.Only < 0 && bestM.QueryIdx >= 0 {
+		cand := best
+		cand.Only = bestM.QueryIdx
+		cand.Queries = bestM.QueryIdx + 1
+		try(cand)
+	}
+	// Shortest failing transformation prefix.
+	maxSteps := best.Steps
+	for s := 0; s < maxSteps; s++ {
+		cand := best
+		cand.Steps = s
+		if try(cand) {
+			break
+		}
+	}
+	// Smaller document.
+	for _, ri := range []int{1, 2, 4} {
+		if ri >= best.RootInstances {
+			break
+		}
+		cand := best
+		cand.RootInstances = ri
+		if try(cand) {
+			break
+		}
+	}
+	return best, bestM
+}

@@ -1,0 +1,286 @@
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/schema"
+	"repro/internal/translate"
+	"repro/internal/xpath"
+)
+
+// RandomWorkload generates n queries in the supported XPath grammar
+// (context path, optional single predicate, union projection), all
+// resolvable against the base tree. Every query is rendered and
+// reparsed; a printer round-trip divergence is reported as an error —
+// the workload generator doubles as a property test of the printer.
+func RandomWorkload(t *schema.Tree, r *rand.Rand, n int) ([]*xpath.Query, error) {
+	var out []*xpath.Query
+	for attempts := 0; len(out) < n && attempts < 60*n+300; attempts++ {
+		q := randomQuery(t, r)
+		if q == nil {
+			continue
+		}
+		s := q.String()
+		rt, err := xpath.Parse(s)
+		if err != nil {
+			return nil, fmt.Errorf("difftest: generated query %q does not reparse: %w", s, err)
+		}
+		if rt.String() != s {
+			return nil, fmt.Errorf("difftest: printer round trip diverges: %q -> %q", s, rt.String())
+		}
+		out = append(out, rt)
+	}
+	if len(out) < n {
+		return nil, fmt.Errorf("difftest: could only generate %d of %d queries", len(out), n)
+	}
+	return out, nil
+}
+
+func randomQuery(t *schema.Tree, r *rand.Rand) *xpath.Query {
+	elems := t.Elements()
+	target := elems[r.Intn(len(elems))]
+	if target == t.Root && r.Intn(4) != 0 {
+		return nil // root contexts only occasionally
+	}
+	if target.IsLeaf() {
+		// Leaf contexts appear only as bare single-step queries: the
+		// translator resolves explicit projections and predicates on a
+		// leaf context through a self-name special case the reference
+		// evaluator deliberately does not implement.
+		return &xpath.Query{Context: []xpath.Step{{Axis: xpath.Descendant, Name: target.Name}}}
+	}
+	steps := contextSteps(t, target, r)
+	ctxNodes := translate.ResolveContext(t, steps)
+	if len(ctxNodes) == 0 {
+		return nil
+	}
+	for _, cn := range ctxNodes {
+		if cn.IsLeaf() {
+			return nil // a shared name resolves to both; keep it simple
+		}
+	}
+	q := &xpath.Query{Context: steps}
+	cands := pathCandidates(ctxNodes)
+	if r.Intn(100) < 55 {
+		q.Pred = randomPredicate(cands, r)
+	}
+	// Bare queries keep their shape through the printer only when the
+	// predicate pins the context end, or the context is one descendant
+	// step (a trailing child step would reparse as a projection).
+	bareOK := q.Pred != nil ||
+		(len(steps) == 1 && steps[0].Axis == xpath.Descendant)
+	if bareOK && r.Intn(100) < 15 && bareSafe(ctxNodes) {
+		return q
+	}
+	proj := randomProjection(cands, r)
+	if len(proj) == 0 {
+		if q.Pred != nil && bareOK && bareSafe(ctxNodes) {
+			return q
+		}
+		return nil
+	}
+	q.Proj = proj
+	return q
+}
+
+// contextSteps builds a location path for the target: usually a single
+// descendant step, otherwise the full child path from the root or a
+// two-step path through the parent.
+func contextSteps(t *schema.Tree, target *schema.Node, r *rand.Rand) []xpath.Step {
+	single := []xpath.Step{{Axis: xpath.Descendant, Name: target.Name}}
+	if target == t.Root || r.Intn(100) < 60 {
+		return single
+	}
+	if r.Intn(2) == 0 {
+		var names []string
+		for n := target; n != nil; n = n.ElementParent() {
+			names = append([]string{n.Name}, names...)
+		}
+		steps := make([]xpath.Step, len(names))
+		for i, nm := range names {
+			steps[i] = xpath.Step{Axis: xpath.Child, Name: nm}
+		}
+		return steps
+	}
+	par := target.ElementParent()
+	if par == nil || par == t.Root {
+		return single
+	}
+	ax := xpath.Child
+	if r.Intn(2) == 0 {
+		ax = xpath.Descendant
+	}
+	return []xpath.Step{{Axis: xpath.Descendant, Name: par.Name}, {Axis: ax, Name: target.Name}}
+}
+
+// pathCand is one candidate relative path from the context element to a
+// leaf, usable as a predicate or projection.
+type pathCand struct {
+	path xpath.Path
+	leaf *schema.Node
+}
+
+// pathCandidates lists the relative paths that resolve to exactly one
+// leaf under every resolved context node: direct leaf children, and
+// grandchild leaves through complex children (skipping set-valued
+// grandchildren of set-valued children, which would cross two relation
+// levels under every mapping).
+func pathCandidates(ctxNodes []*schema.Node) []pathCand {
+	ctx := ctxNodes[0]
+	var raw []pathCand
+	for _, c := range ctx.ElementChildren() {
+		if c.IsLeaf() {
+			raw = append(raw, pathCand{xpath.Path{c.Name}, c})
+			continue
+		}
+		for _, gc := range c.ElementChildren() {
+			if !gc.IsLeaf() {
+				continue
+			}
+			if c.IsSetValued() && gc.IsSetValued() {
+				continue
+			}
+			raw = append(raw, pathCand{xpath.Path{c.Name, gc.Name}, gc})
+		}
+	}
+	var out []pathCand
+	for _, pc := range raw {
+		ok := true
+		for _, cn := range ctxNodes {
+			rs := resolveSchemaPath(cn, pc.path)
+			if len(rs) != 1 || !rs[0].IsLeaf() {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, pc)
+		}
+	}
+	return out
+}
+
+// resolveSchemaPath mirrors the translator's relative-path resolution
+// (without its leaf-context special case).
+func resolveSchemaPath(ctx *schema.Node, p xpath.Path) []*schema.Node {
+	cur := []*schema.Node{ctx}
+	for _, name := range p {
+		var next []*schema.Node
+		for _, n := range cur {
+			for _, c := range n.ElementChildren() {
+				if c.Name == name {
+					next = append(next, c)
+				}
+			}
+		}
+		cur = next
+	}
+	return cur
+}
+
+// bareSafe reports whether a bare (projection-less) query on the
+// context compares cleanly: every single-valued direct leaf child must
+// be unconditionally present, because the evaluator emits one value
+// entry per present child while the gold normalizer labels entries by
+// schema position.
+func bareSafe(ctxNodes []*schema.Node) bool {
+	for _, ctx := range ctxNodes {
+		if ctx.IsLeaf() {
+			return false
+		}
+		n := 0
+		for _, c := range ctx.ElementChildren() {
+			if !c.IsLeaf() || c.IsSetValued() {
+				continue
+			}
+			if c.IsOptional() || c.UnderChoice() != nil {
+				return false
+			}
+			n++
+		}
+		if n == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func randomPredicate(cands []pathCand, r *rand.Rand) *xpath.Predicate {
+	if len(cands) == 0 {
+		return nil
+	}
+	pc := cands[r.Intn(len(cands))]
+	return &xpath.Predicate{
+		Path:  pc.path,
+		Op:    randomOp(r),
+		Value: randomLiteral(pc.leaf, r),
+	}
+}
+
+func randomOp(r *rand.Rand) xpath.CmpOp {
+	w := r.Intn(100)
+	switch {
+	case w < 35:
+		return xpath.OpEq
+	case w < 45:
+		return xpath.OpNe
+	case w < 60:
+		return xpath.OpLt
+	case w < 73:
+		return xpath.OpLe
+	case w < 87:
+		return xpath.OpGt
+	default:
+		return xpath.OpGe
+	}
+}
+
+// randomLiteral draws a comparison literal, usually from the same pool
+// the document values come from; occasionally an off-type literal that
+// exercises the coercion paths (an unparseable string against a numeric
+// column coerces to NULL and never matches, on both sides).
+func randomLiteral(leaf *schema.Node, r *rand.Rand) xpath.Literal {
+	if r.Intn(100) < 8 {
+		switch leaf.LeafBase() {
+		case schema.BaseInt, schema.BaseFloat:
+			return xpath.StringLit("not-a-number")
+		default:
+			return xpath.IntLit(int64(r.Intn(12)))
+		}
+	}
+	v := poolValue(leaf, r)
+	switch leaf.LeafBase() {
+	case schema.BaseInt:
+		return xpath.IntLit(v.I)
+	case schema.BaseFloat:
+		return xpath.FloatLit(v.F)
+	default:
+		return xpath.StringLit(v.S)
+	}
+}
+
+func randomProjection(cands []pathCand, r *rand.Rand) []xpath.Path {
+	if len(cands) == 0 {
+		return nil
+	}
+	n := 1 + r.Intn(3)
+	if n > len(cands) {
+		n = len(cands)
+	}
+	perm := r.Perm(len(cands))
+	seen := make(map[string]bool)
+	var out []xpath.Path
+	for _, i := range perm {
+		p := cands[i].path
+		if seen[p.String()] {
+			continue
+		}
+		seen[p.String()] = true
+		out = append(out, p)
+		if len(out) == n {
+			break
+		}
+	}
+	return out
+}

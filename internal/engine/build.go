@@ -166,8 +166,13 @@ func (bi *builtIndex) seekEqual(v rel.Value) []int {
 }
 
 // seekRange returns row ids for "leading key op v"; NULL keys never
-// match.
+// match, and a NULL probe value matches nothing (NULL sorts before all
+// keys, so bounding against it would otherwise admit every non-NULL
+// row for > and >=).
 func (bi *builtIndex) seekRange(op opKind, v rel.Value) []int {
+	if v.Null {
+		return nil
+	}
 	n := len(bi.order)
 	switch op {
 	case opEq:

@@ -71,6 +71,28 @@ func TestValueCoerce(t *testing.T) {
 		{Float(3.9), TInt, Int(3)},
 		{Str("banana"), TInt, NullOf(TInt)},
 		{NullOf(TString), TInt, NullOf(TInt)},
+		// NULL propagates to every target type, never resurrecting a value.
+		{NullOf(TInt), TFloat, NullOf(TFloat)},
+		{NullOf(TFloat), TString, NullOf(TString)},
+		{NullOf(TInt), TInt, NullOf(TInt)},
+		// Empty and whitespace-only strings are not numbers.
+		{Str(""), TInt, NullOf(TInt)},
+		{Str(""), TFloat, NullOf(TFloat)},
+		{Str("   "), TInt, NullOf(TInt)},
+		// Surrounding whitespace is trimmed before numeric parsing.
+		{Str("  7 "), TInt, Int(7)},
+		{Str("\t-2.25\n"), TFloat, Float(-2.25)},
+		// Exponent forms parse as floats but not as ints.
+		{Str("1e3"), TInt, NullOf(TInt)},
+		{Str("1e3"), TFloat, Float(1000)},
+		// Same-type coercion is the identity.
+		{Str("x"), TString, Str("x")},
+		{Int(-9), TInt, Int(-9)},
+		// Float-to-int truncates toward zero, including negatives.
+		{Float(-3.9), TInt, Int(-3)},
+		// Cross-type via string forms.
+		{Float(2.5), TString, Str("2.5")},
+		{Str("-4"), TFloat, Float(-4)},
 	}
 	for _, c := range cases {
 		got := c.in.Coerce(c.typ)

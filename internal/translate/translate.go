@@ -45,6 +45,9 @@ func Translate(m *shred.Mapping, q *xpath.Query) (*sqlast.Query, error) {
 		}
 		out.Branches = append(out.Branches, branches...)
 	}
+	if len(ctxNodes) > 1 {
+		out.Branches = dedupeBranches(out.Branches)
+	}
 	if len(out.Branches) == 0 {
 		// All partitions pruned: the query provably returns nothing
 		// from this mapping; emit a single never-matching branch so the
@@ -55,6 +58,25 @@ func Translate(m *shred.Mapping, q *xpath.Query) (*sqlast.Query, error) {
 		return nil, fmt.Errorf("translate: internal error: %w (SQL: %s)", err, out.SQL())
 	}
 	return out, nil
+}
+
+// dedupeBranches drops branches that render to identical SQL. Distinct
+// context nodes sharing a type-merged annotation resolve to the same
+// host relation with positionally aligned columns, so each of them
+// emits the same branch; keeping the duplicates would return every
+// stored instance once per context node instead of once.
+func dedupeBranches(in []*sqlast.Select) []*sqlast.Select {
+	seen := make(map[string]bool, len(in))
+	out := in[:0]
+	for _, b := range in {
+		sql := b.SQL()
+		if seen[sql] {
+			continue
+		}
+		seen[sql] = true
+		out = append(out, b)
+	}
+	return out
 }
 
 // projection classification results

@@ -1,0 +1,132 @@
+package xpath
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestStringRoundTrip checks parse -> String -> parse yields an
+// identical AST, and that String is a fixed point (printing the
+// reparsed query gives the same text).
+func TestStringRoundTrip(t *testing.T) {
+	inputs := []string{
+		// Bare context paths.
+		"//movie",
+		"/dblp",
+		"/a/b/c",
+		"//a//b",
+		"//show/@id",
+		// Predicates, every operator and literal kind.
+		`//movie[title = "Titanic"]`,
+		`//movie[year != 1994]`,
+		"//m[rating < 7.5]",
+		"//m[rating <= -0.125]",
+		"//m[year > -3]",
+		`//m[title >= "T"]`,
+		`//a[b/c = "x"]`,
+		// String literals with embedded quotes.
+		`//a[b = "it's"]`,
+		`//a[b = 'say "hi"']`,
+		// Projections: single, parenthesized multi-segment, unions.
+		"//movie/year",
+		"//movie/(title | year)",
+		"//a/(b/c)",
+		"//a/(b/c | d)",
+		`//movie[year = 1994]/(title | genre | @id)`,
+		`/dblp/inproceedings[booktitle = "ICDE"]/(author | title)`,
+		// Non-canonical spacing normalizes but must round-trip.
+		"//a[ b =  1 ]/( x |y )",
+	}
+	for _, in := range inputs {
+		q1, err := Parse(in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", in, err)
+			continue
+		}
+		printed := q1.String()
+		q2, err := Parse(printed)
+		if err != nil {
+			t.Errorf("Parse(%q): printed form of %q does not parse: %v", printed, in, err)
+			continue
+		}
+		if !reflect.DeepEqual(q1, q2) {
+			t.Errorf("round trip of %q changed the AST:\n first: %#v\nsecond: %#v", in, q1, q2)
+		}
+		if again := q2.String(); again != printed {
+			t.Errorf("String not a fixed point for %q: %q -> %q", in, printed, again)
+		}
+	}
+}
+
+// TestStringRoundTripConstructed covers printer forms built directly,
+// including literals that never appear in surface syntax verbatim.
+func TestStringRoundTripConstructed(t *testing.T) {
+	qs := []*Query{
+		{
+			Context: []Step{{Axis: Descendant, Name: "a"}},
+			Pred:    &Predicate{Path: Path{"b"}, Op: OpEq, Value: FloatLit(3)},
+		},
+		{
+			Context: []Step{{Axis: Descendant, Name: "a"}},
+			Pred:    &Predicate{Path: Path{"b"}, Op: OpLt, Value: FloatLit(-12.375)},
+		},
+		{
+			Context: []Step{{Axis: Descendant, Name: "a"}},
+			Proj:    []Path{{"b", "c"}},
+		},
+		{
+			Context: []Step{{Axis: Child, Name: "a"}, {Axis: Descendant, Name: "b"}},
+			Pred:    &Predicate{Path: Path{"c"}, Op: OpNe, Value: StringLit("")},
+			Proj:    []Path{{"d"}, {"e", "f"}},
+		},
+	}
+	for _, q := range qs {
+		printed := q.String()
+		back, err := Parse(printed)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", printed, err)
+			continue
+		}
+		if !reflect.DeepEqual(q, back) {
+			t.Errorf("constructed query %#v printed as %q reparsed to %#v", q, printed, back)
+		}
+	}
+	// An integral float must keep its decimal point: FloatLit(3) prints
+	// "3.0", never "3" (which would reparse as an int literal).
+	if got := FloatLit(3).String(); got != "3.0" {
+		t.Errorf("FloatLit(3).String() = %q, want \"3.0\"", got)
+	}
+}
+
+// TestParseErrorPositions pins the byte offsets reported for malformed
+// queries.
+func TestParseErrorPositions(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"", "empty location path at 0"},
+		{"//a[b=1][c=2]", `trailing input at 8: "[c=2]"`},
+		{`//a[b="x]`, "unterminated string literal at 6"},
+		{"//a[b=1.2.3]", `bad float literal "1.2.3" at 6`},
+		{"//a[b=--3]", `bad int literal "--3" at 6`},
+		{"//a[b=1]x", "trailing input at 8"},
+		{"//a[b 1]", "expected comparison operator at 6"},
+		{"//a[b=1", "expected ']' at 7"},
+		{"//a[b=]", "expected literal at 6"},
+		{"/(a|b", "expected '|' or ')' at 5"},
+		{"/[a=1]", "expected name at 1"},
+		{"//a[b=1]/(x", "expected '|' or ')' at 11"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.in)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", c.in, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) error %q does not contain %q", c.in, err, c.want)
+		}
+	}
+}

@@ -14,6 +14,7 @@ package xpath
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -95,14 +96,33 @@ type Literal struct {
 	F    float64
 }
 
-// String renders the literal in XPath surface syntax.
+// String renders the literal in XPath surface syntax. The rendering
+// reparses to the same literal: floats always carry a decimal point and
+// never use the exponent form (the grammar has neither exponents nor
+// escapes), and strings pick a quote character they do not contain.
 func (l Literal) String() string {
 	switch l.Kind {
 	case LitInt:
 		return strconv.FormatInt(l.I, 10)
 	case LitFloat:
-		return strconv.FormatFloat(l.F, 'g', -1, 64)
+		if math.IsNaN(l.F) || math.IsInf(l.F, 0) {
+			// Not representable in the grammar; display only.
+			return strconv.FormatFloat(l.F, 'g', -1, 64)
+		}
+		s := strconv.FormatFloat(l.F, 'f', -1, 64)
+		if !strings.Contains(s, ".") {
+			s += ".0"
+		}
+		return s
 	default:
+		if !strings.Contains(l.S, `"`) {
+			return `"` + l.S + `"`
+		}
+		if !strings.Contains(l.S, "'") {
+			return "'" + l.S + "'"
+		}
+		// Contains both quote kinds: not representable in the grammar;
+		// fall back to a Go-quoted form for display.
 		return strconv.Quote(l.S)
 	}
 }
@@ -152,6 +172,15 @@ func (q *Query) String() string {
 	switch len(q.Proj) {
 	case 0:
 	case 1:
+		// A multi-segment single projection must keep its parentheses:
+		// //a/(b/c) groups per a-instance, while //a/b/c would reparse
+		// with b absorbed into the context and group per b-instance.
+		if len(q.Proj[0]) > 1 {
+			b.WriteString("/(")
+			b.WriteString(q.Proj[0].String())
+			b.WriteString(")")
+			break
+		}
 		b.WriteString("/")
 		b.WriteString(q.Proj[0].String())
 	default:
@@ -225,7 +254,7 @@ func (p *parser) query() (*Query, error) {
 		p.ws()
 		if p.peek() == '[' {
 			if q.Pred != nil {
-				return nil, fmt.Errorf("multiple predicates")
+				return nil, fmt.Errorf("multiple predicates at %d", p.pos)
 			}
 			pred, err := p.predicate()
 			if err != nil {
@@ -249,7 +278,7 @@ func (p *parser) query() (*Query, error) {
 		return nil, fmt.Errorf("trailing input at %d: %q", p.pos, p.src[p.pos:])
 	}
 	if len(q.Context) == 0 {
-		return nil, fmt.Errorf("empty location path")
+		return nil, fmt.Errorf("empty location path at 0")
 	}
 	// Steps after the predicate-free context that name leaves become
 	// the projection: //movie/year means context //movie, proj year.
@@ -269,7 +298,7 @@ func (p *parser) query() (*Query, error) {
 // projAfterSlash parses "/(a|b)" or "/a/b" after a predicate.
 func (p *parser) projAfterSlash() ([]Path, error) {
 	if p.peek() != '/' {
-		return nil, fmt.Errorf("expected '/' before projection")
+		return nil, fmt.Errorf("expected '/' before projection at %d", p.pos)
 	}
 	p.pos++
 	p.ws()
@@ -286,7 +315,7 @@ func (p *parser) projAfterSlash() ([]Path, error) {
 // projection parses "(a | b/c | d)". The leading '(' is current.
 func (p *parser) projection() ([]Path, error) {
 	if p.peek() != '(' {
-		return nil, fmt.Errorf("expected '('")
+		return nil, fmt.Errorf("expected '(' at %d", p.pos)
 	}
 	p.pos++
 	var out []Path
@@ -374,13 +403,14 @@ func (p *parser) literal() (Literal, error) {
 	c := p.peek()
 	if c == '"' || c == '\'' {
 		quote := c
+		open := p.pos
 		p.pos++
 		start := p.pos
 		for p.pos < len(p.src) && p.src[p.pos] != quote {
 			p.pos++
 		}
 		if p.pos >= len(p.src) {
-			return Literal{}, fmt.Errorf("unterminated string literal")
+			return Literal{}, fmt.Errorf("unterminated string literal at %d", open)
 		}
 		s := p.src[start:p.pos]
 		p.pos++
@@ -397,13 +427,13 @@ func (p *parser) literal() (Literal, error) {
 	if strings.ContainsRune(text, '.') {
 		f, err := strconv.ParseFloat(text, 64)
 		if err != nil {
-			return Literal{}, fmt.Errorf("bad float literal %q", text)
+			return Literal{}, fmt.Errorf("bad float literal %q at %d", text, start)
 		}
 		return FloatLit(f), nil
 	}
 	i, err := strconv.ParseInt(text, 10, 64)
 	if err != nil {
-		return Literal{}, fmt.Errorf("bad int literal %q", text)
+		return Literal{}, fmt.Errorf("bad int literal %q at %d", text, start)
 	}
 	return IntLit(i), nil
 }
