@@ -16,7 +16,11 @@ import (
 
 	xmlshred "repro"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/optimizer"
+	"repro/internal/physical"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -253,6 +257,95 @@ func BenchmarkUpdateWorkload(b *testing.B) {
 	}
 	b.ReportMetric(float64(ro), "structures-readonly")
 	b.ReportMetric(float64(up), "structures-updateheavy")
+}
+
+// executorBenchSetup builds the Fig. 5 DBLP workload's plans under the
+// hybrid mapping: the same queries the comparison benchmarks execute,
+// planned once, so the executor benchmarks below time pure execution.
+func executorBenchSetup(b *testing.B) (*engine.Built, []*optimizer.Plan) {
+	b.Helper()
+	d := dblpDataset()
+	w := benchWorkload(b, d, workload.StandardParams(10, 7)[0])
+	m, err := xmlshred.CompileMapping(d.Tree)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, err := xmlshred.ShredDocuments(m, d.Docs...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := &physical.Config{}
+	built, err := engine.Build(db, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := optimizer.New(stats.FromDatabase(db))
+	var plans []*optimizer.Plan
+	for _, wq := range w.Queries {
+		sql, err := xmlshred.TranslateQuery(m, wq.XPath)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan, err := opt.PlanQuery(sql, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plans = append(plans, plan)
+	}
+	return built, plans
+}
+
+// BenchmarkExecuteReference times the row-at-a-time reference executor
+// on the Fig. 5 DBLP workload — the old execution path, kept as the
+// differential-testing oracle. Compare ns/op and allocs/op against
+// BenchmarkExecuteBatch/BenchmarkExecutePrepared (see BENCH_PR3.json).
+func BenchmarkExecuteReference(b *testing.B) {
+	built, plans := executorBenchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, plan := range plans {
+			if _, err := engine.ExecuteReference(built, plan); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkExecuteBatch times the pipelined batch executor through the
+// public Execute entry point (prepared-plan lookup included).
+func BenchmarkExecuteBatch(b *testing.B) {
+	built, plans := executorBenchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, plan := range plans {
+			if _, err := engine.Execute(built, plan); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkExecutePrepared times repeated executions of pre-compiled
+// PreparedPlans — the steady state of MeasureExecution's repetition
+// loop, where even the fingerprint lookup is amortized away.
+func BenchmarkExecutePrepared(b *testing.B) {
+	built, plans := executorBenchSetup(b)
+	pps := make([]*engine.PreparedPlan, len(plans))
+	for i, plan := range plans {
+		pp, err := built.Prepared(plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pps[i] = pp
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, pp := range pps {
+			if _, err := pp.Execute(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
 }
 
 // BenchmarkShred measures raw shredding throughput (rows/op metric).

@@ -43,7 +43,7 @@ func (a *Advisor) MeasureExecution(res *Result, docs ...*xmlgen.Doc) (*Execution
 	prov := stats.FromDatabase(db)
 	opt := optimizer.New(prov)
 	type prepared struct {
-		plan   *optimizer.Plan
+		pp     *engine.PreparedPlan
 		weight float64
 	}
 	var plans []prepared
@@ -56,7 +56,14 @@ func (a *Advisor) MeasureExecution(res *Result, docs ...*xmlgen.Doc) (*Execution
 		if err != nil {
 			return nil, fmt.Errorf("core: planning %s: %w", wq.XPath, err)
 		}
-		plans = append(plans, prepared{plan: plan, weight: wq.Weight})
+		// Prepare once per query: repeated executions below (and the
+		// stability passes) reuse the compiled pipeline and the Built's
+		// cached probe structures instead of recompiling per run.
+		pp, err := built.Prepared(plan)
+		if err != nil {
+			return nil, fmt.Errorf("core: preparing %s: %w", wq.XPath, err)
+		}
+		plans = append(plans, prepared{pp: pp, weight: wq.Weight})
 	}
 	weights := make([]float64, len(plans))
 	for i, p := range plans {
@@ -67,7 +74,7 @@ func (a *Advisor) MeasureExecution(res *Result, docs ...*xmlgen.Doc) (*Execution
 	runOnce := func(count bool) error {
 		for pi, p := range plans {
 			for r := 0; r < reps[pi]; r++ {
-				out, err := engine.Execute(built, p.plan)
+				out, err := p.pp.Execute()
 				if err != nil {
 					return fmt.Errorf("core: executing workload: %w", err)
 				}

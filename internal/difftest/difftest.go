@@ -278,6 +278,16 @@ func Run(c Case) (RunStats, *Mismatch) {
 		if xerr != nil {
 			return st, fail("execute", t.idx, t.q.String(), "%v\nSQL:\n%s", xerr, t.sql.SQL())
 		}
+		// Executor differential: the pipelined batch executor must be
+		// bit-identical — rows, order, and stats — to the row-at-a-time
+		// reference path.
+		ref, rerr := engine.ExecuteReference(built, plan)
+		if rerr != nil {
+			return st, fail("execute-reference", t.idx, t.q.String(), "%v\nSQL:\n%s", rerr, t.sql.SQL())
+		}
+		if d := diffResults(res, ref); d != "" {
+			return st, fail("executor-equivalence", t.idx, t.q.String(), "%s (applied %v)\nSQL:\n%s", d, applied, t.sql.SQL())
+		}
 		gold, gerr := xmlgen.Evaluate(base, doc, t.q)
 		if gerr != nil {
 			return st, fail("evaluate", t.idx, t.q.String(), "%v", gerr)
@@ -295,6 +305,37 @@ func Run(c Case) (RunStats, *Mismatch) {
 		}
 	}
 	return st, nil
+}
+
+// diffResults compares two executor results for exact equality: column
+// names, row count, every value (rel.Value is comparable, so this is a
+// field-for-field check), and ExecStats counters.
+func diffResults(got, want *engine.Result) string {
+	if len(got.Cols) != len(want.Cols) {
+		return fmt.Sprintf("batch executor returned %d cols, reference %d", len(got.Cols), len(want.Cols))
+	}
+	for i := range got.Cols {
+		if got.Cols[i] != want.Cols[i] {
+			return fmt.Sprintf("col %d is %q, reference %q", i, got.Cols[i], want.Cols[i])
+		}
+	}
+	if len(got.Rows) != len(want.Rows) {
+		return fmt.Sprintf("batch executor returned %d rows, reference %d", len(got.Rows), len(want.Rows))
+	}
+	for i := range got.Rows {
+		if len(got.Rows[i]) != len(want.Rows[i]) {
+			return fmt.Sprintf("row %d has %d values, reference %d", i, len(got.Rows[i]), len(want.Rows[i]))
+		}
+		for j := range got.Rows[i] {
+			if got.Rows[i][j] != want.Rows[i][j] {
+				return fmt.Sprintf("row %d col %d is %v, reference %v", i, j, got.Rows[i][j], want.Rows[i][j])
+			}
+		}
+	}
+	if got.Stats != want.Stats {
+		return fmt.Sprintf("stats %+v, reference %+v", got.Stats, want.Stats)
+	}
+	return ""
 }
 
 func diffGroups(got, want []string) string {

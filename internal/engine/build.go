@@ -24,6 +24,7 @@ type Built struct {
 	indexes map[string]*builtIndex // by index ID
 	views   map[string]*rel.Table
 	parts   map[string][]*rel.Table // base table -> group tables
+	caches  *builtCaches            // plan-lifetime execution structures
 }
 
 // Build materializes every structure in the configuration.
@@ -37,6 +38,7 @@ func Build(db *rel.Database, cfg *physical.Config) (*Built, error) {
 		indexes: make(map[string]*builtIndex),
 		views:   make(map[string]*rel.Table),
 		parts:   make(map[string][]*rel.Table),
+		caches:  newBuiltCaches(),
 	}
 	for _, idx := range cfg.Indexes {
 		bi, err := buildIndex(db, idx)
@@ -286,11 +288,4 @@ func buildPartition(db *rel.Database, vp *physical.VPartition) ([]*rel.Table, er
 		out = append(out, gt)
 	}
 	return out, nil
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,261 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/optimizer"
+	"repro/internal/rel"
+	"repro/internal/sqlast"
+)
+
+// builtCaches holds the plan-lifetime execution structures of a Built:
+// join hash tables keyed by (source, column), EXISTS probe sets keyed
+// by predicate, zipped partition-group row sets, and compiled
+// PreparedPlans keyed by plan fingerprint. Everything is built lazily
+// on first use and shared across repeated executions and across plans
+// over the same Built — the operator-state reuse half of the batch
+// executor. Entries are single-flighted so parallel union branches
+// never build the same structure twice.
+//
+// Caching is safe because a Built's data is immutable: tables, views,
+// and partitions are materialized once by Build and only read
+// afterwards. The simulated scan cost (touchRows) and the ExecStats
+// accounting are NOT cached — every execution still pays the scan
+// touch and counts the rows its plan reads, so measured execution
+// time keeps the paper's scan/probe cost ratio and Stats stay
+// bit-identical to the row-at-a-time reference executor.
+type builtCaches struct {
+	mu       sync.Mutex
+	zips     map[string]*centry[*partZip]
+	joins    map[string]*centry[*joinTable]
+	exists   map[string]*centry[*existsSet]
+	prepared map[string]*centry[*PreparedPlan]
+}
+
+func newBuiltCaches() *builtCaches {
+	return &builtCaches{
+		zips:     make(map[string]*centry[*partZip]),
+		joins:    make(map[string]*centry[*joinTable]),
+		exists:   make(map[string]*centry[*existsSet]),
+		prepared: make(map[string]*centry[*PreparedPlan]),
+	}
+}
+
+// centry is a single-flighted cache entry: the first requester builds,
+// everyone else waits on done.
+type centry[T any] struct {
+	done chan struct{}
+	v    T
+	err  error
+}
+
+func cacheGet[T any](c *builtCaches, m map[string]*centry[T], key string, build func() (T, error)) (T, error) {
+	c.mu.Lock()
+	if e, ok := m[key]; ok {
+		c.mu.Unlock()
+		<-e.done
+		return e.v, e.err
+	}
+	e := &centry[T]{done: make(chan struct{})}
+	m[key] = e
+	c.mu.Unlock()
+	e.v, e.err = build()
+	close(e.done)
+	return e.v, e.err
+}
+
+// Prepared returns the compiled batch-executor form of the plan,
+// compiling it once per plan fingerprint and Built.
+func (b *Built) Prepared(plan *optimizer.Plan) (*PreparedPlan, error) {
+	return cacheGet(b.caches, b.caches.prepared, plan.Fingerprint(), func() (*PreparedPlan, error) {
+		return Prepare(b, plan)
+	})
+}
+
+// partZip is a cached zip of a table's partition groups into combined
+// rows (the per-execution work of the reference fetchPartition, done
+// once per Built).
+type partZip struct {
+	cols []string
+	rows [][]rel.Value
+	// groups is the number of partition groups zipped; each execution
+	// that reads the zip counts rows*groups scanned rows, exactly like
+	// zipping afresh.
+	groups int
+}
+
+func zipKey(table string, groups []int) string {
+	return fmt.Sprintf("%s|%v", table, groups)
+}
+
+// partitionZip returns the cached zip of the given partition groups.
+func (b *Built) partitionZip(table string, groups []int) (*partZip, error) {
+	return cacheGet(b.caches, b.caches.zips, zipKey(table, groups), func() (*partZip, error) {
+		var groupTables []*rel.Table
+		for _, g := range groups {
+			gt := b.PartGroup(table, g)
+			if gt == nil {
+				return nil, fmt.Errorf("engine: partition group %d of %s not built", g, table)
+			}
+			groupTables = append(groupTables, gt)
+		}
+		z := &partZip{groups: len(groupTables)}
+		seen := make(map[string]bool)
+		type src struct{ gi, ci int }
+		var srcs []src
+		for gi, gt := range groupTables {
+			for ci, c := range gt.Columns {
+				if seen[c.Name] {
+					continue
+				}
+				seen[c.Name] = true
+				z.cols = append(z.cols, c.Name)
+				srcs = append(srcs, src{gi, ci})
+			}
+		}
+		n := groupTables[0].RowCount()
+		z.rows = make([][]rel.Value, n)
+		arena := make([]rel.Value, n*len(srcs))
+		for i := 0; i < n; i++ {
+			row := arena[i*len(srcs) : (i+1)*len(srcs) : (i+1)*len(srcs)]
+			for k, sr := range srcs {
+				row[k] = groupTables[sr.gi].Rows[i][sr.ci]
+			}
+			z.rows[i] = row
+		}
+		return z, nil
+	})
+}
+
+// joinTable is a cached hash-join build side over a row source.
+// Integer keys (the common ID/PID case) use the chained head/next
+// layout of the reference executor — probing walks the chain in the
+// same (reverse-build) order, so join output ordering is bit-identical.
+// String keys map to row indices in build order, likewise matching the
+// reference.
+type joinTable struct {
+	rows    [][]rel.Value
+	intKeys bool
+	head    map[int64]int32
+	next    []int32
+	str     map[string][]int32
+}
+
+func buildJoinTable(rows [][]rel.Value, ji int) *joinTable {
+	jt := &joinTable{rows: rows}
+	jt.intKeys = len(rows) == 0 || rows[0][ji].Typ == rel.TInt
+	if jt.intKeys {
+		jt.head = make(map[int64]int32, len(rows))
+		jt.next = make([]int32, len(rows))
+		for i, ir := range rows {
+			if ir[ji].Null {
+				jt.next[i] = -1
+				continue
+			}
+			k := ir[ji].I
+			if prev, ok := jt.head[k]; ok {
+				jt.next[i] = prev
+			} else {
+				jt.next[i] = -1
+			}
+			jt.head[k] = int32(i)
+		}
+		return jt
+	}
+	jt.str = make(map[string][]int32, len(rows))
+	for i, ir := range rows {
+		if ir[ji].Null {
+			continue
+		}
+		k := ir[ji].String()
+		jt.str[k] = append(jt.str[k], int32(i))
+	}
+	return jt
+}
+
+// hashJoinTable returns the cached build side for joining against the
+// named row source on the given column. srcKey identifies the row
+// source (base table, view, or partition zip) within the Built.
+func (b *Built) hashJoinTable(srcKey, col string, rows [][]rel.Value, ji int) (*joinTable, error) {
+	return cacheGet(b.caches, b.caches.joins, srcKey+"|c:"+col, func() (*joinTable, error) {
+		return buildJoinTable(rows, ji), nil
+	})
+}
+
+// existsSet is a cached EXISTS semi-join probe set with the same
+// int-keyed fast path as the hash join: declared-integer join columns
+// probe a map[int64] directly instead of stringifying every value.
+type existsSet struct {
+	ints map[int64]bool
+	strs map[string]bool
+}
+
+func (e *existsSet) match(v rel.Value) bool {
+	if v.Null {
+		return false
+	}
+	if e.ints != nil {
+		if v.Typ == rel.TInt {
+			return e.ints[v.I]
+		}
+		return matchIntSetString(e.ints, v)
+	}
+	return e.strs[v.String()]
+}
+
+// existsProbeSet returns the cached probe set for an EXISTS predicate.
+// The key is the predicate's canonical SQL rendering, which pins the
+// inner table, join column, and any inner-value restriction — the same
+// identity the reference executor's per-execution cache used.
+func (b *Built) existsProbeSet(p *sqlast.Pred) (*existsSet, error) {
+	return cacheGet(b.caches, b.caches.exists, "exists:"+p.String(), func() (*existsSet, error) {
+		t := b.DB.Table(p.Table)
+		if t == nil {
+			return nil, fmt.Errorf("engine: EXISTS over unknown table %s", p.Table)
+		}
+		ji := t.ColIndex(p.JoinCol)
+		if ji < 0 {
+			return nil, fmt.Errorf("engine: EXISTS join column %s.%s missing", p.Table, p.JoinCol)
+		}
+		vi := -1
+		if p.InnerCol != "" {
+			vi = t.ColIndex(p.InnerCol)
+			if vi < 0 {
+				return nil, fmt.Errorf("engine: EXISTS value column %s.%s missing", p.Table, p.InnerCol)
+			}
+		}
+		if t.Columns[ji].Typ == rel.TInt {
+			if ints, ok := buildIntExists(t.Rows, ji, vi, p); ok {
+				return &existsSet{ints: ints}, nil
+			}
+		}
+		return &existsSet{strs: buildStrExists(t.Rows, ji, vi, p)}, nil
+	})
+}
+
+// CachedStructures reports the cache population (zips, join tables,
+// exists sets, prepared plans) — observability for tests and tools.
+func (b *Built) CachedStructures() map[string]int {
+	b.caches.mu.Lock()
+	defer b.caches.mu.Unlock()
+	return map[string]int{
+		"partZips":   len(b.caches.zips),
+		"joinTables": len(b.caches.joins),
+		"existsSets": len(b.caches.exists),
+		"prepared":   len(b.caches.prepared),
+	}
+}
+
+// CacheKeys returns the sorted join-table cache keys (test hook).
+func (b *Built) CacheKeys() []string {
+	b.caches.mu.Lock()
+	defer b.caches.mu.Unlock()
+	keys := make([]string, 0, len(b.caches.joins))
+	for k := range b.caches.joins {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

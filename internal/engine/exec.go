@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/optimizer"
 	"repro/internal/rel"
@@ -21,6 +22,13 @@ type ExecStats struct {
 	Branches int64
 }
 
+// add accumulates another branch's counters.
+func (s *ExecStats) add(o ExecStats) {
+	s.RowsScanned += o.RowsScanned
+	s.RowsSought += o.RowsSought
+	s.Branches += o.Branches
+}
+
 // Result is the output of executing a sorted outer-union query.
 type Result struct {
 	// Cols are the output column names.
@@ -31,33 +39,17 @@ type Result struct {
 	Stats ExecStats
 }
 
-// Execute runs an optimizer plan over the built database.
+// Execute runs an optimizer plan over the built database through the
+// pipelined batch executor. The compiled form of the plan and its
+// probe structures (join hash tables, EXISTS sets, partition zips) are
+// cached on the Built, so repeated executions of the same plan — and
+// other plans touching the same tables — reuse them.
 func Execute(b *Built, plan *optimizer.Plan) (*Result, error) {
-	res := &Result{Cols: plan.Query.OutputColumns()}
-	for _, br := range plan.Branches {
-		res.Stats.Branches++
-		rows, err := execBranch(b, br, &res.Stats)
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, rows...)
+	pp, err := b.Prepared(plan)
+	if err != nil {
+		return nil, err
 	}
-	if plan.Query.OrderBy != "" {
-		oi := -1
-		for i, c := range res.Cols {
-			if c == plan.Query.OrderBy {
-				oi = i
-				break
-			}
-		}
-		if oi < 0 {
-			return nil, fmt.Errorf("engine: ORDER BY column %s missing from output", plan.Query.OrderBy)
-		}
-		sort.SliceStable(res.Rows, func(i, j int) bool {
-			return res.Rows[i][oi].Compare(res.Rows[j][oi]) < 0
-		})
-	}
-	return res, nil
+	return pp.Execute()
 }
 
 // scope tracks the combined tuple layout during branch execution:
@@ -92,118 +84,10 @@ func (sc *scope) pos(c sqlast.ColRef) (int, error) {
 
 func (sc *scope) has(table string) bool { _, ok := sc.offsets[table]; return ok }
 
-// execBranch runs one branch plan.
-func execBranch(b *Built, br *optimizer.Branch, st *ExecStats) ([][]rel.Value, error) {
-	sc := newScope()
-	cols, rows, err := fetchAccess(b, br.Sel, br.Driver, st)
-	if err != nil {
-		return nil, err
-	}
-	sc.add(br.Driver.Table, cols)
-	applied := make(map[int]bool)
-	ex := &existsCache{b: b}
-	rows, err = applyPreds(b, br.Sel, sc, rows, applied, ex, br.Driver.SeekPred)
-	if err != nil {
-		return nil, err
-	}
-	for _, j := range br.Joins {
-		rows, err = execJoin(b, br.Sel, sc, rows, j, st)
-		if err != nil {
-			return nil, err
-		}
-		rows, err = applyPreds(b, br.Sel, sc, rows, applied, ex, br.Driver.SeekPred)
-		if err != nil {
-			return nil, err
-		}
-	}
-	// Verify every predicate was applied (defensive: plans must cover
-	// all conjuncts).
-	for i := range br.Sel.Where {
-		p := &br.Sel.Where[i]
-		if p.Kind == sqlast.PredJoin || applied[i] || p == br.Driver.SeekPred {
-			continue
-		}
-		return nil, fmt.Errorf("engine: predicate %s left unapplied", p)
-	}
-	// Projection.
-	out := make([][]rel.Value, 0, len(rows))
-	type proj struct {
-		pos  int
-		null bool
-	}
-	projs := make([]proj, len(br.Sel.Items))
-	for i, it := range br.Sel.Items {
-		if it.Col == nil {
-			projs[i] = proj{null: true}
-			continue
-		}
-		pos, err := sc.pos(*it.Col)
-		if err != nil {
-			return nil, err
-		}
-		projs[i] = proj{pos: pos}
-	}
-	for _, r := range rows {
-		o := make([]rel.Value, len(projs))
-		for i, p := range projs {
-			if p.null {
-				o[i] = rel.NullOf(rel.TString)
-			} else {
-				o[i] = r[p.pos]
-			}
-		}
-		out = append(out, o)
-	}
-	return out, nil
-}
-
-// fetchAccess materializes the rows of an access path as combined
-// tuples (a fresh slice of column names plus row slices).
-func fetchAccess(b *Built, s *sqlast.Select, a optimizer.Access, st *ExecStats) ([]string, [][]rel.Value, error) {
-	if len(a.PartGroups) > 0 {
-		return fetchPartition(b, s, a, st)
-	}
-	var t *rel.Table
-	if vt := b.ViewTable(a.Table); vt != nil {
-		t = vt
-	} else {
-		t = b.DB.Table(a.Table)
-	}
-	if t == nil {
-		return nil, nil, fmt.Errorf("engine: unknown table %s", a.Table)
-	}
-	cols := make([]string, len(t.Columns))
-	for i, c := range t.Columns {
-		cols[i] = c.Name
-	}
-	if a.Kind == optimizer.AccessSeek {
-		bi := b.Index(a.Index)
-		if bi == nil {
-			return nil, nil, fmt.Errorf("engine: index %s not built", a.Index.Name)
-		}
-		if a.SeekPred == nil {
-			return nil, nil, fmt.Errorf("engine: seek access without predicate on %s", a.Table)
-		}
-		ids := bi.seekRange(opFromCmp(a.SeekPred.Op), a.SeekPred.Value)
-		rows := make([][]rel.Value, len(ids))
-		for i, id := range ids {
-			rows[i] = t.Rows[id]
-		}
-		if st != nil {
-			st.RowsSought += int64(len(rows))
-		}
-		return cols, rows, nil
-	}
-	touchRows(t.Rows)
-	if st != nil {
-		st.RowsScanned += int64(len(t.Rows))
-	}
-	return cols, t.Rows, nil
-}
-
 // scanSink absorbs the byte-touching work of heap scans so the
-// compiler cannot elide it.
-var scanSink int64
+// compiler cannot elide it. It is updated atomically: union branches
+// may scan in parallel.
+var scanSink atomic.Int64
 
 // scanTouchPasses calibrates the simulated sequential-read bandwidth
 // of heap scans. The paper's substrate is a disk-resident system where
@@ -217,7 +101,10 @@ const scanTouchPasses = 8
 // byte volume, like the page reads of a disk-resident system: a wider
 // table is slower to scan even when the query projects few columns.
 // Without this, in-memory scans are width-oblivious and the paper's
-// untuned-mapping comparisons (Section 1.1) lose their crossover.
+// untuned-mapping comparisons (Section 1.1) lose their crossover. The
+// batch executor calls it once per batch of scanned rows, so the
+// simulated read cost stays attached to the scan that incurs it even
+// when downstream operators reuse cached structures.
 func touchRows(rows [][]rel.Value) {
 	var sink int64
 	for pass := 0; pass < scanTouchPasses; pass++ {
@@ -234,78 +121,7 @@ func touchRows(rows [][]rel.Value) {
 			}
 		}
 	}
-	scanSink += sink
-}
-
-// fetchPartition zips the needed partition groups into combined rows.
-func fetchPartition(b *Built, s *sqlast.Select, a optimizer.Access, st *ExecStats) ([]string, [][]rel.Value, error) {
-	var cols []string
-	var groupTables []*rel.Table
-	for _, g := range a.PartGroups {
-		gt := b.PartGroup(a.Table, g)
-		if gt == nil {
-			return nil, nil, fmt.Errorf("engine: partition group %d of %s not built", g, a.Table)
-		}
-		groupTables = append(groupTables, gt)
-	}
-	seen := make(map[string]bool)
-	type src struct{ gi, ci int }
-	var srcs []src
-	for gi, gt := range groupTables {
-		for ci, c := range gt.Columns {
-			if seen[c.Name] {
-				continue
-			}
-			seen[c.Name] = true
-			cols = append(cols, c.Name)
-			srcs = append(srcs, src{gi, ci})
-		}
-	}
-	n := groupTables[0].RowCount()
-	rows := make([][]rel.Value, n)
-	for i := 0; i < n; i++ {
-		row := make([]rel.Value, len(srcs))
-		for k, sr := range srcs {
-			row[k] = groupTables[sr.gi].Rows[i][sr.ci]
-		}
-		rows[i] = row
-	}
-	if st != nil {
-		st.RowsScanned += int64(n * len(groupTables))
-	}
-	return cols, rows, nil
-}
-
-// applyPreds evaluates every not-yet-applied predicate whose referenced
-// tables are in scope.
-func applyPreds(b *Built, s *sqlast.Select, sc *scope, rows [][]rel.Value,
-	applied map[int]bool, ex *existsCache, seekPred *sqlast.Pred) ([][]rel.Value, error) {
-	for i := range s.Where {
-		p := &s.Where[i]
-		if applied[i] || p.Kind == sqlast.PredJoin || p == seekPred {
-			continue
-		}
-		if !predInScope(p, sc) {
-			continue
-		}
-		f, err := compilePred(b, p, sc, ex)
-		if err != nil {
-			return nil, err
-		}
-		var kept [][]rel.Value
-		for _, r := range rows {
-			ok, err := f(r)
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				kept = append(kept, r)
-			}
-		}
-		rows = kept
-		applied[i] = true
-	}
-	return rows, nil
+	scanSink.Add(sink)
 }
 
 func predInScope(p *sqlast.Pred, sc *scope) bool {
@@ -328,55 +144,6 @@ func predInScope(p *sqlast.Pred, sc *scope) bool {
 	return false
 }
 
-// compilePred builds a tuple predicate evaluator.
-func compilePred(b *Built, p *sqlast.Pred, sc *scope, ex *existsCache) (func([]rel.Value) (bool, error), error) {
-	switch p.Kind {
-	case sqlast.PredCompare:
-		pos, err := sc.pos(p.Col)
-		if err != nil {
-			return nil, err
-		}
-		return func(r []rel.Value) (bool, error) {
-			return matchCompare(r[pos], p.Op, p.Value), nil
-		}, nil
-	case sqlast.PredOr:
-		positions, err := colPositions(sc, p.Cols)
-		if err != nil {
-			return nil, err
-		}
-		return func(r []rel.Value) (bool, error) {
-			for _, pos := range positions {
-				if matchCompare(r[pos], p.Op, p.Value) {
-					return true, nil
-				}
-			}
-			return false, nil
-		}, nil
-	case sqlast.PredExists, sqlast.PredOrExists:
-		positions, err := colPositions(sc, p.Cols)
-		if err != nil {
-			return nil, err
-		}
-		outerPos, err := sc.pos(p.OuterCol)
-		if err != nil {
-			return nil, err
-		}
-		matcher, err := ex.matcher(p)
-		if err != nil {
-			return nil, err
-		}
-		return func(r []rel.Value) (bool, error) {
-			for _, pos := range positions {
-				if matchCompare(r[pos], p.Op, p.Value) {
-					return true, nil
-				}
-			}
-			return matcher(r[outerPos]), nil
-		}, nil
-	}
-	return nil, fmt.Errorf("engine: cannot compile predicate %s", p)
-}
-
 func colPositions(sc *scope, cols []sqlast.ColRef) ([]int, error) {
 	out := make([]int, len(cols))
 	for i, c := range cols {
@@ -396,163 +163,25 @@ func matchCompare(v rel.Value, op sqlast.CmpOp, lit rel.Value) bool {
 	return op.Matches(v.Compare(lit))
 }
 
-// existsCache builds per-predicate semi-join probe structures lazily.
-type existsCache struct {
-	b     *Built
-	cache map[string]map[string]bool
-}
-
-func (e *existsCache) matcher(p *sqlast.Pred) (func(rel.Value) bool, error) {
-	t := e.b.DB.Table(p.Table)
-	if t == nil {
-		return nil, fmt.Errorf("engine: EXISTS over unknown table %s", p.Table)
+// sortResult applies the final ORDER BY of the sorted outer union.
+func sortResult(res *Result, orderBy string) error {
+	if orderBy == "" {
+		return nil
 	}
-	key := p.String()
-	if e.cache == nil {
-		e.cache = make(map[string]map[string]bool)
+	oi := -1
+	for i, c := range res.Cols {
+		if c == orderBy {
+			oi = i
+			break
+		}
 	}
-	set, ok := e.cache[key]
-	if !ok {
-		ji := t.ColIndex(p.JoinCol)
-		if ji < 0 {
-			return nil, fmt.Errorf("engine: EXISTS join column %s.%s missing", p.Table, p.JoinCol)
-		}
-		vi := -1
-		if p.InnerCol != "" {
-			vi = t.ColIndex(p.InnerCol)
-			if vi < 0 {
-				return nil, fmt.Errorf("engine: EXISTS value column %s.%s missing", p.Table, p.InnerCol)
-			}
-		}
-		set = make(map[string]bool)
-		for _, row := range t.Rows {
-			if row[ji].Null {
-				continue
-			}
-			if vi >= 0 && !matchCompare(row[vi], p.Op, p.Value) {
-				continue
-			}
-			set[row[ji].String()] = true
-		}
-		e.cache[key] = set
+	if oi < 0 {
+		return fmt.Errorf("engine: ORDER BY column %s missing from output", orderBy)
 	}
-	return func(v rel.Value) bool {
-		if v.Null {
-			return false
-		}
-		return set[v.String()]
-	}, nil
-}
-
-// execJoin performs one join step, producing combined tuples.
-func execJoin(b *Built, s *sqlast.Select, sc *scope, outer [][]rel.Value, j optimizer.Join, st *ExecStats) ([][]rel.Value, error) {
-	outerPos, err := sc.pos(j.OuterCol)
-	if err != nil {
-		return nil, err
-	}
-	switch j.Method {
-	case optimizer.JoinINL:
-		bi := b.Index(j.Inner.Index)
-		if bi == nil {
-			return nil, fmt.Errorf("engine: INL index %s not built", j.Inner.Index.Name)
-		}
-		t := bi.table
-		cols := make([]string, len(t.Columns))
-		for i, c := range t.Columns {
-			cols[i] = c.Name
-		}
-		sc.add(j.Inner.Table, cols)
-		var out [][]rel.Value
-		for _, orow := range outer {
-			v := orow[outerPos]
-			if v.Null {
-				continue
-			}
-			for _, rid := range bi.seekEqual(v) {
-				if st != nil {
-					st.RowsSought++
-				}
-				out = append(out, concatRows(orow, t.Rows[rid]))
-			}
-		}
-		return out, nil
-	default: // hash join
-		cols, innerRows, err := fetchAccess(b, s, j.Inner, st)
-		if err != nil {
-			return nil, err
-		}
-		// Inner join column position within the inner row layout.
-		ji := -1
-		for i, c := range cols {
-			if c == j.InnerCol.Column {
-				ji = i
-				break
-			}
-		}
-		if ji < 0 {
-			return nil, fmt.Errorf("engine: join column %s missing from %s", j.InnerCol, j.Inner.Table)
-		}
-		sc.add(j.Inner.Table, cols)
-		// Integer join keys (the common ID/PID case) use an int-keyed
-		// hash table; everything else falls back to string keys.
-		intKeys := len(innerRows) == 0 || innerRows[0][ji].Typ == rel.TInt
-		var out [][]rel.Value
-		if intKeys {
-			// Chained hash table: head map plus a next-pointer array,
-			// avoiding per-key slice allocations on the build side.
-			head := make(map[int64]int32, len(innerRows))
-			next := make([]int32, len(innerRows))
-			for i, ir := range innerRows {
-				if ir[ji].Null {
-					next[i] = -1
-					continue
-				}
-				k := ir[ji].I
-				if prev, ok := head[k]; ok {
-					next[i] = prev
-				} else {
-					next[i] = -1
-				}
-				head[k] = int32(i)
-			}
-			for _, orow := range outer {
-				v := orow[outerPos]
-				if v.Null || v.Typ != rel.TInt {
-					continue
-				}
-				i, ok := head[v.I]
-				for ok && i >= 0 {
-					out = append(out, concatRows(orow, innerRows[i]))
-					i = next[i]
-				}
-			}
-			return out, nil
-		}
-		ht := make(map[string][][]rel.Value, len(innerRows))
-		for _, ir := range innerRows {
-			if ir[ji].Null {
-				continue
-			}
-			ht[ir[ji].String()] = append(ht[ir[ji].String()], ir)
-		}
-		for _, orow := range outer {
-			v := orow[outerPos]
-			if v.Null {
-				continue
-			}
-			for _, ir := range ht[v.String()] {
-				out = append(out, concatRows(orow, ir))
-			}
-		}
-		return out, nil
-	}
-}
-
-func concatRows(a, b []rel.Value) []rel.Value {
-	out := make([]rel.Value, 0, len(a)+len(b))
-	out = append(out, a...)
-	out = append(out, b...)
-	return out
+	sort.SliceStable(res.Rows, func(i, j int) bool {
+		return res.Rows[i][oi].Compare(res.Rows[j][oi]) < 0
+	})
+	return nil
 }
 
 func opFromCmp(op sqlast.CmpOp) opKind {

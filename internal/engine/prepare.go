@@ -1,0 +1,621 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/optimizer"
+	"repro/internal/rel"
+	"repro/internal/sqlast"
+)
+
+// PreparedPlan is the compiled, reusable form of an optimizer plan
+// over one Built: a pipelined batch executor per union branch, with
+// predicate closures, projection layouts, and probe structures (join
+// hash tables, EXISTS sets, partition zips) resolved once at compile
+// time against the Built's plan-lifetime caches. Executing a
+// PreparedPlan allocates no per-row intermediates: operators pass
+// fixed-size rel.Batch blocks with selection vectors, joins write
+// combined tuples into pooled batch arenas, and only the projected
+// output rows are freshly allocated (in one chunk per batch).
+//
+// A PreparedPlan is safe for concurrent Execute calls; per-execution
+// operator state comes from a pool.
+type PreparedPlan struct {
+	// Parallelism caps the number of union branches executed
+	// concurrently; <= 0 means GOMAXPROCS. Results are bit-identical at
+	// any setting: branches land in fixed slots and merge in plan order.
+	Parallelism int
+
+	built    *Built
+	plan     *optimizer.Plan
+	cols     []string
+	branches []*preparedBranch
+}
+
+// Prepare compiles a plan for the batch executor. All plan-shape
+// errors the row-at-a-time executor reported during execution (unknown
+// tables, unbuilt indexes, out-of-scope columns, unapplied predicates)
+// are reported here instead, once.
+func Prepare(b *Built, plan *optimizer.Plan) (*PreparedPlan, error) {
+	pp := &PreparedPlan{built: b, plan: plan, cols: plan.Query.OutputColumns()}
+	for _, br := range plan.Branches {
+		pb, err := prepareBranch(b, br)
+		if err != nil {
+			return nil, err
+		}
+		pp.branches = append(pp.branches, pb)
+	}
+	return pp, nil
+}
+
+// Execute runs the prepared plan. Independent union branches execute
+// in parallel on a bounded worker pool; each branch accumulates its
+// own ExecStats and emits into a fixed slot, so rows merge in plan
+// order and stats sum in plan order — repeated runs produce identical
+// results at any parallelism.
+func (pp *PreparedPlan) Execute() (*Result, error) {
+	res := &Result{Cols: pp.cols}
+	n := len(pp.branches)
+	type branchOut struct {
+		rows [][]rel.Value
+		st   ExecStats
+	}
+	slots := make([]branchOut, n)
+	par := pp.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > n {
+		par = n
+	}
+	if par <= 1 {
+		for i, pb := range pp.branches {
+			slots[i].rows = pb.run(&slots[i].st)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(par)
+		for w := 0; w < par; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					slots[i].rows = pp.branches[i].run(&slots[i].st)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	for i := range slots {
+		res.Rows = append(res.Rows, slots[i].rows...)
+		res.Stats.add(slots[i].st)
+	}
+	if err := sortResult(res, pp.plan.Query.OrderBy); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// srcKind discriminates driver sources.
+type srcKind int
+
+const (
+	srcScan srcKind = iota
+	srcSeek
+	srcZip
+)
+
+// driverSrc is the compiled driving access of a branch.
+type driverSrc struct {
+	kind    srcKind
+	table   *rel.Table
+	bi      *builtIndex
+	seekOp  opKind
+	seekVal rel.Value
+	zip     *partZip
+}
+
+// pipeKind discriminates pipeline operators.
+type pipeKind int
+
+const (
+	pipeFilter pipeKind = iota
+	pipeHashJoin
+	pipeINLJoin
+)
+
+// pipeOp is one compiled pipeline operator.
+type pipeOp struct {
+	kind pipeKind
+
+	// pred filters rows in place on the selection vector (pipeFilter).
+	pred func([]rel.Value) bool
+
+	// Join fields.
+	outerPos int
+	width    int // combined tuple width after this join
+	slot     int // output-batch slot in branchState.joinOut
+
+	// Hash join: cached build side, plus the per-execution scan
+	// accounting its inner source incurs (the reference executor
+	// re-scans the build side every execution; the batch executor pays
+	// the same simulated scan cost and counters but skips the rebuild).
+	jt          *joinTable
+	scanRows    [][]rel.Value // rows to touch per run (nil for zips/seeks)
+	scanCount   int64         // RowsScanned per run
+	soughtCount int64         // RowsSought per run (seek-fed build side)
+
+	// INL join.
+	bi         *builtIndex
+	innerTable *rel.Table
+}
+
+// proj is one projection slot.
+type proj struct {
+	pos  int
+	null bool
+}
+
+// preparedBranch is one compiled union branch.
+type preparedBranch struct {
+	src        driverSrc
+	ops        []pipeOp
+	projs      []proj
+	nJoinSlots int
+	// pool recycles per-execution operator state (batch buffers) across
+	// executions of this branch.
+	pool sync.Pool
+}
+
+// branchState is the per-execution operator state: the driver batch
+// plus one output batch per join operator.
+type branchState struct {
+	in      *rel.Batch
+	joinOut []*rel.Batch
+}
+
+func resolveTable(b *Built, name string) *rel.Table {
+	if vt := b.ViewTable(name); vt != nil {
+		return vt
+	}
+	return b.DB.Table(name)
+}
+
+func colNames(t *rel.Table) []string {
+	cols := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		cols[i] = c.Name
+	}
+	return cols
+}
+
+func prepareBranch(b *Built, br *optimizer.Branch) (*preparedBranch, error) {
+	pb := &preparedBranch{}
+	sc := newScope()
+	a := br.Driver
+	var cols []string
+	if len(a.PartGroups) > 0 {
+		z, err := b.partitionZip(a.Table, a.PartGroups)
+		if err != nil {
+			return nil, err
+		}
+		pb.src = driverSrc{kind: srcZip, zip: z}
+		cols = z.cols
+	} else {
+		t := resolveTable(b, a.Table)
+		if t == nil {
+			return nil, fmt.Errorf("engine: unknown table %s", a.Table)
+		}
+		cols = colNames(t)
+		if a.Kind == optimizer.AccessSeek {
+			bi := b.Index(a.Index)
+			if bi == nil {
+				return nil, fmt.Errorf("engine: index %s not built", a.Index.Name)
+			}
+			if a.SeekPred == nil {
+				return nil, fmt.Errorf("engine: seek access without predicate on %s", a.Table)
+			}
+			pb.src = driverSrc{kind: srcSeek, table: t, bi: bi,
+				seekOp: opFromCmp(a.SeekPred.Op), seekVal: a.SeekPred.Value}
+		} else {
+			pb.src = driverSrc{kind: srcScan, table: t}
+		}
+	}
+	sc.add(a.Table, cols)
+	applied := make(map[int]bool)
+	if err := pb.appendFilters(b, br, sc, applied); err != nil {
+		return nil, err
+	}
+	for _, j := range br.Joins {
+		if err := pb.appendJoin(b, br, sc, j); err != nil {
+			return nil, err
+		}
+		if err := pb.appendFilters(b, br, sc, applied); err != nil {
+			return nil, err
+		}
+	}
+	// Verify every predicate was applied (defensive: plans must cover
+	// all conjuncts).
+	for i := range br.Sel.Where {
+		p := &br.Sel.Where[i]
+		if p.Kind == sqlast.PredJoin || applied[i] || p == br.Driver.SeekPred {
+			continue
+		}
+		return nil, fmt.Errorf("engine: predicate %s left unapplied", p)
+	}
+	for _, it := range br.Sel.Items {
+		if it.Col == nil {
+			pb.projs = append(pb.projs, proj{null: true})
+			continue
+		}
+		pos, err := sc.pos(*it.Col)
+		if err != nil {
+			return nil, err
+		}
+		pb.projs = append(pb.projs, proj{pos: pos})
+	}
+	pb.initPool()
+	return pb, nil
+}
+
+// appendFilters compiles every not-yet-applied predicate whose
+// referenced tables are in scope, in WHERE order — the same
+// application order as the reference executor's applyPreds passes.
+func (pb *preparedBranch) appendFilters(b *Built, br *optimizer.Branch, sc *scope, applied map[int]bool) error {
+	s := br.Sel
+	for i := range s.Where {
+		p := &s.Where[i]
+		if applied[i] || p.Kind == sqlast.PredJoin || p == br.Driver.SeekPred {
+			continue
+		}
+		if !predInScope(p, sc) {
+			continue
+		}
+		f, err := compileBatchPred(b, p, sc)
+		if err != nil {
+			return err
+		}
+		pb.ops = append(pb.ops, pipeOp{kind: pipeFilter, pred: f})
+		applied[i] = true
+	}
+	return nil
+}
+
+// appendJoin compiles one join step, resolving the build side through
+// the Built's structure caches.
+func (pb *preparedBranch) appendJoin(b *Built, br *optimizer.Branch, sc *scope, j optimizer.Join) error {
+	outerPos, err := sc.pos(j.OuterCol)
+	if err != nil {
+		return err
+	}
+	slot := pb.nJoinSlots
+	pb.nJoinSlots++
+	if j.Method == optimizer.JoinINL {
+		bi := b.Index(j.Inner.Index)
+		if bi == nil {
+			return fmt.Errorf("engine: INL index %s not built", j.Inner.Index.Name)
+		}
+		t := bi.table
+		sc.add(j.Inner.Table, colNames(t))
+		pb.ops = append(pb.ops, pipeOp{kind: pipeINLJoin, outerPos: outerPos,
+			bi: bi, innerTable: t, width: sc.width, slot: slot})
+		return nil
+	}
+	// Hash join: resolve the inner row source.
+	var rows [][]rel.Value
+	var cols []string
+	var srcKey string
+	var scanRows [][]rel.Value
+	var scanCount, soughtCount int64
+	a := j.Inner
+	if len(a.PartGroups) > 0 {
+		z, zerr := b.partitionZip(a.Table, a.PartGroups)
+		if zerr != nil {
+			return zerr
+		}
+		rows, cols = z.rows, z.cols
+		srcKey = "p:" + zipKey(a.Table, a.PartGroups)
+		scanCount = int64(len(z.rows) * z.groups)
+	} else {
+		t := resolveTable(b, a.Table)
+		if t == nil {
+			return fmt.Errorf("engine: unknown table %s", a.Table)
+		}
+		cols = colNames(t)
+		if a.Kind == optimizer.AccessSeek {
+			// A seek-fed hash build: not produced by today's optimizer,
+			// but the reference path supports it. The seek restricts the
+			// build rows, so the table stays private to this plan.
+			bi := b.Index(a.Index)
+			if bi == nil {
+				return fmt.Errorf("engine: index %s not built", a.Index.Name)
+			}
+			if a.SeekPred == nil {
+				return fmt.Errorf("engine: seek access without predicate on %s", a.Table)
+			}
+			ids := bi.seekRange(opFromCmp(a.SeekPred.Op), a.SeekPred.Value)
+			rows = make([][]rel.Value, len(ids))
+			for i, id := range ids {
+				rows[i] = t.Rows[id]
+			}
+			soughtCount = int64(len(rows))
+		} else {
+			rows = t.Rows
+			if b.ViewTable(a.Table) != nil {
+				srcKey = "v:" + a.Table
+			} else {
+				srcKey = "t:" + a.Table
+			}
+			scanRows = t.Rows
+			scanCount = int64(len(t.Rows))
+		}
+	}
+	ji := -1
+	for i, c := range cols {
+		if c == j.InnerCol.Column {
+			ji = i
+			break
+		}
+	}
+	if ji < 0 {
+		return fmt.Errorf("engine: join column %s missing from %s", j.InnerCol, j.Inner.Table)
+	}
+	sc.add(j.Inner.Table, cols)
+	var jt *joinTable
+	if srcKey != "" {
+		jt, err = b.hashJoinTable(srcKey, j.InnerCol.Column, rows, ji)
+		if err != nil {
+			return err
+		}
+	} else {
+		jt = buildJoinTable(rows, ji)
+	}
+	pb.ops = append(pb.ops, pipeOp{kind: pipeHashJoin, outerPos: outerPos, jt: jt,
+		width: sc.width, slot: slot, scanRows: scanRows,
+		scanCount: scanCount, soughtCount: soughtCount})
+	return nil
+}
+
+// compileBatchPred builds a boolean row predicate with every column
+// position and probe structure resolved at compile time.
+func compileBatchPred(b *Built, p *sqlast.Pred, sc *scope) (func([]rel.Value) bool, error) {
+	switch p.Kind {
+	case sqlast.PredCompare:
+		pos, err := sc.pos(p.Col)
+		if err != nil {
+			return nil, err
+		}
+		return func(r []rel.Value) bool {
+			return matchCompare(r[pos], p.Op, p.Value)
+		}, nil
+	case sqlast.PredOr:
+		positions, err := colPositions(sc, p.Cols)
+		if err != nil {
+			return nil, err
+		}
+		return func(r []rel.Value) bool {
+			for _, pos := range positions {
+				if matchCompare(r[pos], p.Op, p.Value) {
+					return true
+				}
+			}
+			return false
+		}, nil
+	case sqlast.PredExists, sqlast.PredOrExists:
+		positions, err := colPositions(sc, p.Cols)
+		if err != nil {
+			return nil, err
+		}
+		outerPos, err := sc.pos(p.OuterCol)
+		if err != nil {
+			return nil, err
+		}
+		set, err := b.existsProbeSet(p)
+		if err != nil {
+			return nil, err
+		}
+		return func(r []rel.Value) bool {
+			for _, pos := range positions {
+				if matchCompare(r[pos], p.Op, p.Value) {
+					return true
+				}
+			}
+			return set.match(r[outerPos])
+		}, nil
+	}
+	return nil, fmt.Errorf("engine: cannot compile predicate %s", p)
+}
+
+// initPool wires the per-execution state pool: one driver batch plus
+// one arena batch per join operator, sized to that join's output width.
+func (pb *preparedBranch) initPool() {
+	widths := make([]int, 0, pb.nJoinSlots)
+	for _, op := range pb.ops {
+		if op.kind != pipeFilter {
+			widths = append(widths, op.width)
+		}
+	}
+	pb.pool.New = func() any {
+		st := &branchState{in: rel.NewBatch(0), joinOut: make([]*rel.Batch, len(widths))}
+		for i, w := range widths {
+			st.joinOut[i] = rel.NewBatch(w)
+		}
+		return st
+	}
+}
+
+// run executes one branch, returning its projected rows in pipeline
+// order.
+func (pb *preparedBranch) run(st *ExecStats) [][]rel.Value {
+	st.Branches++
+	// The reference executor re-fetches every hash-join build side once
+	// per execution, even when the driver produces no rows; charge the
+	// same scan touch and counters up front so measured cost and Stats
+	// stay aligned.
+	for i := range pb.ops {
+		op := &pb.ops[i]
+		if op.kind != pipeHashJoin {
+			continue
+		}
+		if op.scanRows != nil {
+			touchRows(op.scanRows)
+		}
+		st.RowsScanned += op.scanCount
+		st.RowsSought += op.soughtCount
+	}
+	state := pb.pool.Get().(*branchState)
+	defer pb.pool.Put(state)
+	var out [][]rel.Value
+	np := len(pb.projs)
+
+	// sink projects a batch's live rows into fresh output rows, one
+	// backing arena chunk per batch instead of one allocation per row.
+	sink := func(bt *rel.Batch) {
+		n := bt.Len()
+		if n == 0 {
+			return
+		}
+		arena := make([]rel.Value, n*np)
+		k := 0
+		for _, si := range bt.Sel {
+			r := bt.Rows[si]
+			o := arena[k : k+np : k+np]
+			for i, pr := range pb.projs {
+				if pr.null {
+					o[i] = rel.NullOf(rel.TString)
+				} else {
+					o[i] = r[pr.pos]
+				}
+			}
+			out = append(out, o)
+			k += np
+		}
+	}
+
+	// process pushes a batch through the operators starting at oi.
+	var process func(oi int, bt *rel.Batch)
+	process = func(oi int, bt *rel.Batch) {
+		for ; oi < len(pb.ops); oi++ {
+			op := &pb.ops[oi]
+			switch op.kind {
+			case pipeFilter:
+				bt.FilterSel(op.pred)
+				if bt.Len() == 0 {
+					return
+				}
+			case pipeHashJoin, pipeINLJoin:
+				ob := state.joinOut[op.slot]
+				ob.Reset()
+				next := oi + 1
+				flush := func() {
+					if ob.Len() > 0 {
+						process(next, ob)
+					}
+					ob.Reset()
+				}
+				if op.kind == pipeHashJoin {
+					jt := op.jt
+					if jt.intKeys {
+						for _, si := range bt.Sel {
+							orow := bt.Rows[si]
+							v := orow[op.outerPos]
+							if v.Null || v.Typ != rel.TInt {
+								continue
+							}
+							i, ok := jt.head[v.I]
+							for ok && i >= 0 {
+								ob.AppendConcat(orow, jt.rows[i])
+								if ob.Full() {
+									flush()
+								}
+								i = jt.next[i]
+							}
+						}
+					} else {
+						for _, si := range bt.Sel {
+							orow := bt.Rows[si]
+							v := orow[op.outerPos]
+							if v.Null {
+								continue
+							}
+							for _, i := range jt.str[v.String()] {
+								ob.AppendConcat(orow, jt.rows[i])
+								if ob.Full() {
+									flush()
+								}
+							}
+						}
+					}
+				} else {
+					t := op.innerTable
+					for _, si := range bt.Sel {
+						orow := bt.Rows[si]
+						v := orow[op.outerPos]
+						if v.Null {
+							continue
+						}
+						for _, rid := range op.bi.seekEqual(v) {
+							st.RowsSought++
+							ob.AppendConcat(orow, t.Rows[rid])
+							if ob.Full() {
+								flush()
+							}
+						}
+					}
+				}
+				flush()
+				return
+			}
+		}
+		sink(bt)
+	}
+
+	feed := func(chunk [][]rel.Value) {
+		bt := state.in
+		bt.Reset()
+		for _, r := range chunk {
+			bt.AppendRef(r)
+		}
+		process(0, bt)
+	}
+	switch pb.src.kind {
+	case srcSeek:
+		ids := pb.src.bi.seekRange(pb.src.seekOp, pb.src.seekVal)
+		st.RowsSought += int64(len(ids))
+		t := pb.src.table
+		bt := state.in
+		for start := 0; start < len(ids); start += rel.BatchSize {
+			end := min(start+rel.BatchSize, len(ids))
+			bt.Reset()
+			for _, id := range ids[start:end] {
+				bt.AppendRef(t.Rows[id])
+			}
+			process(0, bt)
+		}
+	case srcZip:
+		rows := pb.src.zip.rows
+		for start := 0; start < len(rows); start += rel.BatchSize {
+			end := min(start+rel.BatchSize, len(rows))
+			st.RowsScanned += int64((end - start) * pb.src.zip.groups)
+			feed(rows[start:end])
+		}
+	default: // srcScan
+		rows := pb.src.table.Rows
+		for start := 0; start < len(rows); start += rel.BatchSize {
+			end := min(start+rel.BatchSize, len(rows))
+			chunk := rows[start:end]
+			// Per-batch scan-cost touch: the simulated sequential-read
+			// work stays proportional to scanned bytes (see touchRows).
+			touchRows(chunk)
+			st.RowsScanned += int64(len(chunk))
+			feed(chunk)
+		}
+	}
+	return out
+}

@@ -1,0 +1,495 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/optimizer"
+	"repro/internal/rel"
+	"repro/internal/sqlast"
+)
+
+// ExecuteReference runs an optimizer plan with the original
+// row-at-a-time executor: every intermediate fully materialized,
+// per-execution probe structures, sequential branches. It is retained
+// as the correctness oracle for the batch executor — difftest and the
+// equivalence tests assert that Execute produces bit-identical
+// Cols/Rows/Stats — and as the "seed" side of the executor benchmarks.
+func ExecuteReference(b *Built, plan *optimizer.Plan) (*Result, error) {
+	res := &Result{Cols: plan.Query.OutputColumns()}
+	for _, br := range plan.Branches {
+		res.Stats.Branches++
+		rows, err := execBranch(b, br, &res.Stats)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, rows...)
+	}
+	if err := sortResult(res, plan.Query.OrderBy); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// execBranch runs one branch plan.
+func execBranch(b *Built, br *optimizer.Branch, st *ExecStats) ([][]rel.Value, error) {
+	sc := newScope()
+	cols, rows, err := fetchAccess(b, br.Sel, br.Driver, st)
+	if err != nil {
+		return nil, err
+	}
+	sc.add(br.Driver.Table, cols)
+	applied := make(map[int]bool)
+	ex := &existsCache{b: b}
+	rows, err = applyPreds(b, br.Sel, sc, rows, applied, ex, br.Driver.SeekPred)
+	if err != nil {
+		return nil, err
+	}
+	for _, j := range br.Joins {
+		rows, err = execJoin(b, br.Sel, sc, rows, j, st)
+		if err != nil {
+			return nil, err
+		}
+		rows, err = applyPreds(b, br.Sel, sc, rows, applied, ex, br.Driver.SeekPred)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Verify every predicate was applied (defensive: plans must cover
+	// all conjuncts).
+	for i := range br.Sel.Where {
+		p := &br.Sel.Where[i]
+		if p.Kind == sqlast.PredJoin || applied[i] || p == br.Driver.SeekPred {
+			continue
+		}
+		return nil, fmt.Errorf("engine: predicate %s left unapplied", p)
+	}
+	// Projection.
+	out := make([][]rel.Value, 0, len(rows))
+	type proj struct {
+		pos  int
+		null bool
+	}
+	projs := make([]proj, len(br.Sel.Items))
+	for i, it := range br.Sel.Items {
+		if it.Col == nil {
+			projs[i] = proj{null: true}
+			continue
+		}
+		pos, err := sc.pos(*it.Col)
+		if err != nil {
+			return nil, err
+		}
+		projs[i] = proj{pos: pos}
+	}
+	for _, r := range rows {
+		o := make([]rel.Value, len(projs))
+		for i, p := range projs {
+			if p.null {
+				o[i] = rel.NullOf(rel.TString)
+			} else {
+				o[i] = r[p.pos]
+			}
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+// fetchAccess materializes the rows of an access path as combined
+// tuples (a fresh slice of column names plus row slices).
+func fetchAccess(b *Built, s *sqlast.Select, a optimizer.Access, st *ExecStats) ([]string, [][]rel.Value, error) {
+	if len(a.PartGroups) > 0 {
+		return fetchPartition(b, s, a, st)
+	}
+	var t *rel.Table
+	if vt := b.ViewTable(a.Table); vt != nil {
+		t = vt
+	} else {
+		t = b.DB.Table(a.Table)
+	}
+	if t == nil {
+		return nil, nil, fmt.Errorf("engine: unknown table %s", a.Table)
+	}
+	cols := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		cols[i] = c.Name
+	}
+	if a.Kind == optimizer.AccessSeek {
+		bi := b.Index(a.Index)
+		if bi == nil {
+			return nil, nil, fmt.Errorf("engine: index %s not built", a.Index.Name)
+		}
+		if a.SeekPred == nil {
+			return nil, nil, fmt.Errorf("engine: seek access without predicate on %s", a.Table)
+		}
+		ids := bi.seekRange(opFromCmp(a.SeekPred.Op), a.SeekPred.Value)
+		rows := make([][]rel.Value, len(ids))
+		for i, id := range ids {
+			rows[i] = t.Rows[id]
+		}
+		if st != nil {
+			st.RowsSought += int64(len(rows))
+		}
+		return cols, rows, nil
+	}
+	touchRows(t.Rows)
+	if st != nil {
+		st.RowsScanned += int64(len(t.Rows))
+	}
+	return cols, t.Rows, nil
+}
+
+// fetchPartition zips the needed partition groups into combined rows.
+func fetchPartition(b *Built, s *sqlast.Select, a optimizer.Access, st *ExecStats) ([]string, [][]rel.Value, error) {
+	var cols []string
+	var groupTables []*rel.Table
+	for _, g := range a.PartGroups {
+		gt := b.PartGroup(a.Table, g)
+		if gt == nil {
+			return nil, nil, fmt.Errorf("engine: partition group %d of %s not built", g, a.Table)
+		}
+		groupTables = append(groupTables, gt)
+	}
+	seen := make(map[string]bool)
+	type src struct{ gi, ci int }
+	var srcs []src
+	for gi, gt := range groupTables {
+		for ci, c := range gt.Columns {
+			if seen[c.Name] {
+				continue
+			}
+			seen[c.Name] = true
+			cols = append(cols, c.Name)
+			srcs = append(srcs, src{gi, ci})
+		}
+	}
+	n := groupTables[0].RowCount()
+	rows := make([][]rel.Value, n)
+	for i := 0; i < n; i++ {
+		row := make([]rel.Value, len(srcs))
+		for k, sr := range srcs {
+			row[k] = groupTables[sr.gi].Rows[i][sr.ci]
+		}
+		rows[i] = row
+	}
+	if st != nil {
+		st.RowsScanned += int64(n * len(groupTables))
+	}
+	return cols, rows, nil
+}
+
+// applyPreds evaluates every not-yet-applied predicate whose referenced
+// tables are in scope.
+func applyPreds(b *Built, s *sqlast.Select, sc *scope, rows [][]rel.Value,
+	applied map[int]bool, ex *existsCache, seekPred *sqlast.Pred) ([][]rel.Value, error) {
+	for i := range s.Where {
+		p := &s.Where[i]
+		if applied[i] || p.Kind == sqlast.PredJoin || p == seekPred {
+			continue
+		}
+		if !predInScope(p, sc) {
+			continue
+		}
+		f, err := compilePred(b, p, sc, ex)
+		if err != nil {
+			return nil, err
+		}
+		var kept [][]rel.Value
+		for _, r := range rows {
+			ok, err := f(r)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				kept = append(kept, r)
+			}
+		}
+		rows = kept
+		applied[i] = true
+	}
+	return rows, nil
+}
+
+// compilePred builds a tuple predicate evaluator.
+func compilePred(b *Built, p *sqlast.Pred, sc *scope, ex *existsCache) (func([]rel.Value) (bool, error), error) {
+	switch p.Kind {
+	case sqlast.PredCompare:
+		pos, err := sc.pos(p.Col)
+		if err != nil {
+			return nil, err
+		}
+		return func(r []rel.Value) (bool, error) {
+			return matchCompare(r[pos], p.Op, p.Value), nil
+		}, nil
+	case sqlast.PredOr:
+		positions, err := colPositions(sc, p.Cols)
+		if err != nil {
+			return nil, err
+		}
+		return func(r []rel.Value) (bool, error) {
+			for _, pos := range positions {
+				if matchCompare(r[pos], p.Op, p.Value) {
+					return true, nil
+				}
+			}
+			return false, nil
+		}, nil
+	case sqlast.PredExists, sqlast.PredOrExists:
+		positions, err := colPositions(sc, p.Cols)
+		if err != nil {
+			return nil, err
+		}
+		outerPos, err := sc.pos(p.OuterCol)
+		if err != nil {
+			return nil, err
+		}
+		matcher, err := ex.matcher(p)
+		if err != nil {
+			return nil, err
+		}
+		return func(r []rel.Value) (bool, error) {
+			for _, pos := range positions {
+				if matchCompare(r[pos], p.Op, p.Value) {
+					return true, nil
+				}
+			}
+			return matcher(r[outerPos]), nil
+		}, nil
+	}
+	return nil, fmt.Errorf("engine: cannot compile predicate %s", p)
+}
+
+// existsCache builds per-predicate semi-join probe structures lazily.
+// Integer join keys (the common ID/PID case) get an int-keyed set and
+// probe fast path mirroring the int-keyed hash join; everything else
+// falls back to stringified keys.
+type existsCache struct {
+	b    *Built
+	ints map[string]map[int64]bool
+	strs map[string]map[string]bool
+}
+
+func (e *existsCache) matcher(p *sqlast.Pred) (func(rel.Value) bool, error) {
+	t := e.b.DB.Table(p.Table)
+	if t == nil {
+		return nil, fmt.Errorf("engine: EXISTS over unknown table %s", p.Table)
+	}
+	key := p.String()
+	if ints, ok := e.ints[key]; ok {
+		return intSetMatcher(ints), nil
+	}
+	if strs, ok := e.strs[key]; ok {
+		return strSetMatcher(strs), nil
+	}
+	ji := t.ColIndex(p.JoinCol)
+	if ji < 0 {
+		return nil, fmt.Errorf("engine: EXISTS join column %s.%s missing", p.Table, p.JoinCol)
+	}
+	vi := -1
+	if p.InnerCol != "" {
+		vi = t.ColIndex(p.InnerCol)
+		if vi < 0 {
+			return nil, fmt.Errorf("engine: EXISTS value column %s.%s missing", p.Table, p.InnerCol)
+		}
+	}
+	if t.Columns[ji].Typ == rel.TInt {
+		if set, ok := buildIntExists(t.Rows, ji, vi, p); ok {
+			if e.ints == nil {
+				e.ints = make(map[string]map[int64]bool)
+			}
+			e.ints[key] = set
+			return intSetMatcher(set), nil
+		}
+	}
+	set := buildStrExists(t.Rows, ji, vi, p)
+	if e.strs == nil {
+		e.strs = make(map[string]map[string]bool)
+	}
+	e.strs[key] = set
+	return strSetMatcher(set), nil
+}
+
+// buildIntExists builds an int-keyed EXISTS probe set; ok is false
+// when a non-integer value appears in the declared-int join column
+// (the caller then falls back to string keys, preserving the exact
+// stringified-key semantics).
+func buildIntExists(rows [][]rel.Value, ji, vi int, p *sqlast.Pred) (map[int64]bool, bool) {
+	set := make(map[int64]bool)
+	for _, row := range rows {
+		if row[ji].Null {
+			continue
+		}
+		if row[ji].Typ != rel.TInt {
+			return nil, false
+		}
+		if vi >= 0 && !matchCompare(row[vi], p.Op, p.Value) {
+			continue
+		}
+		set[row[ji].I] = true
+	}
+	return set, true
+}
+
+func buildStrExists(rows [][]rel.Value, ji, vi int, p *sqlast.Pred) map[string]bool {
+	set := make(map[string]bool)
+	for _, row := range rows {
+		if row[ji].Null {
+			continue
+		}
+		if vi >= 0 && !matchCompare(row[vi], p.Op, p.Value) {
+			continue
+		}
+		set[row[ji].String()] = true
+	}
+	return set
+}
+
+func strSetMatcher(set map[string]bool) func(rel.Value) bool {
+	return func(v rel.Value) bool {
+		if v.Null {
+			return false
+		}
+		return set[v.String()]
+	}
+}
+
+// intSetMatcher probes an int-keyed set. Integer probes hit the map
+// directly; any other probe value matches exactly when its string form
+// is the canonical decimal rendering of a key — the same outcomes the
+// stringified set produces, without stringifying every probe.
+func intSetMatcher(set map[int64]bool) func(rel.Value) bool {
+	return func(v rel.Value) bool {
+		if v.Null {
+			return false
+		}
+		if v.Typ == rel.TInt {
+			return set[v.I]
+		}
+		return matchIntSetString(set, v)
+	}
+}
+
+// matchIntSetString resolves a non-integer probe against an int-keyed
+// set: it matches exactly when the probe's string form is the
+// canonical decimal rendering of a present key.
+func matchIntSetString(set map[int64]bool, v rel.Value) bool {
+	s := v.String()
+	i, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || strconv.FormatInt(i, 10) != s {
+		return false
+	}
+	return set[i]
+}
+
+// execJoin performs one join step, producing combined tuples.
+func execJoin(b *Built, s *sqlast.Select, sc *scope, outer [][]rel.Value, j optimizer.Join, st *ExecStats) ([][]rel.Value, error) {
+	outerPos, err := sc.pos(j.OuterCol)
+	if err != nil {
+		return nil, err
+	}
+	switch j.Method {
+	case optimizer.JoinINL:
+		bi := b.Index(j.Inner.Index)
+		if bi == nil {
+			return nil, fmt.Errorf("engine: INL index %s not built", j.Inner.Index.Name)
+		}
+		t := bi.table
+		cols := make([]string, len(t.Columns))
+		for i, c := range t.Columns {
+			cols[i] = c.Name
+		}
+		sc.add(j.Inner.Table, cols)
+		var out [][]rel.Value
+		for _, orow := range outer {
+			v := orow[outerPos]
+			if v.Null {
+				continue
+			}
+			for _, rid := range bi.seekEqual(v) {
+				if st != nil {
+					st.RowsSought++
+				}
+				out = append(out, concatRows(orow, t.Rows[rid]))
+			}
+		}
+		return out, nil
+	default: // hash join
+		cols, innerRows, err := fetchAccess(b, s, j.Inner, st)
+		if err != nil {
+			return nil, err
+		}
+		// Inner join column position within the inner row layout.
+		ji := -1
+		for i, c := range cols {
+			if c == j.InnerCol.Column {
+				ji = i
+				break
+			}
+		}
+		if ji < 0 {
+			return nil, fmt.Errorf("engine: join column %s missing from %s", j.InnerCol, j.Inner.Table)
+		}
+		sc.add(j.Inner.Table, cols)
+		// Integer join keys (the common ID/PID case) use an int-keyed
+		// hash table; everything else falls back to string keys.
+		intKeys := len(innerRows) == 0 || innerRows[0][ji].Typ == rel.TInt
+		var out [][]rel.Value
+		if intKeys {
+			// Chained hash table: head map plus a next-pointer array,
+			// avoiding per-key slice allocations on the build side.
+			head := make(map[int64]int32, len(innerRows))
+			next := make([]int32, len(innerRows))
+			for i, ir := range innerRows {
+				if ir[ji].Null {
+					next[i] = -1
+					continue
+				}
+				k := ir[ji].I
+				if prev, ok := head[k]; ok {
+					next[i] = prev
+				} else {
+					next[i] = -1
+				}
+				head[k] = int32(i)
+			}
+			for _, orow := range outer {
+				v := orow[outerPos]
+				if v.Null || v.Typ != rel.TInt {
+					continue
+				}
+				i, ok := head[v.I]
+				for ok && i >= 0 {
+					out = append(out, concatRows(orow, innerRows[i]))
+					i = next[i]
+				}
+			}
+			return out, nil
+		}
+		ht := make(map[string][][]rel.Value, len(innerRows))
+		for _, ir := range innerRows {
+			if ir[ji].Null {
+				continue
+			}
+			k := ir[ji].String()
+			ht[k] = append(ht[k], ir)
+		}
+		for _, orow := range outer {
+			v := orow[outerPos]
+			if v.Null {
+				continue
+			}
+			for _, ir := range ht[v.String()] {
+				out = append(out, concatRows(orow, ir))
+			}
+		}
+		return out, nil
+	}
+}
+
+func concatRows(a, b []rel.Value) []rel.Value {
+	out := make([]rel.Value, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	return out
+}

@@ -13,6 +13,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/physical"
 	"repro/internal/rel"
@@ -121,6 +122,27 @@ type Plan struct {
 	Branches []*Branch
 	// Rows and Cost are totals (Cost includes the final sort).
 	Rows, Cost float64
+
+	fpOnce sync.Once
+	fp     string
+}
+
+// Fingerprint returns a canonical identity for the physical plan: the
+// rendered operator tree plus each branch's SQL text. Two plans with
+// equal fingerprints describe the same execution, so engines key
+// compiled per-plan state (prepared executors, cached probe
+// structures) on it. Computed once and memoized.
+func (p *Plan) Fingerprint() string {
+	p.fpOnce.Do(func() {
+		var b strings.Builder
+		b.WriteString(p.Explain())
+		for _, br := range p.Branches {
+			b.WriteString(br.Sel.SQL())
+			b.WriteByte('\n')
+		}
+		p.fp = b.String()
+	})
+	return p.fp
 }
 
 // Objects returns the identities of every relational object the plan

@@ -1,0 +1,90 @@
+package rel
+
+// BatchSize is the number of tuples an executor batch holds. Batches
+// are the unit of work of the pipelined executor: operators pass
+// fixed-size blocks of tuples with a selection vector instead of
+// materializing whole intermediates (MonetDB/X100-style vectorized
+// execution at row granularity).
+const BatchSize = 1024
+
+// Batch is a fixed-capacity block of combined tuples flowing through
+// the execution pipeline. Rows either reference external storage
+// (table heaps, cached structures) via AppendRef, or live in the
+// batch's own arena via AppendConcat — one contiguous backing slice
+// per batch, so joins cost one arena write instead of one allocation
+// per output row. Sel is the selection vector: the indices of live
+// rows in pipeline order. Filters compact Sel in place and never move
+// row data.
+type Batch struct {
+	// Rows holds up to BatchSize tuples; only indices listed in Sel are
+	// live.
+	Rows [][]Value
+	// Sel is the selection vector over Rows.
+	Sel []int32
+
+	arena []Value
+	width int
+}
+
+// NewBatch creates an empty batch. A non-zero width pre-allocates an
+// arena able to back BatchSize owned rows of that width, which
+// AppendConcat then fills without ever reallocating (reallocation
+// would invalidate previously appended row slices).
+func NewBatch(width int) *Batch {
+	b := &Batch{
+		Rows:  make([][]Value, 0, BatchSize),
+		Sel:   make([]int32, 0, BatchSize),
+		width: width,
+	}
+	if width > 0 {
+		b.arena = make([]Value, 0, BatchSize*width)
+	}
+	return b
+}
+
+// Width returns the arena row width the batch was created with (0 for
+// reference-only batches).
+func (b *Batch) Width() int { return b.width }
+
+// Reset empties the batch for reuse, keeping its buffers.
+func (b *Batch) Reset() {
+	b.Rows = b.Rows[:0]
+	b.Sel = b.Sel[:0]
+	b.arena = b.arena[:0]
+}
+
+// Len returns the number of live (selected) rows.
+func (b *Batch) Len() int { return len(b.Sel) }
+
+// Full reports whether the batch holds BatchSize rows.
+func (b *Batch) Full() bool { return len(b.Rows) >= BatchSize }
+
+// AppendRef appends a live row that references external storage.
+func (b *Batch) AppendRef(row []Value) {
+	b.Sel = append(b.Sel, int32(len(b.Rows)))
+	b.Rows = append(b.Rows, row)
+}
+
+// AppendConcat appends the live combined tuple left++right, copied
+// into the batch arena. len(left)+len(right) must equal the batch
+// width and the batch must not be Full.
+func (b *Batch) AppendConcat(left, right []Value) {
+	n := len(b.arena)
+	b.arena = append(b.arena, left...)
+	b.arena = append(b.arena, right...)
+	b.Sel = append(b.Sel, int32(len(b.Rows)))
+	b.Rows = append(b.Rows, b.arena[n:len(b.arena):len(b.arena)])
+}
+
+// FilterSel compacts the selection vector in place, keeping the rows
+// for which keep returns true. Row data is not moved, so relative
+// order is preserved.
+func (b *Batch) FilterSel(keep func(row []Value) bool) {
+	live := b.Sel[:0]
+	for _, si := range b.Sel {
+		if keep(b.Rows[si]) {
+			live = append(live, si)
+		}
+	}
+	b.Sel = live
+}

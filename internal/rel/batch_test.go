@@ -1,0 +1,68 @@
+package rel
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestBatchAppendConcatArenaStable(t *testing.T) {
+	b := NewBatch(2)
+	var lefts [][]Value
+	for i := 0; i < BatchSize; i++ {
+		lefts = append(lefts, []Value{Int(int64(i))})
+	}
+	right := []Value{Str("r")}
+	for i := 0; i < BatchSize; i++ {
+		b.AppendConcat(lefts[i], right)
+	}
+	if !b.Full() {
+		t.Fatal("batch should be full")
+	}
+	// Every earlier row must still see its own values: AppendConcat may
+	// never reallocate the arena mid-batch.
+	for i, si := range b.Sel {
+		row := b.Rows[si]
+		if len(row) != 2 || row[0].I != int64(i) || row[1].S != "r" {
+			t.Fatalf("row %d corrupted: %v", i, row)
+		}
+	}
+}
+
+func TestBatchFilterSelPreservesOrder(t *testing.T) {
+	b := NewBatch(0)
+	for i := 0; i < 10; i++ {
+		b.AppendRef([]Value{Int(int64(i))})
+	}
+	b.FilterSel(func(r []Value) bool { return r[0].I%2 == 0 })
+	if b.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", b.Len())
+	}
+	want := []int64{0, 2, 4, 6, 8}
+	for i, si := range b.Sel {
+		if b.Rows[si][0].I != want[i] {
+			t.Fatalf("filtered order wrong at %d: %v", i, b.Rows[si])
+		}
+	}
+	// A second filter composes over the compacted selection.
+	b.FilterSel(func(r []Value) bool { return r[0].I > 2 })
+	if got := fmt.Sprint(b.Sel); got != "[4 6 8]" {
+		t.Fatalf("Sel after second filter = %s", got)
+	}
+}
+
+func TestBatchResetReuse(t *testing.T) {
+	b := NewBatch(3)
+	b.AppendConcat([]Value{Int(1), Int(2)}, []Value{Str("x")})
+	b.Reset()
+	if b.Len() != 0 || len(b.Rows) != 0 {
+		t.Fatal("Reset did not empty the batch")
+	}
+	b.AppendConcat([]Value{Int(7), Int(8)}, []Value{Str("y")})
+	row := b.Rows[b.Sel[0]]
+	if row[0].I != 7 || row[2].S != "y" {
+		t.Fatalf("row after reset = %v", row)
+	}
+	if b.Width() != 3 {
+		t.Fatalf("Width = %d, want 3", b.Width())
+	}
+}
