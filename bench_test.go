@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/physical"
 	"repro/internal/stats"
@@ -330,6 +331,34 @@ func BenchmarkExecuteBatch(b *testing.B) {
 // loop, where even the fingerprint lookup is amortized away.
 func BenchmarkExecutePrepared(b *testing.B) {
 	built, plans := executorBenchSetup(b)
+	pps := make([]*engine.PreparedPlan, len(plans))
+	for i, plan := range plans {
+		pp, err := built.Prepared(plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pps[i] = pp
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, pp := range pps {
+			if _, err := pp.Execute(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkExecutePreparedTraced is BenchmarkExecutePrepared with the
+// observability layer attached: every execution records an
+// executor.execute span with per-branch children and live registry
+// counters. The delta against BenchmarkExecutePrepared is the cost of
+// *enabled* tracing; BenchmarkExecutePrepared itself (nil tracer — the
+// default) must stay within the BENCH_PR3.json baseline, which
+// scripts/benchguard enforces in CI.
+func BenchmarkExecutePreparedTraced(b *testing.B) {
+	built, plans := executorBenchSetup(b)
+	built.AttachObs(obs.New(), obs.NewRegistry())
 	pps := make([]*engine.PreparedPlan, len(plans))
 	for i, plan := range plans {
 		pp, err := built.Prepared(plan)

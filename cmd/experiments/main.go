@@ -17,18 +17,20 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		scale    = flag.Float64("scale", 0.25, "dataset scale factor (1.0 = 20k publications / 10k movies)")
-		quick    = flag.Bool("quick", false, "smaller workloads and round caps for a fast pass")
-		only     = flag.String("only", "", "comma-separated subset: table1,intro,fig4,fig5,fig6,fig7,fig8,fig9")
-		naive    = flag.Bool("naive", true, "include Naive-Greedy on the 10-query workloads (slow)")
-		naive20  = flag.Bool("naive20", false, "also run Naive-Greedy on 20-query workloads (very slow)")
-		seedBase = flag.Int64("seed", 7, "workload generation seed")
-		parallel = flag.Int("parallel", 1, "concurrent candidate evaluations per search (all strategies; results are identical at any setting)")
+		scale     = flag.Float64("scale", 0.25, "dataset scale factor (1.0 = 20k publications / 10k movies)")
+		quick     = flag.Bool("quick", false, "smaller workloads and round caps for a fast pass")
+		only      = flag.String("only", "", "comma-separated subset: table1,intro,fig4,fig5,fig6,fig7,fig8,fig9")
+		naive     = flag.Bool("naive", true, "include Naive-Greedy on the 10-query workloads (slow)")
+		naive20   = flag.Bool("naive20", false, "also run Naive-Greedy on 20-query workloads (very slow)")
+		seedBase  = flag.Int64("seed", 7, "workload generation seed")
+		parallel  = flag.Int("parallel", 1, "concurrent candidate evaluations per search (all strategies; results are identical at any setting)")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/vars, /debug/metrics, and /debug/pprof on this address while experiments run")
 	)
 	flag.Parse()
 	want := map[string]bool{}
@@ -38,19 +40,31 @@ func main() {
 		}
 	}
 	sel := func(name string) bool { return len(want) == 0 || want[name] }
-	if err := run(*scale, *quick, sel, *naive, *naive20, *seedBase, *parallel); err != nil {
+	if err := run(*scale, *quick, sel, *naive, *naive20, *seedBase, *parallel, *debugAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scale float64, quick bool, sel func(string) bool, naive, naive20 bool, seed int64, parallel int) error {
+func run(scale float64, quick bool, sel func(string) bool, naive, naive20 bool, seed int64, parallel int, debugAddr string) error {
 	start := time.Now()
+
+	opts := core.Options{Parallelism: parallel}
+	if debugAddr != "" {
+		reg := obs.NewRegistry()
+		ds, err := obs.ServeDebug(debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer ds.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/vars\n", ds.Addr)
+		opts.Registry = reg
+	}
+
 	fmt.Printf("loading datasets (scale %.2f)...\n", scale)
 	dblp := experiments.LoadDBLP(experiments.Scale(scale))
 	movie := experiments.LoadMovie(experiments.Scale(scale))
 
-	opts := core.Options{Parallelism: parallel}
 	if quick {
 		opts.MaxRounds = 2
 	}

@@ -25,27 +25,29 @@ import (
 	xmlshred "repro"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
-	var (
-		dataset   = flag.String("dataset", "", "built-in dataset: dblp or movie")
-		scale     = flag.Float64("scale", 0.25, "built-in dataset scale factor")
-		xsdPath   = flag.String("xsd", "", "XSD schema file (alternative to -dataset)")
-		xmlPath   = flag.String("xml", "", "XML data file (required with -xsd)")
-		queryPath = flag.String("queries", "", "workload file: one XPath query per line")
-		algorithm = flag.String("algorithm", "greedy", "greedy | naive | twostep | hybrid")
-		storageMB = flag.Int64("storage", 0, "storage bound in MB (0 = unbounded)")
-		execute   = flag.Bool("execute", true, "load the data and measure workload execution")
-		showSQL   = flag.Bool("sql", false, "print the translated SQL per query")
-		trace     = flag.Bool("trace", false, "narrate the search per round on stderr")
-		parallel  = flag.Int("parallel", 1, "concurrent candidate evaluations (all algorithms; results are identical at any setting)")
-	)
+	var cfg cliConfig
+	flag.StringVar(&cfg.dataset, "dataset", "", "built-in dataset: dblp or movie")
+	flag.Float64Var(&cfg.scale, "scale", 0.25, "built-in dataset scale factor")
+	flag.StringVar(&cfg.xsdPath, "xsd", "", "XSD schema file (alternative to -dataset)")
+	flag.StringVar(&cfg.xmlPath, "xml", "", "XML data file (required with -xsd)")
+	flag.StringVar(&cfg.queryPath, "queries", "", "workload file: one XPath query per line")
+	flag.StringVar(&cfg.algorithm, "algorithm", "greedy", "greedy | naive | twostep | hybrid")
+	flag.Int64Var(&cfg.storageMB, "storage", 0, "storage bound in MB (0 = unbounded)")
+	flag.BoolVar(&cfg.execute, "execute", true, "load the data, measure workload execution, and print the estimated-vs-measured cost audit")
+	flag.BoolVar(&cfg.showSQL, "sql", false, "print the translated SQL per query")
+	trace := flag.Bool("trace", false, "narrate the search per round on stderr")
+	flag.IntVar(&cfg.parallel, "parallel", 1, "concurrent candidate evaluations (all algorithms; results are identical at any setting)")
+	flag.StringVar(&cfg.traceJSON, "trace-json", "", "write the structured span tree (search phases, tuner calls, executor stages) to this file as JSON")
+	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve /debug/vars, /debug/metrics, and /debug/pprof on this address while running")
 	flag.Parse()
 	if *trace {
 		traceWriter = os.Stderr
 	}
-	if err := run(*dataset, *scale, *xsdPath, *xmlPath, *queryPath, *algorithm, *storageMB, *parallel, *execute, *showSQL); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "xmladvisor:", err)
 		os.Exit(1)
 	}
@@ -54,19 +56,28 @@ func main() {
 // traceWriter receives search narration when -trace is set.
 var traceWriter io.Writer
 
-func run(dataset string, scale float64, xsdPath, xmlPath, queryPath, algorithm string,
-	storageMB int64, parallel int, execute, showSQL bool) error {
+// cliConfig carries the parsed command line into run.
+type cliConfig struct {
+	dataset, xsdPath, xmlPath, queryPath, algorithm string
+	scale                                           float64
+	storageMB                                       int64
+	parallel                                        int
+	execute, showSQL                                bool
+	traceJSON, debugAddr                            string
+}
+
+func run(c cliConfig) error {
 	var tree *xmlshred.SchemaTree
 	var docs []*xmlshred.Document
 	switch {
-	case dataset == "dblp":
-		d := experiments.LoadDBLP(experiments.Scale(scale))
+	case c.dataset == "dblp":
+		d := experiments.LoadDBLP(experiments.Scale(c.scale))
 		tree, docs = d.Tree, d.Docs
-	case dataset == "movie":
-		d := experiments.LoadMovie(experiments.Scale(scale))
+	case c.dataset == "movie":
+		d := experiments.LoadMovie(experiments.Scale(c.scale))
 		tree, docs = d.Tree, d.Docs
-	case xsdPath != "":
-		f, err := os.Open(xsdPath)
+	case c.xsdPath != "":
+		f, err := os.Open(c.xsdPath)
 		if err != nil {
 			return err
 		}
@@ -75,10 +86,10 @@ func run(dataset string, scale float64, xsdPath, xmlPath, queryPath, algorithm s
 		if err != nil {
 			return err
 		}
-		if xmlPath == "" {
+		if c.xmlPath == "" {
 			return fmt.Errorf("-xml is required with -xsd")
 		}
-		xf, err := os.Open(xmlPath)
+		xf, err := os.Open(c.xmlPath)
 		if err != nil {
 			return err
 		}
@@ -91,22 +102,44 @@ func run(dataset string, scale float64, xsdPath, xmlPath, queryPath, algorithm s
 	default:
 		return fmt.Errorf("pass -dataset dblp|movie or -xsd schema.xsd -xml data.xml")
 	}
-	if queryPath == "" {
+	if c.queryPath == "" {
 		return fmt.Errorf("-queries is required")
 	}
-	w, err := readWorkload(queryPath)
+	w, err := readWorkload(c.queryPath)
 	if err != nil {
 		return err
 	}
+
+	// Observability: a tracer when a trace sink is requested, a metrics
+	// registry whenever either debug surface is on.
+	var tr *obs.Tracer
+	var reg *obs.Registry
+	if c.traceJSON != "" {
+		tr = obs.New()
+	}
+	if c.traceJSON != "" || c.debugAddr != "" {
+		reg = obs.NewRegistry()
+	}
+	if c.debugAddr != "" {
+		ds, err := obs.ServeDebug(c.debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer ds.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/vars\n", ds.Addr)
+	}
+
 	col := xmlshred.CollectStatistics(tree, docs...)
 	adv := xmlshred.NewAdvisor(tree, col, w, core.Options{
-		StorageBytes: storageMB << 20,
-		Parallelism:  parallel,
+		StorageBytes: c.storageMB << 20,
+		Parallelism:  c.parallel,
 		Trace:        traceWriter,
+		Obs:          tr,
+		Registry:     reg,
 	})
 
 	var res *xmlshred.Result
-	switch algorithm {
+	switch c.algorithm {
 	case "greedy":
 		res, err = adv.Greedy()
 	case "naive":
@@ -116,23 +149,53 @@ func run(dataset string, scale float64, xsdPath, xmlPath, queryPath, algorithm s
 	case "hybrid":
 		res, err = adv.HybridBaseline()
 	default:
-		return fmt.Errorf("unknown algorithm %q", algorithm)
+		return fmt.Errorf("unknown algorithm %q", c.algorithm)
 	}
 	if err != nil {
 		return err
 	}
-	if err := res.WriteReport(os.Stdout, showSQL); err != nil {
+	if err := res.WriteReport(os.Stdout, c.showSQL); err != nil {
 		return err
 	}
-	if execute {
+	if c.execute {
 		ex, err := adv.MeasureExecution(res, docs...)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("\n-- measured execution --\nworkload time: %s (%d rows, data %d KB, structures %d KB)\n",
 			ex.Elapsed, ex.Rows, ex.DataBytes>>10, ex.StructBytes>>10)
+		audit, err := adv.CostAudit(res, docs...)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		if err := audit.WriteTable(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if c.traceJSON != "" {
+		if err := writeTrace(tr, c.traceJSON); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d spans written to %s\n", tr.SpanCount(), c.traceJSON)
 	}
 	return nil
+}
+
+// writeTrace validates the span tree and writes it to path as JSON.
+func writeTrace(tr *obs.Tracer, path string) error {
+	if err := tr.Validate(); err != nil {
+		return fmt.Errorf("trace validation: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func readWorkload(path string) (*xmlshred.Workload, error) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -51,10 +52,73 @@ func TestReadWorkloadErrors(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run("", 0.1, "", "", "", "greedy", 0, 1, false, false); err == nil {
+	if err := run(cliConfig{scale: 0.1, algorithm: "greedy", parallel: 1}); err == nil {
 		t.Error("want error without dataset or schema")
 	}
-	if err := run("movie", 0.01, "", "", "", "greedy", 0, 1, false, false); err == nil {
+	if err := run(cliConfig{dataset: "movie", scale: 0.01, algorithm: "greedy", parallel: 1}); err == nil {
 		t.Error("want error without queries")
+	}
+}
+
+// TestRunTraceJSON drives a full advisor run end to end — search,
+// measured execution, cost audit — with -trace-json, and checks the
+// emitted span tree is well-formed JSON covering search and executor
+// phases.
+func TestRunTraceJSON(t *testing.T) {
+	dir := t.TempDir()
+	queries := filepath.Join(dir, "q.txt")
+	content := "//movie[year >= 2000]/title\n//movie/avg_rating\t2\n"
+	if err := os.WriteFile(queries, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	trace := filepath.Join(dir, "trace.json")
+	// Silence the report while the test runs; the trace file is the
+	// artifact under test.
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	stdout := os.Stdout
+	os.Stdout = devnull
+	err = run(cliConfig{
+		dataset: "movie", scale: 0.02, queryPath: queries,
+		algorithm: "greedy", parallel: 2, execute: true,
+		traceJSON: trace,
+	})
+	os.Stdout = stdout
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type jspan struct {
+		Name     string  `json:"name"`
+		Children []jspan `json:"children"`
+	}
+	var doc struct {
+		Spans []jspan `json:"spans"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	var walk func(s jspan)
+	walk = func(s jspan) {
+		names[s.Name] = true
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	for _, s := range doc.Spans {
+		walk(s)
+	}
+	for _, want := range []string{"search", "advisor.evaluate", "physdesign.tune",
+		"executor.prepare", "executor.execute", "advisor.cost-audit"} {
+		if !names[want] {
+			t.Errorf("trace has no %q span (%d top-level spans)", want, len(doc.Spans))
+		}
 	}
 }

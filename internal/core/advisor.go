@@ -13,9 +13,11 @@ package core
 import (
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/physdesign"
 	"repro/internal/physical"
@@ -73,6 +75,17 @@ type Options struct {
 	EnableVPartitions bool
 	// Trace, when non-nil, receives per-round search narration.
 	Trace io.Writer
+	// Obs, when non-nil, records structured spans for every search
+	// phase (candidate selection, candidate merging, per-candidate
+	// evaluation, cost derivation, tuner calls); attach the same tracer
+	// to the engine (Built.AttachObs) to cover executor stages too. A
+	// nil tracer keeps every instrumented path a near-no-op.
+	Obs *obs.Tracer
+	// Registry, when non-nil, receives live counter/gauge mirrors of
+	// the Metrics this run accumulates (advisor.* names), suitable for
+	// expvar / -debug-addr exposure. The Metrics struct on Result stays
+	// the per-run compatibility view.
+	Registry *obs.Registry
 	// Parallelism bounds concurrent candidate evaluations in every
 	// search strategy — Greedy's per-round ranking and exact fallback
 	// sweep, Naive-Greedy's enumeration, and Two-Step's phase-1 loop
@@ -114,8 +127,11 @@ type Metrics struct {
 }
 
 // merge accumulates another run's effort counters (used when candidate
-// evaluations run in parallel).
+// evaluations run in parallel). Duration accumulates too: per-candidate
+// metrics never carry one, and callers that sum sub-run metrics (the
+// experiment harness) used to silently lose the sub-runs' wall time.
 func (m *Metrics) merge(o Metrics) {
+	m.Duration += o.Duration
 	m.Transformations += o.Transformations
 	m.MappingsCosted += o.MappingsCosted
 	m.CostsDerived += o.CostsDerived
@@ -142,6 +158,12 @@ type Result struct {
 	Prov stats.MapProvider
 	// EstCost is the estimated weighted workload cost.
 	EstCost float64
+	// PerQueryCost are the estimated costs of each workload query under
+	// Config, aligned with SQL (the cost-audit baseline).
+	PerQueryCost []float64
+	// Plans are the optimizer plans behind PerQueryCost (EXPLAIN
+	// reporting and the cost audit).
+	Plans []*optimizer.Plan
 	// Metrics records the search effort.
 	Metrics Metrics
 }
@@ -274,14 +296,24 @@ func (a *Advisor) evaluate(tree *schema.Tree, met *Metrics) (*evalResult, error)
 
 // evaluateFull compiles, translates, derives statistics, and tunes a
 // mapping — one full physical design tool call (the cache-miss path of
-// evaluate).
+// evaluate). Each call is one per-candidate-evaluation span with a
+// nested tuner-call span.
 func (a *Advisor) evaluateFull(tree *schema.Tree, met *Metrics) (*evalResult, error) {
+	sp := a.Opts.Obs.StartSpan("advisor.evaluate")
+	defer sp.End()
 	ev, w, err := a.prepare(tree)
 	if err != nil {
+		sp.SetAttr(obs.String("error", err.Error()))
 		return nil, err
 	}
-	rec, err := physdesign.Tune(w, ev.prov, a.physOpts(ev.prov, ev.mapping))
+	sp.SetAttr(obs.Int("relations", int64(len(ev.mapping.Relations))))
+	tsp := sp.Child("physdesign.tune")
+	popts := a.physOpts(ev.prov, ev.mapping)
+	popts.Obs = tsp
+	rec, err := physdesign.Tune(w, ev.prov, popts)
+	tsp.End()
 	if err != nil {
+		sp.SetAttr(obs.String("error", err.Error()))
 		return nil, err
 	}
 	met.PhysDesignCalls++
@@ -289,6 +321,7 @@ func (a *Advisor) evaluateFull(tree *schema.Tree, met *Metrics) (*evalResult, er
 	met.OptimizerCalls += rec.OptimizerCalls
 	ev.rec = rec
 	ev.cost = rec.TotalCost
+	sp.SetAttr(obs.Float("cost", ev.cost))
 	return ev, nil
 }
 
@@ -327,16 +360,40 @@ func (a *Advisor) HybridBaseline() (*Result, error) {
 }
 
 func (a *Advisor) result(alg string, ev *evalResult, met Metrics) *Result {
+	a.publishMetrics(alg, met, ev.cost)
 	return &Result{
-		Algorithm: alg,
-		Tree:      ev.tree,
-		Mapping:   ev.mapping,
-		Config:    ev.rec.Config,
-		SQL:       ev.sqls,
-		Prov:      ev.prov,
-		EstCost:   ev.cost,
-		Metrics:   met,
+		Algorithm:    alg,
+		Tree:         ev.tree,
+		Mapping:      ev.mapping,
+		Config:       ev.rec.Config,
+		SQL:          ev.sqls,
+		Prov:         ev.prov,
+		EstCost:      ev.cost,
+		PerQueryCost: ev.rec.PerQuery,
+		Plans:        ev.rec.Plans,
+		Metrics:      met,
 	}
+}
+
+// publishMetrics mirrors a finished run's Metrics into the registry
+// (advisor.* counters accumulate across runs; gauges hold the latest
+// run). No-op without a registry.
+func (a *Advisor) publishMetrics(alg string, met Metrics, cost float64) {
+	reg := a.Opts.Registry
+	if reg == nil {
+		return
+	}
+	reg.Counter("advisor.runs").Inc()
+	reg.Counter("advisor.transformations").Add(int64(met.Transformations))
+	reg.Counter("advisor.mappings_costed").Add(int64(met.MappingsCosted))
+	reg.Counter("advisor.costs_derived").Add(int64(met.CostsDerived))
+	reg.Counter("advisor.physdesign_calls").Add(int64(met.PhysDesignCalls))
+	reg.Counter("advisor.optimizer_calls").Add(met.OptimizerCalls)
+	reg.Counter("advisor.eval_cache_hits").Add(int64(met.EvalCacheHits))
+	reg.Counter("advisor.eval_cache_misses").Add(int64(met.EvalCacheMisses))
+	reg.Gauge("advisor.last_duration_ms").Set(float64(met.Duration) / float64(time.Millisecond))
+	reg.Gauge("advisor.last_est_cost").Set(cost)
+	reg.Gauge("advisor.est_cost." + strings.ToLower(alg)).Set(cost)
 }
 
 // defaultConfig is Two-Step's phase-1 physical design guess: a
@@ -358,6 +415,8 @@ func defaultConfig(m *shred.Mapping) *physical.Config {
 // costUnder estimates the workload cost under a fixed configuration
 // (no tuning) — Two-Step's phase-1 cost oracle.
 func (a *Advisor) costUnder(tree *schema.Tree, cfg func(*shred.Mapping) *physical.Config, met *Metrics) (*evalResult, float64, error) {
+	sp := a.Opts.Obs.StartSpan("advisor.cost-fixed")
+	defer sp.End()
 	ev, w, err := a.prepare(tree)
 	if err != nil {
 		return nil, 0, err
@@ -373,5 +432,6 @@ func (a *Advisor) costUnder(tree *schema.Tree, cfg func(*shred.Mapping) *physica
 		total += wq.Weight * cost
 	}
 	met.OptimizerCalls += opt.Calls
+	sp.SetAttr(obs.Float("cost", total))
 	return ev, total, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/schema"
 	"repro/internal/transform"
 )
@@ -21,6 +22,8 @@ const naiveMaxRounds = 8
 func (a *Advisor) NaiveGreedy() (*Result, error) {
 	start := time.Now()
 	var met Metrics
+	root := a.Opts.Obs.StartSpan("search", obs.String("algorithm", "naive-greedy"))
+	defer root.End()
 	curEval, err := a.evaluate(a.Base.Clone(), &met)
 	if err != nil {
 		return nil, fmt.Errorf("core: costing initial mapping: %w", err)
@@ -30,6 +33,7 @@ func (a *Advisor) NaiveGreedy() (*Result, error) {
 		rounds = naiveMaxRounds
 	}
 	for round := 0; round < rounds; round++ {
+		rsp := root.Child("search-round", obs.Int("round", int64(round)))
 		cands := transform.EnumerateAll(curEval.tree, a.Col)
 		outcomes := make([]candOutcome, len(cands))
 		a.service().forEach(len(cands), func(i int) {
@@ -51,6 +55,8 @@ func (a *Advisor) NaiveGreedy() (*Result, error) {
 				bestEval = ev
 			}
 		}
+		rsp.SetAttr(obs.Int("candidates", int64(len(cands))))
+		rsp.End()
 		if bestEval == nil || bestEval.cost >= curEval.cost {
 			break
 		}
@@ -69,6 +75,8 @@ func (a *Advisor) NaiveGreedy() (*Result, error) {
 func (a *Advisor) TwoStep() (*Result, error) {
 	start := time.Now()
 	var met Metrics
+	root := a.Opts.Obs.StartSpan("search", obs.String("algorithm", "two-step"))
+	defer root.End()
 	cur := a.Base.Clone()
 	curCost, err := a.service().costUnderDefault(cur, &met)
 	if err != nil {
@@ -79,6 +87,7 @@ func (a *Advisor) TwoStep() (*Result, error) {
 		rounds = naiveMaxRounds
 	}
 	for round := 0; round < rounds; round++ {
+		rsp := root.Child("search-round", obs.Int("round", int64(round)))
 		var bestTree *schema.Tree
 		bestCost := curCost
 		cands := transform.EnumerateAll(cur, a.Col)
@@ -112,6 +121,7 @@ func (a *Advisor) TwoStep() (*Result, error) {
 				bestTree, bestCost = o.tree, o.cost
 			}
 		}
+		rsp.End()
 		if bestTree == nil {
 			break
 		}

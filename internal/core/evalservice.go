@@ -133,8 +133,12 @@ func (s *evalService) forEach(n int, fn func(i int)) {
 // evaluate returns the memoized full evaluation of a tree, computing it
 // once per canonical signature. On a miss the computing caller's
 // metrics absorb the full effort (tool call, optimizer calls) plus an
-// EvalCacheMisses tick; every other caller records only an
-// EvalCacheHits tick.
+// EvalCacheMisses tick; every other caller — including callers that
+// arrive while the computation is still in flight — records only an
+// EvalCacheHits tick. The miss is recorded at reservation time, while
+// the caller still holds the map lock, so exactly one miss per key is
+// structural: the decision and the tick cannot be separated by a
+// concurrent requester (TestEvalCacheAccountingUnderRace pins this).
 func (s *evalService) evaluate(tree *schema.Tree, met *Metrics) (*evalResult, error) {
 	key := s.key(tree.Signature())
 	s.mu.Lock()
@@ -146,10 +150,10 @@ func (s *evalService) evaluate(tree *schema.Tree, met *Metrics) (*evalResult, er
 	}
 	ent := &evalEntry{done: make(chan struct{})}
 	s.evals[key] = ent
+	met.EvalCacheMisses++
 	s.mu.Unlock()
 	ent.ev, ent.err = s.a.evaluateFull(tree, &ent.met)
 	close(ent.done)
-	met.EvalCacheMisses++
 	met.merge(ent.met)
 	return ent.ev, ent.err
 }
@@ -169,10 +173,10 @@ func (s *evalService) deriveCost(cur *evalResult, next *schema.Tree, met *Metric
 	}
 	ent := &deriveEntry{done: make(chan struct{})}
 	s.derives[key] = ent
+	met.EvalCacheMisses++
 	s.mu.Unlock()
 	ent.cost, ent.err = s.a.deriveCostFull(cur, next, &ent.met)
 	close(ent.done)
-	met.EvalCacheMisses++
 	met.merge(ent.met)
 	return ent.cost, ent.err
 }
@@ -190,10 +194,10 @@ func (s *evalService) costUnderDefault(tree *schema.Tree, met *Metrics) (float64
 	}
 	ent := &fixedEntry{done: make(chan struct{})}
 	s.fixed[key] = ent
+	met.EvalCacheMisses++
 	s.mu.Unlock()
 	_, ent.cost, ent.err = s.a.costUnder(tree, defaultConfig, &ent.met)
 	close(ent.done)
-	met.EvalCacheMisses++
 	met.merge(ent.met)
 	return ent.cost, ent.err
 }
@@ -212,10 +216,10 @@ func (s *evalService) queryCost(tree *schema.Tree, wq workload.Query, met *Metri
 	}
 	ent := &qcostEntry{done: make(chan struct{})}
 	s.qcosts[key] = ent
+	met.EvalCacheMisses++
 	s.mu.Unlock()
 	ent.cost = s.a.queryCostFull(tree, wq, &ent.met)
 	close(ent.done)
-	met.EvalCacheMisses++
 	met.merge(ent.met)
 	return ent.cost
 }

@@ -3,6 +3,8 @@ package core
 import (
 	"sync"
 	"testing"
+
+	"repro/internal/schema"
 )
 
 // TestEvaluateMemoized pins the cache contract: re-evaluating a mapping
@@ -72,6 +74,83 @@ func TestEvaluateSingleFlight(t *testing.T) {
 	}
 	if total.EvalCacheHits != n-1 {
 		t.Errorf("EvalCacheHits = %d, want %d", total.EvalCacheHits, n-1)
+	}
+}
+
+// TestEvalCacheAccountingUnderRace pins the accounting invariant across
+// all four memoization maps under concurrency: misses are recorded at
+// reservation time, under the map lock, so no matter how requests
+// interleave the merged totals are exact — one miss per distinct key,
+// and every other request a hit. Run under -race this also exercises
+// the single-flight synchronization itself.
+func TestEvalCacheAccountingUnderRace(t *testing.T) {
+	fx := movieFixture(t, movieTestQueries[:2])
+	adv := New(fx.base, fx.col, fx.w, Options{})
+	alt := schema.ApplyFullySplit(fx.base.Clone())
+
+	// Seed one full evaluation so deriveCost below has a costed current
+	// mapping to derive from. This is distinct key #1.
+	var seed Metrics
+	curEv, err := adv.evaluate(fx.base.Clone(), &seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	const iters = 3
+	mets := make([]Metrics, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			m := &mets[w]
+			for i := 0; i < iters; i++ {
+				if _, err := adv.evaluate(fx.base.Clone(), m); err != nil {
+					t.Error(err)
+				}
+				if _, err := adv.evaluate(alt.Clone(), m); err != nil {
+					t.Error(err)
+				}
+				if _, err := adv.service().costUnderDefault(fx.base.Clone(), m); err != nil {
+					t.Error(err)
+				}
+				if _, err := adv.service().costUnderDefault(alt.Clone(), m); err != nil {
+					t.Error(err)
+				}
+				adv.service().queryCost(fx.base.Clone(), fx.w.Queries[0], m)
+				if _, err := adv.deriveCost(curEv, alt.Clone(), m); err != nil {
+					t.Error(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := seed
+	for i := range mets {
+		total.merge(mets[i])
+	}
+	// Distinct keys: evaluate(base), evaluate(alt), fixed(base),
+	// fixed(alt), queryCost(base, q0), derive(base->alt).
+	const distinct = 6
+	requests := 1 + workers*iters*6
+	if total.EvalCacheMisses != distinct {
+		t.Errorf("EvalCacheMisses = %d, want exactly %d (one per distinct key)",
+			total.EvalCacheMisses, distinct)
+	}
+	if total.EvalCacheHits != requests-distinct {
+		t.Errorf("EvalCacheHits = %d, want %d (requests %d - distinct %d)",
+			total.EvalCacheHits, requests-distinct, requests, distinct)
+	}
+	// Full evaluations were computed exactly twice (base and alt); the
+	// single derivation may add one more tool call for its re-tuned
+	// queries, but single-flighting caps the total at three.
+	if total.MappingsCosted != 2 {
+		t.Errorf("MappingsCosted = %d, want 2", total.MappingsCosted)
+	}
+	if total.PhysDesignCalls < 2 || total.PhysDesignCalls > 3 {
+		t.Errorf("PhysDesignCalls = %d, want 2 or 3", total.PhysDesignCalls)
 	}
 }
 

@@ -40,6 +40,7 @@ func (a *Advisor) MeasureExecution(res *Result, docs ...*xmlgen.Doc) (*Execution
 	if err != nil {
 		return nil, fmt.Errorf("core: building configuration: %w", err)
 	}
+	built.AttachObs(a.Opts.Obs, a.Opts.Registry)
 	prov := stats.FromDatabase(db)
 	opt := optimizer.New(prov)
 	type prepared struct {

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/physdesign"
 	"repro/internal/schema"
 	"repro/internal/stats"
@@ -22,17 +23,23 @@ import (
 func (a *Advisor) Greedy() (*Result, error) {
 	start := time.Now()
 	var met Metrics
+	root := a.Opts.Obs.StartSpan("search", obs.String("algorithm", "greedy"))
+	defer root.End()
 
 	// Line 1: candidate selection on the fully inlined schema
 	// (subsumed transformations are never applied alone; the schema
 	// the search works on is kept fully inlined, §4.3).
 	base := schema.ApplyFullInlining(a.Base.Clone())
+	ssp := root.Child("candidate-selection")
 	var sel *selected
 	if a.Opts.DisableCandidateSelection {
 		sel = a.allNonSubsumed(base)
 	} else {
 		sel = a.selectCandidates(base)
 	}
+	ssp.SetAttr(obs.Int("splits", int64(len(sel.splits))),
+		obs.Int("merges", int64(len(sel.merges))))
+	ssp.End()
 
 	// Line 2: initial mapping M0 = all split candidates applied.
 	cur := base
@@ -46,6 +53,7 @@ func (a *Advisor) Greedy() (*Result, error) {
 	}
 
 	// Line 3: candidate merging.
+	msp := root.Child("candidate-merging")
 	cands := append([]*candidate(nil), sel.merges...)
 	cands = append(cands, a.mergeCandidates(cur, sel, &met)...)
 	if a.Opts.SearchSubsumed {
@@ -58,6 +66,8 @@ func (a *Advisor) Greedy() (*Result, error) {
 			}
 		}
 	}
+	msp.SetAttr(obs.Int("candidates", int64(len(cands))))
+	msp.End()
 
 	// Line 5: tool call on M0.
 	curEval, err := a.evaluate(cur, &met)
@@ -79,6 +89,7 @@ func (a *Advisor) Greedy() (*Result, error) {
 		seen[c.key()] = true
 	}
 	for round := 0; a.Opts.MaxRounds == 0 || round < a.Opts.MaxRounds; round++ {
+		rsp := root.Child("search-round", obs.Int("round", int64(round)))
 		bestIdx := -1
 		var bestTree *schema.Tree
 		var bestEv *evalResult // exact evaluation, when already available
@@ -188,8 +199,10 @@ func (a *Advisor) Greedy() (*Result, error) {
 			// the search prematurely (this bounds the quality loss of
 			// §4.8 the way the paper's line 18 re-estimation intends).
 			if a.Opts.DisableCostDerivation {
+				rsp.End()
 				break
 			}
+			fsp := rsp.Child("fallback-sweep")
 			sweep := make([]candOutcome, len(cands))
 			a.service().forEach(len(cands), func(ci int) {
 				c := cands[ci]
@@ -225,7 +238,9 @@ func (a *Advisor) Greedy() (*Result, error) {
 					bestIdx, bestTree, bestCost, bestEv = ci, o.tree, o.cost, o.ev
 				}
 			}
+			fsp.End()
 			if bestIdx < 0 {
+				rsp.End()
 				break
 			}
 			a.tracef("greedy round %d: exact fallback sweep found %s", round, cands[bestIdx].desc)
@@ -237,6 +252,7 @@ func (a *Advisor) Greedy() (*Result, error) {
 			var err error
 			ev, err = a.evaluate(bestTree, &met)
 			if err != nil {
+				rsp.End()
 				return nil, err
 			}
 		}
@@ -244,6 +260,8 @@ func (a *Advisor) Greedy() (*Result, error) {
 			a.tracef("greedy round %d: %s rejected on exact re-estimation (%.2f >= %.2f)",
 				round, cands[bestIdx].desc, ev.cost, curEval.cost)
 			cands[bestIdx] = nil
+			rsp.SetAttr(obs.String("outcome", "rejected"))
+			rsp.End()
 			continue
 		}
 		a.tracef("greedy round %d: applied %s, cost %.2f -> %.2f",
@@ -259,6 +277,8 @@ func (a *Advisor) Greedy() (*Result, error) {
 		}
 		curEval = ev
 		cands[bestIdx] = nil
+		rsp.SetAttr(obs.String("outcome", "applied"), obs.Float("cost", ev.cost))
+		rsp.End()
 	}
 	// Safety net: the fully inlined schema (the hybrid-inlining
 	// default) is always in the search space; never return a design
@@ -324,6 +344,8 @@ func (a *Advisor) deriveCost(cur *evalResult, next *schema.Tree, met *Metrics) (
 // queries are re-tuned with the space left after the retained
 // structures.
 func (a *Advisor) deriveCostFull(cur *evalResult, next *schema.Tree, met *Metrics) (float64, error) {
+	sp := a.Opts.Obs.StartSpan("advisor.derive-cost")
+	defer sp.End()
 	ev, w, err := a.prepare(next)
 	if err != nil {
 		return 0, err
@@ -343,6 +365,8 @@ func (a *Advisor) deriveCostFull(cur *evalResult, next *schema.Tree, met *Metric
 		}
 		retune = append(retune, w[i])
 	}
+	sp.SetAttr(obs.Int("derived_queries", int64(len(a.W.Queries)-len(retune))),
+		obs.Int("retuned_queries", int64(len(retune))))
 	if len(retune) == 0 {
 		return total, nil
 	}
@@ -355,7 +379,10 @@ func (a *Advisor) deriveCostFull(cur *evalResult, next *schema.Tree, met *Metric
 			opts.StorageBytes = 1
 		}
 	}
+	tsp := sp.Child("physdesign.tune")
+	opts.Obs = tsp
 	rec, err := physdesign.Tune(retune, ev.prov, opts)
+	tsp.End()
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/schema"
+)
+
+// TestMetricsMergeKeepsDuration pins the merge bugfix: Duration used to
+// be dropped on merge, so experiment harnesses that aggregate
+// per-strategy Metrics reported zero search time.
+func TestMetricsMergeKeepsDuration(t *testing.T) {
+	a := Metrics{Duration: time.Second, Transformations: 1}
+	a.merge(Metrics{Duration: 2 * time.Second, Transformations: 2})
+	if a.Duration != 3*time.Second {
+		t.Errorf("merged Duration = %s, want 3s", a.Duration)
+	}
+	if a.Transformations != 3 {
+		t.Errorf("merged Transformations = %d, want 3", a.Transformations)
+	}
+}
+
+// TestMetricsSummaryGolden pins the report summary byte-for-byte: wall
+// time rounded to a millisecond (not truncated via 1e6 division),
+// every counter printed, and the cache hit rate derived from traffic.
+func TestMetricsSummaryGolden(t *testing.T) {
+	m := Metrics{
+		Duration:        1234567 * time.Microsecond, // 1.234567s -> rounds to 1.235s
+		Transformations: 10,
+		MappingsCosted:  4,
+		CostsDerived:    3,
+		PhysDesignCalls: 5,
+		OptimizerCalls:  200,
+		EvalCacheHits:   6,
+		EvalCacheMisses: 2,
+	}
+	want := "search: 1.235s | 10 transformations searched | 4 mappings costed | 5 tool calls | 200 optimizer calls | 3 costs derived\n" +
+		"eval cache: 6 hits | 2 misses | 75.0% hit rate\n"
+	if got := m.Summary(); got != want {
+		t.Errorf("Summary() =\n%q\nwant\n%q", got, want)
+	}
+	// No cache traffic: the hit-rate clause is omitted, not NaN.
+	zero := Metrics{}
+	wantZero := "search: 0s | 0 transformations searched | 0 mappings costed | 0 tool calls | 0 optimizer calls | 0 costs derived\n" +
+		"eval cache: 0 hits | 0 misses\n"
+	if got := zero.Summary(); got != wantZero {
+		t.Errorf("zero Summary() =\n%q\nwant\n%q", got, wantZero)
+	}
+}
+
+// TestSearchObsSpans runs a real Greedy search with tracing and a
+// metrics registry attached and checks the span tree is well-formed,
+// covers every search phase, and that the registry mirrors the result's
+// Metrics exactly.
+func TestSearchObsSpans(t *testing.T) {
+	fx := movieFixture(t, movieTestQueries)
+	tr := obs.New()
+	reg := obs.NewRegistry()
+	adv := New(fx.base, fx.col, fx.w, Options{
+		MaxRounds: 2, Parallelism: 4, Obs: tr, Registry: reg,
+	})
+	res, err := adv.Greedy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("span tree not well-formed: %v", err)
+	}
+	for _, name := range []string{
+		"search", "candidate-selection", "candidate-merging",
+		"search-round", "advisor.evaluate", "physdesign.tune",
+	} {
+		if len(tr.FindAll(name)) == 0 {
+			t.Errorf("no %q spans recorded", name)
+		}
+	}
+	if res.Metrics.CostsDerived > 0 && len(tr.FindAll("advisor.derive-cost")) == 0 {
+		t.Error("costs were derived but no advisor.derive-cost spans recorded")
+	}
+	roots := tr.FindAll("search")
+	if alg, ok := roots[0].Attr("algorithm"); !ok || alg != "greedy" {
+		t.Errorf("search span algorithm attr = %v, want greedy", alg)
+	}
+	// Search-phase spans nest under the search root.
+	if rounds := tr.FindAll("search-round"); len(rounds) > 0 {
+		if rounds[0].Parent() != roots[0] {
+			t.Error("search-round span is not a child of the search root")
+		}
+	}
+	// The registry mirrors the run's Metrics (fresh registry, one run).
+	snap := reg.Snapshot()
+	mirror := map[string]float64{
+		"advisor.runs":              1,
+		"advisor.transformations":   float64(res.Metrics.Transformations),
+		"advisor.mappings_costed":   float64(res.Metrics.MappingsCosted),
+		"advisor.costs_derived":     float64(res.Metrics.CostsDerived),
+		"advisor.physdesign_calls":  float64(res.Metrics.PhysDesignCalls),
+		"advisor.optimizer_calls":   float64(res.Metrics.OptimizerCalls),
+		"advisor.eval_cache_hits":   float64(res.Metrics.EvalCacheHits),
+		"advisor.eval_cache_misses": float64(res.Metrics.EvalCacheMisses),
+		"advisor.last_est_cost":     res.EstCost,
+		"advisor.est_cost.greedy":   res.EstCost,
+	}
+	for name, want := range mirror {
+		if got := snap[name]; got != want {
+			t.Errorf("registry %s = %g, want %g", name, got, want)
+		}
+	}
+	if snap["advisor.last_duration_ms"] <= 0 {
+		t.Error("advisor.last_duration_ms gauge not set")
+	}
+}
+
+// TestWriteReportVerboseCostsAndPlans: the verbose report prints the
+// metrics summary (mappings costed, cache hit rate) and, per query, the
+// estimated cost and EXPLAIN-style plan next to its SQL.
+func TestWriteReportVerboseCostsAndPlans(t *testing.T) {
+	fx := movieFixture(t, movieTestQueries[:2])
+	res, err := New(fx.base, fx.col, fx.w, Options{MaxRounds: 1}).Greedy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerQueryCost) != len(fx.w.Queries) {
+		t.Fatalf("PerQueryCost has %d entries, want %d", len(res.PerQueryCost), len(fx.w.Queries))
+	}
+	var b strings.Builder
+	if err := res.WriteReport(&b, true); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"mappings costed", "hit rate",
+		"-- estimated cost:", "-- plan:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("verbose report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDesignFeatures exercises the applied-transformation summary
+// directly on a hand-mutated tree: repetition splits, implicit-union
+// distributions, and deterministically ordered type-merge lines.
+func TestDesignFeatures(t *testing.T) {
+	fx := movieFixture(t, movieTestQueries[:1])
+	tree := fx.base.Clone()
+	elems := tree.Elements()
+	if len(elems) < 5 {
+		t.Fatalf("fixture tree has only %d elements", len(elems))
+	}
+	// A repetition split on some element.
+	var split *schema.Node
+	for _, n := range elems {
+		if n.Parent != nil {
+			split = n
+			break
+		}
+	}
+	split.SplitCount = 3
+	// An implicit-union distribution naming one optional child.
+	var host, optional *schema.Node
+	for _, n := range elems {
+		if kids := n.ElementChildren(); len(kids) > 0 && n != split {
+			host, optional = n, kids[0]
+			break
+		}
+	}
+	host.Distributions = append(host.Distributions,
+		schema.Distribution{Optionals: []int{optional.ID}})
+	// Two shared-annotation groups to pin the sorted type-merge order.
+	var free []*schema.Node
+	for _, n := range elems {
+		if n != split && n != host {
+			free = append(free, n)
+		}
+	}
+	if len(free) < 4 {
+		t.Fatalf("not enough spare elements: %d", len(free))
+	}
+	free[0].Annotation, free[1].Annotation = "aaa_shared", "aaa_shared"
+	free[2].Annotation, free[3].Annotation = "zzz_shared", "zzz_shared"
+
+	feats := (&Result{Tree: tree}).designFeatures()
+	joined := strings.Join(feats, "\n")
+	if !strings.Contains(joined, "repetition split: first 3 occurrences of "+split.Path()) {
+		t.Errorf("missing repetition-split feature in:\n%s", joined)
+	}
+	if !strings.Contains(joined, "implicit union: "+host.Path()) ||
+		!strings.Contains(joined, optional.Name) {
+		t.Errorf("missing implicit-union feature in:\n%s", joined)
+	}
+	ai := strings.Index(joined, `"aaa_shared"`)
+	zi := strings.Index(joined, `"zzz_shared"`)
+	if ai < 0 || zi < 0 {
+		t.Fatalf("missing type-merge features in:\n%s", joined)
+	}
+	if ai > zi {
+		t.Errorf("type-merge lines not sorted by annotation:\n%s", joined)
+	}
+	// Determinism: repeated renders are byte-identical.
+	for i := 0; i < 5; i++ {
+		if again := strings.Join((&Result{Tree: tree}).designFeatures(), "\n"); again != joined {
+			t.Fatalf("designFeatures not deterministic:\n%s\nvs\n%s", joined, again)
+		}
+	}
+}
+
+// TestCostAudit runs the estimated-vs-measured audit end to end on real
+// shredded data and checks every workload query is paired with both an
+// estimated cost and a stable wall-clock measurement.
+func TestCostAudit(t *testing.T) {
+	fx := movieFixture(t, movieTestQueries)
+	adv := New(fx.base, fx.col, fx.w, Options{MaxRounds: 2})
+	res, err := adv.Greedy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	audit, err := adv.CostAudit(res, fx.docs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(audit.Queries) != len(fx.w.Queries) {
+		t.Fatalf("audit has %d queries, want %d", len(audit.Queries), len(fx.w.Queries))
+	}
+	for i, q := range audit.Queries {
+		if q.Tag == "" {
+			t.Errorf("query %d: empty tag", i)
+		}
+		if q.EstCost <= 0 {
+			t.Errorf("query %d (%s): EstCost = %g, want > 0", i, q.Tag, q.EstCost)
+		}
+		if q.Measured <= 0 {
+			t.Errorf("query %d (%s): Measured = %s, want > 0", i, q.Tag, q.Measured)
+		}
+		if q.Plan == "" {
+			t.Errorf("query %d (%s): empty plan", i, q.Tag)
+		}
+	}
+	if audit.EstTotal <= 0 || audit.MeasuredTotal <= 0 {
+		t.Errorf("totals: est %g, measured %s, want both > 0", audit.EstTotal, audit.MeasuredTotal)
+	}
+	var b strings.Builder
+	if err := audit.WriteTable(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"cost-model audit", "x vs avg", "weighted totals"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("audit table missing %q:\n%s", want, out)
+		}
+	}
+}

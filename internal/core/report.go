@@ -3,24 +3,23 @@ package core
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/schema"
 )
 
 // WriteReport renders a human-readable advisor report: the chosen
 // logical design as a schema-tree grammar and applied-transformation
-// summary, the relational schema, the physical configuration, and the
-// per-query translations with estimated costs.
+// summary, the relational schema, the physical configuration, and (in
+// verbose mode) the per-query translations with estimated costs and
+// EXPLAIN-style plans.
 func (r *Result) WriteReport(w io.Writer, verbose bool) error {
 	var b strings.Builder
 	fmt.Fprintf(&b, "=== %s recommendation ===\n", r.Algorithm)
 	fmt.Fprintf(&b, "estimated workload cost: %.2f\n", r.EstCost)
-	fmt.Fprintf(&b, "search: %s | %d transformations searched | %d tool calls | %d optimizer calls | %d costs derived\n",
-		r.Metrics.Duration.Round(1e6), r.Metrics.Transformations, r.Metrics.PhysDesignCalls,
-		r.Metrics.OptimizerCalls, r.Metrics.CostsDerived)
-	fmt.Fprintf(&b, "eval cache: %d hits | %d misses\n",
-		r.Metrics.EvalCacheHits, r.Metrics.EvalCacheMisses)
+	b.WriteString(r.Metrics.Summary())
 
 	b.WriteString("\n--- logical design ---\n")
 	b.WriteString(r.Tree.String())
@@ -45,11 +44,38 @@ func (r *Result) WriteReport(w io.Writer, verbose bool) error {
 	if verbose {
 		b.WriteString("\n--- translated workload ---\n")
 		for i, sql := range r.SQL {
-			fmt.Fprintf(&b, "-- query %d\n%s\n\n", i+1, sql.SQL())
+			fmt.Fprintf(&b, "-- query %d\n%s\n", i+1, sql.SQL())
+			if i < len(r.PerQueryCost) {
+				fmt.Fprintf(&b, "-- estimated cost: %.2f\n", r.PerQueryCost[i])
+			}
+			if i < len(r.Plans) && r.Plans[i] != nil {
+				b.WriteString("-- plan:\n")
+				for _, line := range strings.Split(strings.TrimRight(r.Plans[i].Explain(), "\n"), "\n") {
+					fmt.Fprintf(&b, "--   %s\n", line)
+				}
+			}
+			b.WriteString("\n")
 		}
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// Summary renders the effort counters as report lines: every Metrics
+// field is printed (wall time rounded to a millisecond, cache traffic
+// with its hit rate), so nothing the search counted is invisible in
+// reports.
+func (m Metrics) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "search: %s | %d transformations searched | %d mappings costed | %d tool calls | %d optimizer calls | %d costs derived\n",
+		m.Duration.Round(time.Millisecond), m.Transformations, m.MappingsCosted,
+		m.PhysDesignCalls, m.OptimizerCalls, m.CostsDerived)
+	fmt.Fprintf(&b, "eval cache: %d hits | %d misses", m.EvalCacheHits, m.EvalCacheMisses)
+	if total := m.EvalCacheHits + m.EvalCacheMisses; total > 0 {
+		fmt.Fprintf(&b, " | %.1f%% hit rate", 100*float64(m.EvalCacheHits)/float64(total))
+	}
+	b.WriteString("\n")
+	return b.String()
 }
 
 // designFeatures summarizes the non-default logical design decisions.
@@ -88,8 +114,13 @@ func (r *Result) designFeatures() []string {
 	for _, n := range r.Tree.Annotated() {
 		byAnn[n.Annotation] = append(byAnn[n.Annotation], n.Path())
 	}
-	for ann, paths := range byAnn {
-		if len(paths) > 1 {
+	anns := make([]string, 0, len(byAnn))
+	for ann := range byAnn {
+		anns = append(anns, ann)
+	}
+	sort.Strings(anns) // deterministic report order
+	for _, ann := range anns {
+		if paths := byAnn[ann]; len(paths) > 1 {
 			out = append(out, fmt.Sprintf("type merge: {%s} share relation %q", strings.Join(paths, ", "), ann))
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/physdesign"
 	"repro/internal/physical"
@@ -264,6 +265,12 @@ func Run(c Case) (RunStats, *Mismatch) {
 	if err != nil {
 		return st, fail("build", -1, "", "%v (config %v)", err, cfg)
 	}
+	// Every trial also exercises the tracing layer: executor spans are
+	// recorded for each batch execution and the tree must stay
+	// well-formed no matter which plans, caches, and branch shapes the
+	// trial hits.
+	tracer := obs.New()
+	built.AttachObs(tracer, nil)
 	opt := optimizer.New(prov)
 	var optDerived *optimizer.Optimizer
 	if c.CheckCosts {
@@ -302,6 +309,15 @@ func Run(c Case) (RunStats, *Mismatch) {
 			if cerr := checkCosts(&st, optDerived, t.sql, cfg, plan); cerr != "" {
 				return st, fail("cost", t.idx, t.q.String(), "%s (applied %v)", cerr, applied)
 			}
+		}
+	}
+	if err := tracer.Validate(); err != nil {
+		return st, fail("obs-wellformed", -1, "", "%v (applied %v)", err, applied)
+	}
+	if st.Executed > 0 {
+		if got := len(tracer.FindAll("executor.execute")); got < st.Executed {
+			return st, fail("obs-wellformed", -1, "",
+				"%d queries executed but only %d executor.execute spans recorded", st.Executed, got)
 		}
 	}
 	return st, nil

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/physical"
 	"repro/internal/rel"
 )
@@ -25,6 +26,58 @@ type Built struct {
 	views   map[string]*rel.Table
 	parts   map[string][]*rel.Table // base table -> group tables
 	caches  *builtCaches            // plan-lifetime execution structures
+
+	// gens snapshots every reachable table's mutation generation at
+	// Build time; the structure caches refuse to serve after any table
+	// moves past its snapshot (see checkGenerations).
+	gens map[*rel.Table]int64
+
+	// obsTracer and obsReg are the optional observability sinks set by
+	// AttachObs; both are nil-safe no-ops when unset.
+	obsTracer *obs.Tracer
+	obsReg    *obs.Registry
+}
+
+// AttachObs wires a tracer and metrics registry into the executor:
+// structure builds, plan compiles, and executions emit spans on tr,
+// and cache/execution traffic mirrors into reg. Either may be nil
+// (disabled). Attach before executing; spans and counters only cover
+// activity after the call.
+func (b *Built) AttachObs(tr *obs.Tracer, reg *obs.Registry) {
+	b.obsTracer = tr
+	b.obsReg = reg
+}
+
+// snapshotGenerations records the Build-time generation of every table
+// the executor can read: base tables, materialized views, and
+// partition group tables.
+func (b *Built) snapshotGenerations() {
+	b.gens = make(map[*rel.Table]int64)
+	for _, t := range b.DB.Tables() {
+		b.gens[t] = t.Generation()
+	}
+	for _, vt := range b.views {
+		b.gens[vt] = vt.Generation()
+	}
+	for _, gts := range b.parts {
+		for _, gt := range gts {
+			b.gens[gt] = gt.Generation()
+		}
+	}
+}
+
+// checkGenerations fails if any table mutated after Build. The
+// plan-lifetime caches (hash tables, EXISTS probe sets, partition
+// zips, prepared plans) are derived from Build-time rows; serving them
+// over mutated data would silently return stale results, so the stale
+// state is an error, not a refresh.
+func (b *Built) checkGenerations() error {
+	for t, g := range b.gens {
+		if cur := t.Generation(); cur != g {
+			return fmt.Errorf("engine: table %s mutated after Build (generation %d, snapshot %d); cached execution structures would be stale — rebuild the configuration", t.Name, cur, g)
+		}
+	}
+	return nil
 }
 
 // Build materializes every structure in the configuration.
@@ -66,6 +119,7 @@ func Build(db *rel.Database, cfg *physical.Config) (*Built, error) {
 			b.StructBytes += 16 * int64(gt.RowCount()) // replicated keys
 		}
 	}
+	b.snapshotGenerations()
 	return b, nil
 }
 

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/rel"
 	"repro/internal/sqlast"
@@ -19,19 +21,55 @@ import (
 // executor. Entries are single-flighted so parallel union branches
 // never build the same structure twice.
 //
-// Caching is safe because a Built's data is immutable: tables, views,
-// and partitions are materialized once by Build and only read
-// afterwards. The simulated scan cost (touchRows) and the ExecStats
-// accounting are NOT cached — every execution still pays the scan
-// touch and counts the rows its plan reads, so measured execution
-// time keeps the paper's scan/probe cost ratio and Stats stay
-// bit-identical to the row-at-a-time reference executor.
+// Caching is safe because a Built's data is immutable after Build;
+// that used to be an unchecked convention, and mutating a table after
+// a structure was cached silently served stale results. Every cache
+// access now verifies the generation snapshot taken at Build time and
+// fails loudly on post-build mutation (see Built.checkGenerations).
+// Hit/miss traffic per cache kind is counted unconditionally (plain
+// atomics, one add per access) and surfaces through CacheCounters,
+// the obs registry, and execution spans. The simulated scan cost
+// (touchRows) and the ExecStats accounting are NOT cached — every
+// execution still pays the scan touch and counts the rows its plan
+// reads, so measured execution time keeps the paper's scan/probe cost
+// ratio and Stats stay bit-identical to the row-at-a-time reference
+// executor.
 type builtCaches struct {
 	mu       sync.Mutex
 	zips     map[string]*centry[*partZip]
 	joins    map[string]*centry[*joinTable]
 	exists   map[string]*centry[*existsSet]
 	prepared map[string]*centry[*PreparedPlan]
+
+	stats [ckindCount]cacheStat
+}
+
+// ckind indexes the per-kind hit/miss counters.
+type ckind int
+
+const (
+	ckindZip ckind = iota
+	ckindJoin
+	ckindExists
+	ckindPrepared
+	ckindCount
+)
+
+func (k ckind) String() string {
+	switch k {
+	case ckindZip:
+		return "zip"
+	case ckindJoin:
+		return "join"
+	case ckindExists:
+		return "exists"
+	}
+	return "prepared"
+}
+
+// cacheStat is one cache kind's traffic counters.
+type cacheStat struct {
+	hits, misses atomic.Int64
 }
 
 func newBuiltCaches() *builtCaches {
@@ -51,26 +89,71 @@ type centry[T any] struct {
 	err  error
 }
 
-func cacheGet[T any](c *builtCaches, m map[string]*centry[T], key string, build func() (T, error)) (T, error) {
+// cacheGet serves one single-flighted lookup: exactly one miss is
+// counted per key (recorded at reservation, under the lock — waiters
+// that raced the builder count as hits), the stale-data guard runs on
+// every access, and a miss optionally emits a cache.build span.
+func cacheGet[T any](b *Built, m map[string]*centry[T], kind ckind, key string, build func() (T, error)) (T, error) {
+	c := b.caches
+	if err := b.checkGenerations(); err != nil {
+		var zero T
+		return zero, err
+	}
 	c.mu.Lock()
 	if e, ok := m[key]; ok {
 		c.mu.Unlock()
+		c.stats[kind].hits.Add(1)
+		b.obsReg.Counter("engine.cache." + kind.String() + ".hits").Inc()
 		<-e.done
 		return e.v, e.err
 	}
 	e := &centry[T]{done: make(chan struct{})}
 	m[key] = e
+	c.stats[kind].misses.Add(1)
 	c.mu.Unlock()
+	b.obsReg.Counter("engine.cache." + kind.String() + ".misses").Inc()
+	sp := b.obsTracer.StartSpan("executor.cache.build",
+		obs.String("kind", kind.String()), obs.String("key", key))
 	e.v, e.err = build()
+	if e.err != nil {
+		sp.SetAttr(obs.String("error", e.err.Error()))
+	}
+	sp.End()
 	close(e.done)
 	return e.v, e.err
+}
+
+// CacheCounters reports hit/miss traffic per cache kind (keys like
+// "join.hits", "prepared.misses") — always on, no obs attachment
+// needed.
+func (b *Built) CacheCounters() map[string]int64 {
+	out := make(map[string]int64, 2*int(ckindCount))
+	for k := ckind(0); k < ckindCount; k++ {
+		out[k.String()+".hits"] = b.caches.stats[k].hits.Load()
+		out[k.String()+".misses"] = b.caches.stats[k].misses.Load()
+	}
+	return out
 }
 
 // Prepared returns the compiled batch-executor form of the plan,
 // compiling it once per plan fingerprint and Built.
 func (b *Built) Prepared(plan *optimizer.Plan) (*PreparedPlan, error) {
-	return cacheGet(b.caches, b.caches.prepared, plan.Fingerprint(), func() (*PreparedPlan, error) {
-		return Prepare(b, plan)
+	return cacheGet(b, b.caches.prepared, ckindPrepared, plan.Fingerprint(), func() (*PreparedPlan, error) {
+		sp := b.obsTracer.StartSpan("executor.prepare",
+			obs.String("fingerprint", plan.Fingerprint()),
+			obs.Int("branches", int64(len(plan.Branches))))
+		pp, err := Prepare(b, plan)
+		if err != nil {
+			sp.SetAttr(obs.String("error", err.Error()))
+		} else {
+			var ops int
+			for _, br := range pp.branches {
+				ops += len(br.ops)
+			}
+			sp.SetAttr(obs.Int("operators", int64(ops)))
+		}
+		sp.End()
+		return pp, err
 	})
 }
 
@@ -92,7 +175,7 @@ func zipKey(table string, groups []int) string {
 
 // partitionZip returns the cached zip of the given partition groups.
 func (b *Built) partitionZip(table string, groups []int) (*partZip, error) {
-	return cacheGet(b.caches, b.caches.zips, zipKey(table, groups), func() (*partZip, error) {
+	return cacheGet(b, b.caches.zips, ckindZip, zipKey(table, groups), func() (*partZip, error) {
 		var groupTables []*rel.Table
 		for _, g := range groups {
 			gt := b.PartGroup(table, g)
@@ -179,7 +262,7 @@ func buildJoinTable(rows [][]rel.Value, ji int) *joinTable {
 // named row source on the given column. srcKey identifies the row
 // source (base table, view, or partition zip) within the Built.
 func (b *Built) hashJoinTable(srcKey, col string, rows [][]rel.Value, ji int) (*joinTable, error) {
-	return cacheGet(b.caches, b.caches.joins, srcKey+"|c:"+col, func() (*joinTable, error) {
+	return cacheGet(b, b.caches.joins, ckindJoin, srcKey+"|c:"+col, func() (*joinTable, error) {
 		return buildJoinTable(rows, ji), nil
 	})
 }
@@ -210,7 +293,7 @@ func (e *existsSet) match(v rel.Value) bool {
 // inner table, join column, and any inner-value restriction — the same
 // identity the reference executor's per-execution cache used.
 func (b *Built) existsProbeSet(p *sqlast.Pred) (*existsSet, error) {
-	return cacheGet(b.caches, b.caches.exists, "exists:"+p.String(), func() (*existsSet, error) {
+	return cacheGet(b, b.caches.exists, ckindExists, "exists:"+p.String(), func() (*existsSet, error) {
 		t := b.DB.Table(p.Table)
 		if t == nil {
 			return nil, fmt.Errorf("engine: EXISTS over unknown table %s", p.Table)

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/rel"
 	"repro/internal/sqlast"
@@ -56,13 +57,29 @@ func Prepare(b *Built, plan *optimizer.Plan) (*PreparedPlan, error) {
 // order and stats sum in plan order — repeated runs produce identical
 // results at any parallelism.
 func (pp *PreparedPlan) Execute() (*Result, error) {
+	var tr *obs.Tracer
+	var reg *obs.Registry
+	if pp.built != nil {
+		tr, reg = pp.built.obsTracer, pp.built.obsReg
+	}
 	res := &Result{Cols: pp.cols}
 	n := len(pp.branches)
+	sp := tr.StartSpan("executor.execute", obs.Int("branches", int64(n)))
 	type branchOut struct {
 		rows [][]rel.Value
 		st   ExecStats
 	}
 	slots := make([]branchOut, n)
+	runBranch := func(i int) {
+		bs := sp.Child("executor.branch",
+			obs.Int("branch", int64(i)),
+			obs.Int("operators", int64(len(pp.branches[i].ops))))
+		slots[i].rows = pp.branches[i].run(&slots[i].st)
+		bs.SetAttr(obs.Int("rows", int64(len(slots[i].rows))),
+			obs.Int("rows_scanned", slots[i].st.RowsScanned),
+			obs.Int("rows_sought", slots[i].st.RowsSought))
+		bs.End()
+	}
 	par := pp.Parallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
@@ -71,8 +88,8 @@ func (pp *PreparedPlan) Execute() (*Result, error) {
 		par = n
 	}
 	if par <= 1 {
-		for i, pb := range pp.branches {
-			slots[i].rows = pb.run(&slots[i].st)
+		for i := range pp.branches {
+			runBranch(i)
 		}
 	} else {
 		idx := make(chan int)
@@ -82,7 +99,7 @@ func (pp *PreparedPlan) Execute() (*Result, error) {
 			go func() {
 				defer wg.Done()
 				for i := range idx {
-					slots[i].rows = pp.branches[i].run(&slots[i].st)
+					runBranch(i)
 				}
 			}()
 		}
@@ -97,8 +114,18 @@ func (pp *PreparedPlan) Execute() (*Result, error) {
 		res.Stats.add(slots[i].st)
 	}
 	if err := sortResult(res, pp.plan.Query.OrderBy); err != nil {
+		sp.SetAttr(obs.String("error", err.Error()))
+		sp.End()
 		return nil, err
 	}
+	sp.SetAttr(obs.Int("rows_out", int64(len(res.Rows))),
+		obs.Int("rows_scanned", res.Stats.RowsScanned),
+		obs.Int("rows_sought", res.Stats.RowsSought))
+	sp.End()
+	reg.Counter("engine.exec.executions").Inc()
+	reg.Counter("engine.exec.rows_out").Add(int64(len(res.Rows)))
+	reg.Counter("engine.exec.rows_scanned").Add(res.Stats.RowsScanned)
+	reg.Counter("engine.exec.rows_sought").Add(res.Stats.RowsSought)
 	return res, nil
 }
 

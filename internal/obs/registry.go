@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. A nil *Counter
+// no-ops, so callers can hold counters unconditionally.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) {
+	if c != nil {
+		c.v.Add(d)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value-wins metric (float64, stored as bits).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Registry is a named set of counters and gauges. Metrics are created
+// on first use and live for the registry's lifetime; reads are atomic
+// and never block writers. A nil *Registry hands out nil metrics,
+// which no-op — instrumented code never branches on enablement.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+	}
+}
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Snapshot returns every metric's current value keyed by name.
+func (r *Registry) Snapshot() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.counters)+len(r.gauges))
+	for n, c := range r.counters {
+		out[n] = float64(c.Value())
+	}
+	for n, g := range r.gauges {
+		out[n] = g.Value()
+	}
+	return out
+}
+
+// WriteTo renders the metrics sorted by name, one per line.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var total int64
+	for _, n := range names {
+		v := snap[n]
+		var line string
+		if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+			line = fmt.Sprintf("%s %d\n", n, int64(v))
+		} else {
+			line = fmt.Sprintf("%s %g\n", n, v)
+		}
+		k, err := io.WriteString(w, line)
+		total += int64(k)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// ExpvarFunc adapts the registry to expvar: the returned Func dumps a
+// point-in-time snapshot as a JSON object.
+func (r *Registry) ExpvarFunc() expvar.Func {
+	return func() any { return r.Snapshot() }
+}
+
+// publishOnce guards expvar.Publish, which panics on duplicate names
+// (tests and long-lived processes may wire the same registry twice).
+var publishOnce sync.Map
+
+// PublishExpvar exposes the registry under the given expvar name; the
+// first call per name wins and repeat calls are no-ops.
+func PublishExpvar(name string, r *Registry) {
+	if r == nil {
+		return
+	}
+	if _, loaded := publishOnce.LoadOrStore(name, true); loaded {
+		return
+	}
+	expvar.Publish(name, r.ExpvarFunc())
+}
+
+// Default is the process-wide registry the cmd binaries publish via
+// expvar; library code takes an explicit *Registry and never reaches
+// for it implicitly.
+var Default = NewRegistry()

@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/physical"
 	"repro/internal/rel"
@@ -53,6 +54,11 @@ type Options struct {
 	// update-heavy workloads receive leaner configurations (the
 	// paper's future-work extension).
 	InsertRates map[string]float64
+	// Obs, when non-nil, is the caller's tuner-call span; Tune reports
+	// candidate counts, chosen structures, and optimizer effort on it.
+	// Deliberately excluded from Key(): observability must not fork the
+	// advisor's memoization.
+	Obs *obs.Span
 }
 
 // Key returns a canonical string identity for the options, so advisor
@@ -272,6 +278,12 @@ func Tune(w Workload, prov stats.Provider, opts Options) (*Recommendation, error
 		total += wq.Weight * p.Cost
 	}
 	maint := configMaintenance(cfg, opts.InsertRates)
+	opts.Obs.SetAttr(
+		obs.Int("queries", int64(len(w))),
+		obs.Int("candidates", int64(len(cands))),
+		obs.Int("structures", int64(len(cfg.Indexes)+len(cfg.Views)+len(cfg.Partitions))),
+		obs.Int("optimizer_calls", opt.Calls-startCalls),
+		obs.Float("total_cost", total+maint))
 	return &Recommendation{
 		Config:          cfg,
 		PerQuery:        costs,

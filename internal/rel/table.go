@@ -45,6 +45,7 @@ type Table struct {
 
 	colIdx map[string]int
 	bytes  int64
+	gen    int64
 }
 
 // NewTable creates an empty table.
@@ -89,7 +90,15 @@ func (t *Table) AppendRow(row []Value) {
 		t.bytes += int64(v.Width())
 	}
 	t.bytes += 8 // per-row overhead
+	t.gen++
 }
+
+// Generation counts the mutations (appends, re-sorts) this table has
+// seen. Consumers that cache structures derived from the rows — the
+// engine's plan-lifetime hash tables, probe sets, and prepared plans —
+// snapshot it and refuse to serve the cache after the table moved on,
+// turning silent stale reads into loud errors.
+func (t *Table) Generation() int64 { return t.gen }
 
 // RowCount returns the number of rows.
 func (t *Table) RowCount() int { return len(t.Rows) }
@@ -116,6 +125,7 @@ func (t *Table) SortByID() {
 	sort.SliceStable(t.Rows, func(i, j int) bool {
 		return t.Rows[i][id].Compare(t.Rows[j][id]) < 0
 	})
+	t.gen++
 }
 
 // Database is a named collection of tables.

@@ -1,0 +1,125 @@
+// Command benchguard enforces the executor-performance contract in CI:
+// the disabled-tracing execution path (the nil-tracer default every
+// existing caller gets) must not regress against the checked-in
+// BENCH_PR3.json baseline, and enabled tracing must stay cheap.
+//
+// It reads `go test -bench` output on stdin, extracts ns/op for the
+// executor benchmarks, and compares:
+//
+//  1. disabled-path drift: ExecutePrepared / ExecuteReference measured
+//     now, against the same ratio from BENCH_PR3.json. Normalizing by
+//     the reference executor — seed code this and later PRs do not
+//     touch — cancels machine-speed differences between the recording
+//     session and the CI runner, so the bound is about the code, not
+//     the hardware.
+//  2. enabled-tracing overhead: ExecutePreparedTraced / ExecutePrepared
+//     from the same run.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'BenchmarkExecute...' -benchtime 2s | \
+//	    go run ./scripts/benchguard -baseline BENCH_PR3.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// maxDisabledDrift bounds the normalized disabled-path ratio change;
+// maxEnabledOverhead bounds traced-vs-untraced from one run.
+const (
+	maxDisabledDrift   = 1.05
+	maxEnabledOverhead = 1.25
+)
+
+type baseline struct {
+	Results []struct {
+		Name    string  `json:"name"`
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"results"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\w+?)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op`)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_PR3.json", "baseline benchmark JSON")
+	flag.Parse()
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal("reading baseline: %v", err)
+	}
+	var base baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fatal("parsing baseline: %v", err)
+	}
+	baseNs := map[string]float64{}
+	for _, r := range base.Results {
+		baseNs[r.Name] = r.NsPerOp
+	}
+
+	measured := map[string]float64{}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the bench output through for the CI log
+		if m := benchLine.FindStringSubmatch(line); m != nil {
+			v, err := strconv.ParseFloat(m[2], 64)
+			if err == nil {
+				// With -count=N each benchmark reports several times;
+				// keep the fastest run — the standard robust estimator
+				// for "how fast can this code go", which shrugs off the
+				// scheduling noise of shared CI runners.
+				if old, ok := measured[m[1]]; !ok || v < old {
+					measured[m[1]] = v
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal("reading bench output: %v", err)
+	}
+
+	need := func(src map[string]float64, name, where string) float64 {
+		v, ok := src[name]
+		if !ok || v <= 0 {
+			fatal("missing %s in %s", name, where)
+		}
+		return v
+	}
+	refBase := need(baseNs, "BenchmarkExecuteReference", *baselinePath)
+	prepBase := need(baseNs, "BenchmarkExecutePrepared", *baselinePath)
+	refNow := need(measured, "BenchmarkExecuteReference", "bench output")
+	prepNow := need(measured, "BenchmarkExecutePrepared", "bench output")
+	tracedNow := need(measured, "BenchmarkExecutePreparedTraced", "bench output")
+
+	drift := (prepNow / refNow) / (prepBase / refBase)
+	overhead := tracedNow / prepNow
+	fmt.Printf("benchguard: disabled-path drift %.3f (bound %.2f), enabled-tracing overhead %.3f (bound %.2f)\n",
+		drift, maxDisabledDrift, overhead, maxEnabledOverhead)
+	failed := false
+	if drift > maxDisabledDrift {
+		fmt.Printf("benchguard: FAIL: disabled-tracing executor path regressed %.1f%% vs %s (normalized by the reference executor)\n",
+			(drift-1)*100, *baselinePath)
+		failed = true
+	}
+	if overhead > maxEnabledOverhead {
+		fmt.Printf("benchguard: FAIL: enabled tracing costs %.1f%% over the disabled path\n", (overhead-1)*100)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: OK")
+}
+
+func fatal(format string, a ...any) {
+	fmt.Fprintf(os.Stderr, "benchguard: "+format+"\n", a...)
+	os.Exit(1)
+}
