@@ -377,6 +377,37 @@ func BenchmarkExecutePreparedTraced(b *testing.B) {
 	}
 }
 
+// benchExecutePreparedWorkers is BenchmarkExecutePrepared with the
+// morsel worker pool on: same pre-compiled plans, same Fig. 5 DBLP
+// workload, intra-query parallelism at the given worker count. Results
+// are bit-identical to workers=1; only wall-clock changes. Speedup
+// over BenchmarkExecutePrepared requires actual hardware parallelism —
+// on a single-CPU host the interesting bound is the overhead, which
+// scripts/benchguard caps.
+func benchExecutePreparedWorkers(b *testing.B, workers int) {
+	built, plans := executorBenchSetup(b)
+	pps := make([]*engine.PreparedPlan, len(plans))
+	for i, plan := range plans {
+		pp, err := built.Prepared(plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pp.Workers = workers
+		pps[i] = pp
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, pp := range pps {
+			if _, err := pp.Execute(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkExecutePreparedWorkers2(b *testing.B) { benchExecutePreparedWorkers(b, 2) }
+func BenchmarkExecutePreparedWorkers4(b *testing.B) { benchExecutePreparedWorkers(b, 4) }
+
 // BenchmarkShred measures raw shredding throughput (rows/op metric).
 func BenchmarkShred(b *testing.B) {
 	d := movieDataset()

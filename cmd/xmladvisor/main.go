@@ -41,6 +41,7 @@ func main() {
 	flag.BoolVar(&cfg.showSQL, "sql", false, "print the translated SQL per query")
 	trace := flag.Bool("trace", false, "narrate the search per round on stderr")
 	flag.IntVar(&cfg.parallel, "parallel", 1, "concurrent candidate evaluations (all algorithms; results are identical at any setting)")
+	flag.IntVar(&cfg.workers, "workers", 0, "intra-query morsel workers for -execute measurements (0/1 = serial pipeline, -1 = all CPUs; results are identical at any setting)")
 	flag.StringVar(&cfg.traceJSON, "trace-json", "", "write the structured span tree (search phases, tuner calls, executor stages) to this file as JSON")
 	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve /debug/vars, /debug/metrics, and /debug/pprof on this address while running")
 	flag.Parse()
@@ -61,7 +62,7 @@ type cliConfig struct {
 	dataset, xsdPath, xmlPath, queryPath, algorithm string
 	scale                                           float64
 	storageMB                                       int64
-	parallel                                        int
+	parallel, workers                               int
 	execute, showSQL                                bool
 	traceJSON, debugAddr                            string
 }
@@ -133,6 +134,7 @@ func run(c cliConfig) error {
 	adv := xmlshred.NewAdvisor(tree, col, w, core.Options{
 		StorageBytes: c.storageMB << 20,
 		Parallelism:  c.parallel,
+		Workers:      c.workers,
 		Trace:        traceWriter,
 		Obs:          tr,
 		Registry:     reg,

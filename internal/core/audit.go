@@ -88,6 +88,7 @@ func (a *Advisor) CostAudit(res *Result, docs ...*xmlgen.Doc) (*Audit, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: preparing %s: %w", wq.XPath, err)
 		}
+		pp.Workers = a.Opts.Workers
 		qa := QueryAudit{Tag: wq.XPath.String(), Weight: wq.Weight, Plan: plan.Explain()}
 		if qi < len(res.PerQueryCost) {
 			qa.EstCost = res.PerQueryCost[qi]

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -32,6 +33,16 @@ type Execution struct {
 // weights are scaled and rounded half-up; see executionReps), returning
 // real execution measurements — the quality metric of Section 5.1.4.
 func (a *Advisor) MeasureExecution(res *Result, docs ...*xmlgen.Doc) (*Execution, error) {
+	return a.MeasureExecutionContext(context.Background(), res, docs...)
+}
+
+// MeasureExecutionContext is MeasureExecution with cancellation: ctx
+// aborts the measurement between (and, via the engine's per-batch
+// polling, inside) query executions. Options.Workers sets the engine's
+// morsel worker pool for every measured execution; the default of 0
+// keeps the serial per-branch path, whose timings are the paper's
+// baseline.
+func (a *Advisor) MeasureExecutionContext(ctx context.Context, res *Result, docs ...*xmlgen.Doc) (*Execution, error) {
 	db, err := shredLoad(res, docs)
 	if err != nil {
 		return nil, err
@@ -60,10 +71,11 @@ func (a *Advisor) MeasureExecution(res *Result, docs ...*xmlgen.Doc) (*Execution
 		// Prepare once per query: repeated executions below (and the
 		// stability passes) reuse the compiled pipeline and the Built's
 		// cached probe structures instead of recompiling per run.
-		pp, err := built.Prepared(plan)
+		pp, err := built.PreparedContext(ctx, plan)
 		if err != nil {
 			return nil, fmt.Errorf("core: preparing %s: %w", wq.XPath, err)
 		}
+		pp.Workers = a.Opts.Workers
 		plans = append(plans, prepared{pp: pp, weight: wq.Weight})
 	}
 	weights := make([]float64, len(plans))
@@ -75,7 +87,7 @@ func (a *Advisor) MeasureExecution(res *Result, docs ...*xmlgen.Doc) (*Execution
 	runOnce := func(count bool) error {
 		for pi, p := range plans {
 			for r := 0; r < reps[pi]; r++ {
-				out, err := p.pp.Execute()
+				out, err := p.pp.ExecuteContext(ctx)
 				if err != nil {
 					return fmt.Errorf("core: executing workload: %w", err)
 				}

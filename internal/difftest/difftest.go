@@ -276,6 +276,11 @@ func Run(c Case) (RunStats, *Mismatch) {
 	if c.CheckCosts {
 		optDerived = optimizer.New(shred.DeriveStats(m, col))
 	}
+	// Worker count for the parallel-executor differential: seeded from
+	// its own stream so replays are deterministic, drawn from {2..7}
+	// rather than NumCPU so a trial reproduces identically across
+	// machines.
+	wrand := rand.New(rand.NewSource(mix(c.Seed, 6)))
 	for _, t := range translated {
 		plan, perr := opt.PlanQuery(t.sql, cfg)
 		if perr != nil {
@@ -294,6 +299,24 @@ func Run(c Case) (RunStats, *Mismatch) {
 		}
 		if d := diffResults(res, ref); d != "" {
 			return st, fail("executor-equivalence", t.idx, t.q.String(), "%s (applied %v)\nSQL:\n%s", d, applied, t.sql.SQL())
+		}
+		// Parallel-executor differential: the same plan through the
+		// morsel-driven worker pool must also be bit-identical to the
+		// reference, at a seeded random worker count.
+		wk := 2 + wrand.Intn(6)
+		pp, perr2 := built.Prepared(plan)
+		if perr2 != nil {
+			return st, fail("prepare", t.idx, t.q.String(), "%v\nSQL:\n%s", perr2, t.sql.SQL())
+		}
+		pp.Workers = wk
+		par, xerr2 := pp.Execute()
+		pp.Workers = 0
+		if xerr2 != nil {
+			return st, fail("execute-parallel", t.idx, t.q.String(), "workers=%d: %v\nSQL:\n%s", wk, xerr2, t.sql.SQL())
+		}
+		if d := diffResults(par, ref); d != "" {
+			return st, fail("executor-parallel-equivalence", t.idx, t.q.String(),
+				"workers=%d: %s (applied %v)\nSQL:\n%s", wk, d, applied, t.sql.SQL())
 		}
 		gold, gerr := xmlgen.Evaluate(base, doc, t.q)
 		if gerr != nil {

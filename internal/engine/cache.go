@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -93,19 +94,36 @@ type centry[T any] struct {
 // counted per key (recorded at reservation, under the lock — waiters
 // that raced the builder count as hits), the stale-data guard runs on
 // every access, and a miss optionally emits a cache.build span.
-func cacheGet[T any](b *Built, m map[string]*centry[T], kind ckind, key string, build func() (T, error)) (T, error) {
-	c := b.caches
+//
+// Cancellation never poisons an entry: ctx is checked only before an
+// entry is reserved and while *waiting* on someone else's build. Once
+// this caller has reserved the entry it builds to completion and
+// caches the result regardless of ctx, so a cancelled query leaves
+// either no entry or a finished one — never a broken or abandoned
+// entry — and the next caller gets a warm hit. Internal structure
+// lookups during execution (zips, join tables, EXISTS sets) pass
+// context.Background() for the same reason: a build already in the
+// middle of a pipeline is cheaper to finish than to redo.
+func cacheGet[T any](ctx context.Context, b *Built, m map[string]*centry[T], kind ckind, key string, build func() (T, error)) (T, error) {
+	var zero T
 	if err := b.checkGenerations(); err != nil {
-		var zero T
 		return zero, err
 	}
+	if err := ctx.Err(); err != nil {
+		return zero, err
+	}
+	c := b.caches
 	c.mu.Lock()
 	if e, ok := m[key]; ok {
 		c.mu.Unlock()
 		c.stats[kind].hits.Add(1)
 		b.obsReg.Counter("engine.cache." + kind.String() + ".hits").Inc()
-		<-e.done
-		return e.v, e.err
+		select {
+		case <-e.done:
+			return e.v, e.err
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		}
 	}
 	e := &centry[T]{done: make(chan struct{})}
 	m[key] = e
@@ -138,7 +156,15 @@ func (b *Built) CacheCounters() map[string]int64 {
 // Prepared returns the compiled batch-executor form of the plan,
 // compiling it once per plan fingerprint and Built.
 func (b *Built) Prepared(plan *optimizer.Plan) (*PreparedPlan, error) {
-	return cacheGet(b, b.caches.prepared, ckindPrepared, plan.Fingerprint(), func() (*PreparedPlan, error) {
+	return b.PreparedContext(context.Background(), plan)
+}
+
+// PreparedContext is Prepared with cancellation: a cancelled ctx aborts
+// before reserving a cache entry or while waiting on another caller's
+// in-flight compilation, but never abandons a compilation this caller
+// started (see cacheGet).
+func (b *Built) PreparedContext(ctx context.Context, plan *optimizer.Plan) (*PreparedPlan, error) {
+	return cacheGet(ctx, b, b.caches.prepared, ckindPrepared, plan.Fingerprint(), func() (*PreparedPlan, error) {
 		sp := b.obsTracer.StartSpan("executor.prepare",
 			obs.String("fingerprint", plan.Fingerprint()),
 			obs.Int("branches", int64(len(plan.Branches))))
@@ -175,7 +201,7 @@ func zipKey(table string, groups []int) string {
 
 // partitionZip returns the cached zip of the given partition groups.
 func (b *Built) partitionZip(table string, groups []int) (*partZip, error) {
-	return cacheGet(b, b.caches.zips, ckindZip, zipKey(table, groups), func() (*partZip, error) {
+	return cacheGet(context.Background(), b, b.caches.zips, ckindZip, zipKey(table, groups), func() (*partZip, error) {
 		var groupTables []*rel.Table
 		for _, g := range groups {
 			gt := b.PartGroup(table, g)
@@ -262,7 +288,7 @@ func buildJoinTable(rows [][]rel.Value, ji int) *joinTable {
 // named row source on the given column. srcKey identifies the row
 // source (base table, view, or partition zip) within the Built.
 func (b *Built) hashJoinTable(srcKey, col string, rows [][]rel.Value, ji int) (*joinTable, error) {
-	return cacheGet(b, b.caches.joins, ckindJoin, srcKey+"|c:"+col, func() (*joinTable, error) {
+	return cacheGet(context.Background(), b, b.caches.joins, ckindJoin, srcKey+"|c:"+col, func() (*joinTable, error) {
 		return buildJoinTable(rows, ji), nil
 	})
 }
@@ -293,7 +319,7 @@ func (e *existsSet) match(v rel.Value) bool {
 // inner table, join column, and any inner-value restriction — the same
 // identity the reference executor's per-execution cache used.
 func (b *Built) existsProbeSet(p *sqlast.Pred) (*existsSet, error) {
-	return cacheGet(b, b.caches.exists, ckindExists, "exists:"+p.String(), func() (*existsSet, error) {
+	return cacheGet(context.Background(), b, b.caches.exists, ckindExists, "exists:"+p.String(), func() (*existsSet, error) {
 		t := b.DB.Table(p.Table)
 		if t == nil {
 			return nil, fmt.Errorf("engine: EXISTS over unknown table %s", p.Table)

@@ -1,0 +1,175 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/optimizer"
+	"repro/internal/schema"
+	"repro/internal/xmlgen"
+)
+
+// cancelFixture builds a database big enough that one execution spans
+// many driver batches, so a cancel fired shortly after Execute starts
+// reliably lands mid-scan or mid-join.
+func cancelFixture(t *testing.T) (*Built, []*optimizer.Plan) {
+	t.Helper()
+	doc := xmlgen.GenerateMovie(schema.Movie(), xmlgen.MovieOptions{Movies: 4000, Seed: 9})
+	return buildPlans(t, schema.Movie(), doc, movieQueries, nil)
+}
+
+// TestCancelBeforeExecute pins the fast-path contract: an already
+// cancelled or already expired context fails Execute immediately with
+// the context's error and never touches the executor.
+func TestCancelBeforeExecute(t *testing.T) {
+	built, plans := cancelFixture(t)
+	pp, err := built.Prepared(plans[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	for name, ctx := range map[string]context.Context{"cancelled": cancelled, "deadline": expired} {
+		wantErr := context.Canceled
+		if name == "deadline" {
+			wantErr = context.DeadlineExceeded
+		}
+		for _, wk := range []int{1, 4} {
+			pp.Workers = wk
+			if _, err := pp.ExecuteContext(ctx); !errors.Is(err, wantErr) {
+				t.Errorf("%s workers=%d: err = %v, want %v", name, wk, err, wantErr)
+			}
+		}
+		pp.Workers = 0
+		// The top-level helper threads ctx through prepare too.
+		if _, err := ExecuteContext(ctx, built, plans[0]); !errors.Is(err, wantErr) {
+			t.Errorf("%s ExecuteContext: err = %v, want %v", name, err, wantErr)
+		}
+	}
+}
+
+// TestCancelPreparePoisonsNothing: a context cancelled before
+// PreparedContext reserves a cache entry must leave the prepared cache
+// empty, and a later un-cancelled call must compile cleanly.
+func TestCancelPreparePoisonsNothing(t *testing.T) {
+	doc := xmlgen.GenerateMovie(schema.Movie(), xmlgen.MovieOptions{Movies: 50, Seed: 10})
+	built, plans := buildPlans(t, schema.Movie(), doc, movieQueries[:1], nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := built.PreparedContext(ctx, plans[0]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("PreparedContext on cancelled ctx: err = %v", err)
+	}
+	if n := built.CachedStructures()["prepared"]; n != 0 {
+		t.Fatalf("cancelled prepare left %d cache entries, want 0", n)
+	}
+	if _, err := built.Prepared(plans[0]); err != nil {
+		t.Fatalf("prepare after cancelled attempt: %v", err)
+	}
+	if n := built.CachedStructures()["prepared"]; n != 1 {
+		t.Fatalf("prepared cache = %d entries, want 1", n)
+	}
+}
+
+// TestCancelMidExecution cancels executions a few dozen microseconds
+// after they start — mid-scan or mid-join on a 4000-movie fixture —
+// and asserts the prompt-return contract: the call comes back with
+// context.Canceled well before the work could have finished, no
+// goroutines leak, and the very next Execute on the same PreparedPlan
+// succeeds bit-identically with warm caches (no recompilation).
+func TestCancelMidExecution(t *testing.T) {
+	built, plans := cancelFixture(t)
+	for _, wk := range []int{1, 4} {
+		interrupted := false
+		for pi, plan := range plans {
+			want, err := ExecuteReference(built, plan)
+			if err != nil {
+				t.Fatalf("plan %d: reference: %v", pi, err)
+			}
+			pp, err := built.Prepared(plan)
+			if err != nil {
+				t.Fatalf("plan %d: prepare: %v", pi, err)
+			}
+			pp.Workers = wk
+			missesBefore := built.CacheCounters()["prepared.misses"]
+			// Timing-based: retry with growing delays until a cancel lands
+			// mid-execution (err != nil). A delay of 0 pre-empts before the
+			// first batch; larger delays interrupt deeper into the scan.
+			for attempt := 0; attempt < 60 && !interrupted; attempt++ {
+				ctx, cancel := context.WithCancel(context.Background())
+				delay := time.Duration(1+attempt%20) * 10 * time.Microsecond
+				go func() {
+					time.Sleep(delay)
+					cancel()
+				}()
+				start := time.Now()
+				_, err := pp.ExecuteContext(ctx)
+				took := time.Since(start)
+				cancel()
+				if err != nil {
+					if !errors.Is(err, context.Canceled) {
+						t.Fatalf("plan %d workers %d: err = %v, want context.Canceled", pi, wk, err)
+					}
+					interrupted = true
+					// Prompt return: far under a second even on a loaded box.
+					if took > time.Second {
+						t.Errorf("plan %d workers %d: cancelled call took %v", pi, wk, took)
+					}
+				}
+			}
+			// Warm re-execution after cancellations: bit-identical, no new
+			// plan compilation.
+			got, err := pp.ExecuteContext(context.Background())
+			if err != nil {
+				t.Fatalf("plan %d workers %d: execute after cancel: %v", pi, wk, err)
+			}
+			requireIdentical(t, "after-cancel", got, want)
+			if after := built.CacheCounters()["prepared.misses"]; after != missesBefore {
+				t.Errorf("plan %d workers %d: prepared.misses grew %d -> %d after cancellations",
+					pi, wk, missesBefore, after)
+			}
+			pp.Workers = 0
+		}
+		if !interrupted {
+			t.Errorf("workers=%d: no cancel landed mid-execution in any attempt", wk)
+		}
+	}
+}
+
+// TestCancelLeaksNoGoroutines runs a burst of cancelled parallel
+// executions and checks the goroutine count settles back to where it
+// started: morsel workers must exit on cancellation, not park forever.
+func TestCancelLeaksNoGoroutines(t *testing.T) {
+	built, plans := cancelFixture(t)
+	pp, err := built.Prepared(plans[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Workers = 4
+	defer func() { pp.Workers = 0 }()
+	before := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		go cancel()
+		_, _ = pp.ExecuteContext(ctx)
+		cancel()
+	}
+	// Workers exit asynchronously after Wait; give the runtime a moment
+	// to reap them before comparing counts.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.Gosched()
+		after := runtime.NumGoroutine()
+		if after <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after cancelled executions", before, after)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync/atomic"
@@ -45,11 +46,20 @@ type Result struct {
 // cached on the Built, so repeated executions of the same plan — and
 // other plans touching the same tables — reuse them.
 func Execute(b *Built, plan *optimizer.Plan) (*Result, error) {
-	pp, err := b.Prepared(plan)
+	return ExecuteContext(context.Background(), b, plan)
+}
+
+// ExecuteContext is Execute with cancellation: ctx aborts both the
+// wait for plan compilation and the execution itself (see
+// PreparedPlan.ExecuteContext). A cancelled call never poisons the
+// Built's structure caches — in-flight builds always complete for the
+// next caller.
+func ExecuteContext(ctx context.Context, b *Built, plan *optimizer.Plan) (*Result, error) {
+	pp, err := b.PreparedContext(ctx, plan)
 	if err != nil {
 		return nil, err
 	}
-	return pp.Execute()
+	return pp.ExecuteContext(ctx)
 }
 
 // scope tracks the combined tuple layout during branch execution:

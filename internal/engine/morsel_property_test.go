@@ -1,0 +1,73 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/physical"
+	"repro/internal/schema"
+	"repro/internal/xmlgen"
+)
+
+// TestMorselBoundaryProperties shrinks morselRows so that tiny fixtures
+// exercise every boundary shape — empty tables, row counts below /
+// equal to / one above the morsel size, multi-morsel tails, selection
+// vectors straddling morsel edges (the genre/year predicates in
+// movieQueries survive in some morsels and die in others), and
+// partition groups smaller than one morsel — and asserts the morsel
+// executor stays bit-identical to the reference at several worker
+// counts.
+func TestMorselBoundaryProperties(t *testing.T) {
+	saved := morselRows
+	morselRows = 8
+	defer func() { morselRows = saved }()
+
+	configs := map[string]func() *physical.Config{
+		"heap": func() *physical.Config { return nil },
+		"partition": func() *physical.Config {
+			cfg := &physical.Config{}
+			cfg.AddPartition(&physical.VPartition{Table: "movie", Groups: [][]string{
+				{"title", "year", "box_office", "seasons"},
+				{"avg_rating", "genre", "country", "language", "runtime"},
+			}})
+			return cfg
+		},
+		"index": func() *physical.Config {
+			cfg := &physical.Config{}
+			cfg.AddIndex(&physical.Index{Name: "ix_movie_year", Table: "movie", Key: []string{"year"},
+				Include: []string{"ID", "title", "box_office"}})
+			return cfg
+		},
+	}
+
+	// Row counts around the shrunk morsel size: empty, below, exactly
+	// one morsel, one above, two morsels ± one, and a ragged tail.
+	for _, movies := range []int{0, 1, 7, 8, 9, 15, 16, 17, 31} {
+		doc := xmlgen.GenerateMovie(schema.Movie(), xmlgen.MovieOptions{Movies: movies, Seed: int64(100 + movies)})
+		for cfgName, mkCfg := range configs {
+			name := fmt.Sprintf("%s/movies=%d", cfgName, movies)
+			t.Run(name, func(t *testing.T) {
+				built, plans := buildPlans(t, schema.Movie(), doc, movieQueries, mkCfg())
+				for pi, plan := range plans {
+					want, err := ExecuteReference(built, plan)
+					if err != nil {
+						t.Fatalf("plan %d: reference: %v", pi, err)
+					}
+					pp, err := built.Prepared(plan)
+					if err != nil {
+						t.Fatalf("plan %d: prepare: %v", pi, err)
+					}
+					for _, wk := range []int{1, 2, 3, 5} {
+						pp.Workers = wk
+						got, err := pp.Execute()
+						if err != nil {
+							t.Fatalf("plan %d workers %d: %v", pi, wk, err)
+						}
+						requireIdentical(t, name, got, want)
+					}
+					pp.Workers = 0
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/optimizer"
+	"repro/internal/schema"
+	"repro/internal/xmlgen"
+)
+
+// workerCountsUnderTest returns the worker counts every equivalence
+// fixture runs at: the fixed battery {1, 2, 7, NumCPU}, any count
+// injected by CI through ENGINE_TEST_WORKERS, and two randomized
+// counts whose seed is logged so a failure replays with
+// ENGINE_TEST_SEED=<seed>.
+func workerCountsUnderTest(t *testing.T) []int {
+	t.Helper()
+	counts := []int{1, 2, 7, runtime.NumCPU()}
+	if env := os.Getenv("ENGINE_TEST_WORKERS"); env != "" {
+		w, err := strconv.Atoi(env)
+		if err != nil || w < 1 {
+			t.Fatalf("ENGINE_TEST_WORKERS=%q: want a positive integer", env)
+		}
+		counts = append(counts, w)
+	}
+	seed := time.Now().UnixNano()
+	if env := os.Getenv("ENGINE_TEST_SEED"); env != "" {
+		s, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			t.Fatalf("ENGINE_TEST_SEED=%q: want an int64", env)
+		}
+		seed = s
+	}
+	t.Logf("randomized worker counts use seed %d (replay: ENGINE_TEST_SEED=%d)", seed, seed)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 2; i++ {
+		counts = append(counts, 2+rng.Intn(15))
+	}
+	t.Logf("worker counts under test: %v", counts)
+	return counts
+}
+
+// TestMorselExecutorMatchesReference is the intra-query-parallelism
+// differential: every integration fixture plan, executed with the
+// morsel pool at each worker count, must be bit-identical — columns,
+// rows in order, values, and stats — to the row-at-a-time reference
+// executor, on cold and warm caches. Under -race this also exercises
+// the morsel dispatch, the shared branch pools, and the single-flight
+// caches for data races.
+func TestMorselExecutorMatchesReference(t *testing.T) {
+	counts := workerCountsUnderTest(t)
+	fixtures := equivalenceFixtures(t)
+	// The integration fixtures fit a single morsel (a few hundred driver
+	// rows vs morselRows = 4096); add a fixture wide enough that every
+	// branch genuinely splits across morsels at the default size.
+	bigDoc := xmlgen.GenerateMovie(schema.Movie(), xmlgen.MovieOptions{Movies: 3 * morselRows / 2, Seed: 77})
+	bigBuilt, bigPlans := buildPlans(t, schema.Movie(), bigDoc, movieQueries, nil)
+	fixtures["movie-multi-morsel"] = struct {
+		built *Built
+		plans []*optimizer.Plan
+	}{bigBuilt, bigPlans}
+	names := make([]string, 0, len(fixtures))
+	for name := range fixtures {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fx := fixtures[name]
+		t.Run(name, func(t *testing.T) {
+			for pi, plan := range fx.plans {
+				want, err := ExecuteReference(fx.built, plan)
+				if err != nil {
+					t.Fatalf("plan %d: reference: %v", pi, err)
+				}
+				pp, err := fx.built.Prepared(plan)
+				if err != nil {
+					t.Fatalf("plan %d: prepare: %v", pi, err)
+				}
+				for _, wk := range counts {
+					pp.Workers = wk
+					for run := 0; run < 2; run++ {
+						got, err := pp.ExecuteContext(context.Background())
+						if err != nil {
+							t.Fatalf("plan %d workers %d run %d: %v", pi, wk, run, err)
+						}
+						requireIdentical(t, name, got, want)
+					}
+				}
+				pp.Workers = 0
+			}
+		})
+	}
+}
+
+// TestWorkersKnobSemantics pins the Workers knob's resolution rules:
+// 0 and 1 stay on the serial per-branch path (no morsel counter
+// traffic), negative means GOMAXPROCS, and > 1 turns the morsel pool
+// on — all bit-identical to the reference.
+func TestWorkersKnobSemantics(t *testing.T) {
+	fx := equivalenceFixtures(t)["movie-hybrid"]
+	for pi, plan := range fx.plans {
+		want, err := ExecuteReference(fx.built, plan)
+		if err != nil {
+			t.Fatalf("plan %d: reference: %v", pi, err)
+		}
+		pp, err := fx.built.Prepared(plan)
+		if err != nil {
+			t.Fatalf("plan %d: prepare: %v", pi, err)
+		}
+		for _, wk := range []int{0, 1, -1, 3} {
+			pp.Workers = wk
+			got, err := pp.Execute()
+			if err != nil {
+				t.Fatalf("plan %d workers %d: %v", pi, wk, err)
+			}
+			requireIdentical(t, "workers-knob", got, want)
+		}
+		pp.Workers = 0
+	}
+}

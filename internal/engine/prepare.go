@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -25,9 +26,21 @@ import (
 // operator state comes from a pool.
 type PreparedPlan struct {
 	// Parallelism caps the number of union branches executed
-	// concurrently; <= 0 means GOMAXPROCS. Results are bit-identical at
-	// any setting: branches land in fixed slots and merge in plan order.
+	// concurrently when the morsel pool is off (Workers <= 1); <= 0
+	// means GOMAXPROCS. Results are bit-identical at any setting:
+	// branches land in fixed slots and merge in plan order.
 	Parallelism int
+
+	// Workers sizes the morsel worker pool shared by one Execute call.
+	// When > 1, every branch's driver (table scan, index range scan, or
+	// partition-group scan) is split into fixed-size morsels dispatched
+	// to the pool, so a single wide scan — and the hash-join probes and
+	// filters downstream of it — runs on several cores at once. 0 or 1
+	// keeps the serial per-branch pipeline (branches still fan out under
+	// Parallelism); < 0 means GOMAXPROCS. Every morsel emits into a
+	// fixed (branch, morsel) slot and slots merge in plan order, so
+	// rows, order, values, and stats are bit-identical at any setting.
+	Workers int
 
 	built    *Built
 	plan     *optimizer.Plan
@@ -51,30 +64,95 @@ func Prepare(b *Built, plan *optimizer.Plan) (*PreparedPlan, error) {
 	return pp, nil
 }
 
-// Execute runs the prepared plan. Independent union branches execute
-// in parallel on a bounded worker pool; each branch accumulates its
-// own ExecStats and emits into a fixed slot, so rows merge in plan
-// order and stats sum in plan order — repeated runs produce identical
-// results at any parallelism.
+// Execute runs the prepared plan without cancellation (a background
+// context). See ExecuteContext.
 func (pp *PreparedPlan) Execute() (*Result, error) {
+	return pp.ExecuteContext(context.Background())
+}
+
+// ExecuteContext runs the prepared plan. With Workers <= 1 whole union
+// branches fan out on a pool bounded by Parallelism; with Workers > 1
+// every branch's driver is additionally split into morsels dispatched
+// to one shared worker pool (see executeMorsels). Either way each unit
+// of work lands in a fixed slot and slots merge in plan order, so
+// repeated runs produce identical results at any setting.
+//
+// ctx cancels the execution: cancellation is polled once per driver
+// batch, so a cancelled call returns ctx's error promptly without
+// finishing the scan or join it was in. A cancelled execution never
+// poisons the Built's single-flight structure caches (structure builds
+// always run to completion; see cacheGet) and returns pooled operator
+// state for reuse, so a later ExecuteContext on the same PreparedPlan
+// succeeds with warm caches.
+func (pp *PreparedPlan) ExecuteContext(ctx context.Context) (*Result, error) {
 	var tr *obs.Tracer
 	var reg *obs.Registry
 	if pp.built != nil {
 		tr, reg = pp.built.obsTracer, pp.built.obsReg
 	}
-	res := &Result{Cols: pp.cols}
+	if err := ctx.Err(); err != nil {
+		reg.Counter("engine.exec.cancellations").Inc()
+		return nil, err
+	}
+	workers := pp.Workers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
 	n := len(pp.branches)
-	sp := tr.StartSpan("executor.execute", obs.Int("branches", int64(n)))
+	sp := tr.StartSpan("executor.execute",
+		obs.Int("branches", int64(n)), obs.Int("workers", int64(workers)))
+	var res *Result
+	var err error
+	if workers > 1 {
+		res, err = pp.executeMorsels(ctx, sp, reg, workers)
+	} else {
+		res, err = pp.executeBranches(ctx, sp)
+	}
+	if err == nil {
+		err = sortResult(res, pp.plan.Query.OrderBy)
+	}
+	if err != nil {
+		sp.SetAttr(obs.String("error", err.Error()))
+		sp.End()
+		if ctx.Err() != nil {
+			reg.Counter("engine.exec.cancellations").Inc()
+		}
+		return nil, err
+	}
+	sp.SetAttr(obs.Int("rows_out", int64(len(res.Rows))),
+		obs.Int("rows_scanned", res.Stats.RowsScanned),
+		obs.Int("rows_sought", res.Stats.RowsSought))
+	sp.End()
+	reg.Counter("engine.exec.executions").Inc()
+	reg.Counter("engine.exec.rows_out").Add(int64(len(res.Rows)))
+	reg.Counter("engine.exec.rows_scanned").Add(res.Stats.RowsScanned)
+	reg.Counter("engine.exec.rows_sought").Add(res.Stats.RowsSought)
+	return res, nil
+}
+
+// executeBranches is the branch-parallel execution path (Workers <= 1):
+// each branch runs its whole pipeline serially, independent branches
+// fan out on a pool bounded by Parallelism, and each branch emits into
+// a fixed slot merged in plan order.
+func (pp *PreparedPlan) executeBranches(ctx context.Context, sp *obs.Span) (*Result, error) {
+	n := len(pp.branches)
 	type branchOut struct {
 		rows [][]rel.Value
 		st   ExecStats
+		err  error
 	}
 	slots := make([]branchOut, n)
 	runBranch := func(i int) {
 		bs := sp.Child("executor.branch",
 			obs.Int("branch", int64(i)),
 			obs.Int("operators", int64(len(pp.branches[i].ops))))
-		slots[i].rows = pp.branches[i].run(&slots[i].st)
+		slots[i].rows, slots[i].err = pp.branches[i].run(ctx, &slots[i].st)
+		if slots[i].err != nil {
+			bs.SetAttr(obs.String("error", slots[i].err.Error()))
+		}
 		bs.SetAttr(obs.Int("rows", int64(len(slots[i].rows))),
 			obs.Int("rows_scanned", slots[i].st.RowsScanned),
 			obs.Int("rows_sought", slots[i].st.RowsSought))
@@ -90,6 +168,9 @@ func (pp *PreparedPlan) Execute() (*Result, error) {
 	if par <= 1 {
 		for i := range pp.branches {
 			runBranch(i)
+			if slots[i].err != nil {
+				break
+			}
 		}
 	} else {
 		idx := make(chan int)
@@ -109,23 +190,14 @@ func (pp *PreparedPlan) Execute() (*Result, error) {
 		close(idx)
 		wg.Wait()
 	}
+	res := &Result{Cols: pp.cols}
 	for i := range slots {
+		if slots[i].err != nil {
+			return nil, slots[i].err
+		}
 		res.Rows = append(res.Rows, slots[i].rows...)
 		res.Stats.add(slots[i].st)
 	}
-	if err := sortResult(res, pp.plan.Query.OrderBy); err != nil {
-		sp.SetAttr(obs.String("error", err.Error()))
-		sp.End()
-		return nil, err
-	}
-	sp.SetAttr(obs.Int("rows_out", int64(len(res.Rows))),
-		obs.Int("rows_scanned", res.Stats.RowsScanned),
-		obs.Int("rows_sought", res.Stats.RowsSought))
-	sp.End()
-	reg.Counter("engine.exec.executions").Inc()
-	reg.Counter("engine.exec.rows_out").Add(int64(len(res.Rows)))
-	reg.Counter("engine.exec.rows_scanned").Add(res.Stats.RowsScanned)
-	reg.Counter("engine.exec.rows_sought").Add(res.Stats.RowsSought)
 	return res, nil
 }
 
@@ -477,14 +549,23 @@ func (pb *preparedBranch) initPool() {
 	}
 }
 
-// run executes one branch, returning its projected rows in pipeline
-// order.
-func (pb *preparedBranch) run(st *ExecStats) [][]rel.Value {
+// run executes one branch serially, returning its projected rows in
+// pipeline order. It is the single-worker composition of the three
+// phases the morsel executor schedules separately: precharge, driver
+// resolution, and the row-range pipeline.
+func (pb *preparedBranch) run(ctx context.Context, st *ExecStats) ([][]rel.Value, error) {
 	st.Branches++
-	// The reference executor re-fetches every hash-join build side once
-	// per execution, even when the driver produces no rows; charge the
-	// same scan touch and counters up front so measured cost and Stats
-	// stay aligned.
+	pb.precharge(st)
+	n, ids := pb.resolveDriver(st)
+	return pb.runRange(ctx, st, ids, 0, n)
+}
+
+// precharge charges the hash-join build-side scan cost. The reference
+// executor re-fetches every build side once per execution, even when
+// the driver produces no rows; charging the same scan touch and
+// counters up front — once per branch, never per morsel — keeps
+// measured cost and Stats aligned at any worker count.
+func (pb *preparedBranch) precharge(st *ExecStats) {
 	for i := range pb.ops {
 		op := &pb.ops[i]
 		if op.kind != pipeHashJoin {
@@ -495,6 +576,48 @@ func (pb *preparedBranch) run(st *ExecStats) [][]rel.Value {
 		}
 		st.RowsScanned += op.scanCount
 		st.RowsSought += op.soughtCount
+	}
+}
+
+// resolveDriver materializes the branch's driver row set: the number of
+// driver rows, plus — for index range seeks — the matching row ids (in
+// index order), whose seek cost is charged here, once per branch. Scans
+// and partition zips drive straight off their row slices and return nil
+// ids.
+func (pb *preparedBranch) resolveDriver(st *ExecStats) (int, []int) {
+	switch pb.src.kind {
+	case srcSeek:
+		ids := pb.src.bi.seekRange(pb.src.seekOp, pb.src.seekVal)
+		st.RowsSought += int64(len(ids))
+		return len(ids), ids
+	case srcZip:
+		return len(pb.src.zip.rows), nil
+	default: // srcScan
+		return len(pb.src.table.Rows), nil
+	}
+}
+
+// runRange pushes driver rows [lo, hi) through the branch pipeline and
+// returns the projected rows in pipeline order. Output depends only on
+// the driver rows' order — operators keep no state across rows, and
+// batch boundaries never split a row's join expansion out of order —
+// so concatenating adjacent ranges' outputs equals one big run, which
+// is what makes the morsel merge bit-identical to serial execution.
+// ctx is polled once per driver batch; on cancellation the pipeline
+// stops promptly, pooled state is still returned for reuse, and ctx's
+// error is reported.
+func (pb *preparedBranch) runRange(ctx context.Context, st *ExecStats, ids []int, lo, hi int) ([][]rel.Value, error) {
+	done := ctx.Done()
+	cancelled := func() bool {
+		if done == nil {
+			return false
+		}
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
 	}
 	state := pb.pool.Get().(*branchState)
 	defer pb.pool.Put(state)
@@ -613,12 +736,13 @@ func (pb *preparedBranch) run(st *ExecStats) [][]rel.Value {
 	}
 	switch pb.src.kind {
 	case srcSeek:
-		ids := pb.src.bi.seekRange(pb.src.seekOp, pb.src.seekVal)
-		st.RowsSought += int64(len(ids))
 		t := pb.src.table
 		bt := state.in
-		for start := 0; start < len(ids); start += rel.BatchSize {
-			end := min(start+rel.BatchSize, len(ids))
+		for start := lo; start < hi; start += rel.BatchSize {
+			if cancelled() {
+				return out, ctx.Err()
+			}
+			end := min(start+rel.BatchSize, hi)
 			bt.Reset()
 			for _, id := range ids[start:end] {
 				bt.AppendRef(t.Rows[id])
@@ -627,15 +751,21 @@ func (pb *preparedBranch) run(st *ExecStats) [][]rel.Value {
 		}
 	case srcZip:
 		rows := pb.src.zip.rows
-		for start := 0; start < len(rows); start += rel.BatchSize {
-			end := min(start+rel.BatchSize, len(rows))
+		for start := lo; start < hi; start += rel.BatchSize {
+			if cancelled() {
+				return out, ctx.Err()
+			}
+			end := min(start+rel.BatchSize, hi)
 			st.RowsScanned += int64((end - start) * pb.src.zip.groups)
 			feed(rows[start:end])
 		}
 	default: // srcScan
 		rows := pb.src.table.Rows
-		for start := 0; start < len(rows); start += rel.BatchSize {
-			end := min(start+rel.BatchSize, len(rows))
+		for start := lo; start < hi; start += rel.BatchSize {
+			if cancelled() {
+				return out, ctx.Err()
+			}
+			end := min(start+rel.BatchSize, hi)
 			chunk := rows[start:end]
 			// Per-batch scan-cost touch: the simulated sequential-read
 			// work stays proportional to scanned bytes (see touchRows).
@@ -644,5 +774,5 @@ func (pb *preparedBranch) run(st *ExecStats) [][]rel.Value {
 			feed(chunk)
 		}
 	}
-	return out
+	return out, nil
 }

@@ -32,10 +32,18 @@ import (
 )
 
 // maxDisabledDrift bounds the normalized disabled-path ratio change;
-// maxEnabledOverhead bounds traced-vs-untraced from one run.
+// maxEnabledOverhead bounds traced-vs-untraced from one run;
+// maxWorkersOverhead bounds the morsel pool at 4 workers against the
+// serial path from the same run. The workers bound is a gross-pathology
+// guard (an accidental quadratic merge or a busy-wait would blow it),
+// not a speedup contract: on a multi-core runner the ratio drops below
+// 1, but on a single-hardware-thread runner four workers time-slice one
+// core and measure pure scheduling contention (~1.26x observed), so the
+// bound must sit above that noise floor.
 const (
 	maxDisabledDrift   = 1.05
 	maxEnabledOverhead = 1.25
+	maxWorkersOverhead = 1.50
 )
 
 type baseline struct {
@@ -112,6 +120,17 @@ func main() {
 	if overhead > maxEnabledOverhead {
 		fmt.Printf("benchguard: FAIL: enabled tracing costs %.1f%% over the disabled path\n", (overhead-1)*100)
 		failed = true
+	}
+	// The workers bound is optional: it only applies when the bench run
+	// included BenchmarkExecutePreparedWorkers4 (older baselines and
+	// partial runs skip it).
+	if w4, ok := measured["BenchmarkExecutePreparedWorkers4"]; ok && w4 > 0 {
+		wover := w4 / prepNow
+		fmt.Printf("benchguard: workers=4 overhead %.3f (bound %.2f)\n", wover, maxWorkersOverhead)
+		if wover > maxWorkersOverhead {
+			fmt.Printf("benchguard: FAIL: morsel pool at 4 workers costs %.1f%% over the serial path\n", (wover-1)*100)
+			failed = true
+		}
 	}
 	if failed {
 		os.Exit(1)

@@ -29,6 +29,7 @@
 package xmlshred
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/core"
@@ -222,6 +223,13 @@ func TranslateQuery(m *Mapping, q *XPathQuery) (*SQLQuery, error) {
 // ExecuteQuery plans and runs a translated query over loaded data
 // under a physical configuration, returning the output rows.
 func ExecuteQuery(db *Database, cfg *Config, q *SQLQuery) ([][]rel.Value, []string, error) {
+	return ExecuteQueryContext(context.Background(), db, cfg, q)
+}
+
+// ExecuteQueryContext is ExecuteQuery with cancellation: ctx aborts
+// plan compilation and execution promptly (the engine polls it once
+// per scanned batch) without corrupting any cached execution state.
+func ExecuteQueryContext(ctx context.Context, db *Database, cfg *Config, q *SQLQuery) ([][]rel.Value, []string, error) {
 	if cfg == nil {
 		cfg = &Config{}
 	}
@@ -234,7 +242,7 @@ func ExecuteQuery(db *Database, cfg *Config, q *SQLQuery) ([][]rel.Value, []stri
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := engine.Execute(built, plan)
+	res, err := engine.ExecuteContext(ctx, built, plan)
 	if err != nil {
 		return nil, nil, err
 	}
