@@ -347,8 +347,9 @@ func Run(c Case) (RunStats, *Mismatch) {
 }
 
 // diffResults compares two executor results for exact equality: column
-// names, row count, every value (rel.Value is comparable, so this is a
-// field-for-field check), and ExecStats counters.
+// names, row count, every value bit for bit (Value.BitEqual, so NaN
+// equals NaN and -0.0 differs from +0.0 — Go's struct equality would
+// reject identical NaNs), and ExecStats counters.
 func diffResults(got, want *engine.Result) string {
 	if len(got.Cols) != len(want.Cols) {
 		return fmt.Sprintf("batch executor returned %d cols, reference %d", len(got.Cols), len(want.Cols))
@@ -366,7 +367,7 @@ func diffResults(got, want *engine.Result) string {
 			return fmt.Sprintf("row %d has %d values, reference %d", i, len(got.Rows[i]), len(want.Rows[i]))
 		}
 		for j := range got.Rows[i] {
-			if got.Rows[i][j] != want.Rows[i][j] {
+			if !got.Rows[i][j].BitEqual(want.Rows[i][j]) {
 				return fmt.Sprintf("row %d col %d is %v, reference %v", i, j, got.Rows[i][j], want.Rows[i][j])
 			}
 		}

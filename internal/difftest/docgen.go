@@ -2,6 +2,7 @@ package difftest
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"strings"
 
@@ -26,6 +27,48 @@ func poolValue(leaf *schema.Node, r *rand.Rand) rel.Value {
 	}
 }
 
+// docValue draws a leaf value for document generation: usually a plain
+// pool value, but ~1/16 of the time a special form — non-finite floats
+// (NaN, ±Inf), negative zero, or a whitespace-padded lexical string
+// that parses as the declared numeric type. Specials appear only as
+// document data, never as comparison literals (randomLiteral draws from
+// poolValue): the XPath grammar cannot express NaN or Inf, so the
+// differential battery exercises them purely through storage,
+// coercion, and ordering.
+func docValue(leaf *schema.Node, r *rand.Rand) rel.Value {
+	if r.Intn(16) != 0 {
+		return poolValue(leaf, r)
+	}
+	switch leaf.LeafBase() {
+	case schema.BaseInt:
+		// Whitespace-padded lexical form; shredding and the gold
+		// evaluator both trim and parse it to the same integer.
+		return rel.Str(fmt.Sprintf(" %d ", r.Intn(12)))
+	case schema.BaseFloat:
+		switch r.Intn(6) {
+		case 0:
+			return rel.Float(math.NaN())
+		case 1:
+			return rel.Float(math.Inf(1))
+		case 2:
+			return rel.Float(math.Inf(-1))
+		case 3:
+			return rel.Float(math.Copysign(0, -1))
+		case 4:
+			return rel.Str("NaN")
+		default:
+			odds := [...]int64{1, 3, 5, 7}
+			return rel.Str(fmt.Sprintf(" %g ", float64(r.Intn(10))+float64(odds[r.Intn(4)])/8))
+		}
+	default:
+		// Numeric-looking strings must stay strings end to end.
+		if r.Intn(2) == 0 {
+			return rel.Str("NaN")
+		}
+		return rel.Str(fmt.Sprintf(" %d ", r.Intn(12)))
+	}
+}
+
 // RandomDoc generates a document valid for the tree: pool-driven leaf
 // values, per-option presence probabilities, and rootInstances scaling
 // the top-level element counts. This generalizes the hand-coded
@@ -38,7 +81,7 @@ func RandomDoc(t *schema.Tree, r *rand.Rand, rootInstances int) (*xmlgen.Doc, er
 	for _, leaf := range t.Leaves() {
 		leaf := leaf
 		spec.Value[leaf.ID] = func(rr *rand.Rand, _ int64) rel.Value {
-			return poolValue(leaf, rr)
+			return docValue(leaf, rr)
 		}
 	}
 	t.Walk(func(n *schema.Node) {

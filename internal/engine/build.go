@@ -147,6 +147,10 @@ type builtIndex struct {
 	keyIdx []int
 	order  []int
 	bytes  int64
+	// leadKeys materializes the leading key in index order, so the
+	// binary searches of per-execution seeks read a flat vector instead
+	// of chasing a row pointer per probe step.
+	leadKeys []rel.Value
 	// firstNonNull is the first position whose leading key is non-NULL.
 	firstNonNull int
 }
@@ -169,12 +173,13 @@ func buildIndex(db *rel.Database, idx *physical.Index) (*builtIndex, error) {
 			return nil, fmt.Errorf("engine: index %s includes unknown column %s.%s", idx.Name, idx.Table, k)
 		}
 	}
+	rows := t.Rows()
 	bi.order = make([]int, t.RowCount())
 	for i := range bi.order {
 		bi.order[i] = i
 	}
 	sort.SliceStable(bi.order, func(a, c int) bool {
-		ra, rc := t.Rows[bi.order[a]], t.Rows[bi.order[c]]
+		ra, rc := rows[bi.order[a]], rows[bi.order[c]]
 		for _, ki := range bi.keyIdx {
 			if cmp := ra[ki].Compare(rc[ki]); cmp != 0 {
 				return cmp < 0
@@ -183,13 +188,17 @@ func buildIndex(db *rel.Database, idx *physical.Index) (*builtIndex, error) {
 		return false
 	})
 	lead := bi.keyIdx[0]
+	bi.leadKeys = make([]rel.Value, len(bi.order))
+	for i, rid := range bi.order {
+		bi.leadKeys[i] = rows[rid][lead]
+	}
 	bi.firstNonNull = sort.Search(len(bi.order), func(i int) bool {
-		return !t.Rows[bi.order[i]][lead].Null
+		return !bi.leadKeys[i].Null
 	})
 	bi.bytes = 12 * int64(t.RowCount())
 	for _, c := range append(append([]string(nil), idx.Key...), idx.Include...) {
 		ci := t.ColIndex(c)
-		for _, row := range t.Rows {
+		for _, row := range rows {
 			bi.bytes += int64(row[ci].Width())
 		}
 	}
@@ -199,18 +208,16 @@ func buildIndex(db *rel.Database, idx *physical.Index) (*builtIndex, error) {
 // lowerBound returns the first position with leading key >= v (among
 // non-NULL keys).
 func (bi *builtIndex) lowerBound(v rel.Value) int {
-	lead := bi.keyIdx[0]
 	i := sort.Search(len(bi.order)-bi.firstNonNull, func(i int) bool {
-		return bi.table.Rows[bi.order[bi.firstNonNull+i]][lead].Compare(v) >= 0
+		return bi.leadKeys[bi.firstNonNull+i].Compare(v) >= 0
 	})
 	return bi.firstNonNull + i
 }
 
 // upperBound returns the first position with leading key > v.
 func (bi *builtIndex) upperBound(v rel.Value) int {
-	lead := bi.keyIdx[0]
 	i := sort.Search(len(bi.order)-bi.firstNonNull, func(i int) bool {
-		return bi.table.Rows[bi.order[bi.firstNonNull+i]][lead].Compare(v) > 0
+		return bi.leadKeys[bi.firstNonNull+i].Compare(v) > 0
 	})
 	return bi.firstNonNull + i
 }
@@ -288,11 +295,12 @@ func buildView(db *rel.Database, v *physical.View) (*rel.Table, error) {
 	vt := rel.NewTable(v.Name, cols)
 	byID := make(map[int64][]rel.Value, outer.RowCount())
 	oid := outer.ColIndex(rel.IDColumn)
-	for _, row := range outer.Rows {
+	for _, row := range outer.Rows() {
 		byID[row[oid].I] = row
 	}
 	pid := inner.ColIndex(rel.PIDColumn)
-	for _, irow := range inner.Rows {
+	out := make([]rel.Value, 0, len(cols)) // AppendRow copies, so one scratch row suffices
+	for _, irow := range inner.Rows() {
 		if irow[pid].Null {
 			continue
 		}
@@ -300,7 +308,7 @@ func buildView(db *rel.Database, v *physical.View) (*rel.Table, error) {
 		if !ok {
 			continue
 		}
-		out := make([]rel.Value, 0, len(cols))
+		out = out[:0]
 		for _, ci := range outerIdx {
 			out = append(out, orow[ci])
 		}
@@ -332,12 +340,12 @@ func buildPartition(db *rel.Database, vp *physical.VPartition) ([]*rel.Table, er
 			idxs = append(idxs, ci)
 		}
 		gt := rel.NewTable(vp.GroupTable(gi), cols)
-		for _, row := range t.Rows {
-			out := make([]rel.Value, len(idxs))
+		grow := make([]rel.Value, len(idxs)) // AppendRow copies, so one scratch row suffices
+		for _, row := range t.Rows() {
 			for i, ci := range idxs {
-				out[i] = row[ci]
+				grow[i] = row[ci]
 			}
-			gt.AppendRow(out)
+			gt.AppendRow(grow)
 		}
 		out = append(out, gt)
 	}

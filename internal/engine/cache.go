@@ -224,13 +224,17 @@ func (b *Built) partitionZip(table string, groups []int) (*partZip, error) {
 				srcs = append(srcs, src{gi, ci})
 			}
 		}
+		groupRows := make([][][]rel.Value, len(groupTables))
+		for gi, gt := range groupTables {
+			groupRows[gi] = gt.Rows()
+		}
 		n := groupTables[0].RowCount()
 		z.rows = make([][]rel.Value, n)
 		arena := make([]rel.Value, n*len(srcs))
 		for i := 0; i < n; i++ {
 			row := arena[i*len(srcs) : (i+1)*len(srcs) : (i+1)*len(srcs)]
 			for k, sr := range srcs {
-				row[k] = groupTables[sr.gi].Rows[i][sr.ci]
+				row[k] = groupRows[sr.gi][i][sr.ci]
 			}
 			z.rows[i] = row
 		}
@@ -335,12 +339,13 @@ func (b *Built) existsProbeSet(p *sqlast.Pred) (*existsSet, error) {
 				return nil, fmt.Errorf("engine: EXISTS value column %s.%s missing", p.Table, p.InnerCol)
 			}
 		}
+		rows := t.Rows()
 		if t.Columns[ji].Typ == rel.TInt {
-			if ints, ok := buildIntExists(t.Rows, ji, vi, p); ok {
+			if ints, ok := buildIntExists(rows, ji, vi, p); ok {
 				return &existsSet{ints: ints}, nil
 			}
 		}
-		return &existsSet{strs: buildStrExists(t.Rows, ji, vi, p)}, nil
+		return &existsSet{strs: buildStrExists(rows, ji, vi, p)}, nil
 	})
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -75,12 +76,42 @@ func TestCancelPreparePoisonsNothing(t *testing.T) {
 	}
 }
 
-// TestCancelMidExecution cancels executions a few dozen microseconds
-// after they start — mid-scan or mid-join on a 4000-movie fixture —
-// and asserts the prompt-return contract: the call comes back with
-// context.Canceled well before the work could have finished, no
-// goroutines leak, and the very next Execute on the same PreparedPlan
-// succeeds bit-identically with warm caches (no recompilation).
+// pollCancelCtx is a context that cancels itself on the Nth Done()
+// call. The executor calls Done() once per runRange (branch pipeline or
+// morsel), so triggering on that call deterministically cancels while
+// the execution is in flight — between a pipeline's start and its first
+// per-batch cancellation poll — on any hardware. The timing-based
+// predecessor of this hook (a goroutine sleeping a few dozen
+// microseconds before cancelling) stopped landing once the columnar
+// kernels pushed whole executions under the Go scheduler's ~10ms async
+// preemption quantum: on a single-core runner the cancel goroutine
+// never got the CPU until the execution had already finished.
+type pollCancelCtx struct {
+	context.Context
+	cancel context.CancelFunc
+	calls  int64
+	after  int64
+}
+
+func newPollCancelCtx(after int64) *pollCancelCtx {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &pollCancelCtx{Context: ctx, cancel: cancel, after: after}
+}
+
+func (c *pollCancelCtx) Done() <-chan struct{} {
+	if atomic.AddInt64(&c.calls, 1) >= c.after {
+		c.cancel()
+	}
+	return c.Context.Done()
+}
+
+// TestCancelMidExecution cancels executions from within — the context
+// trips on the executor's own first cancellation-poll setup, mid-scan
+// or mid-join on a 4000-movie fixture — and asserts the prompt-return
+// contract: the call comes back with context.Canceled well before the
+// work could have finished, and the very next Execute on the same
+// PreparedPlan succeeds bit-identically with warm caches (no
+// recompilation).
 func TestCancelMidExecution(t *testing.T) {
 	built, plans := cancelFixture(t)
 	for _, wk := range []int{1, 4} {
@@ -96,20 +127,14 @@ func TestCancelMidExecution(t *testing.T) {
 			}
 			pp.Workers = wk
 			missesBefore := built.CacheCounters()["prepared.misses"]
-			// Timing-based: retry with growing delays until a cancel lands
-			// mid-execution (err != nil). A delay of 0 pre-empts before the
-			// first batch; larger delays interrupt deeper into the scan.
-			for attempt := 0; attempt < 60 && !interrupted; attempt++ {
-				ctx, cancel := context.WithCancel(context.Background())
-				delay := time.Duration(1+attempt%20) * 10 * time.Microsecond
-				go func() {
-					time.Sleep(delay)
-					cancel()
-				}()
+			// Trip the cancel on successively later polls until the plan
+			// runs out of pipelines; the first poll always lands.
+			for after := int64(1); after <= 4; after++ {
+				ctx := newPollCancelCtx(after)
 				start := time.Now()
 				_, err := pp.ExecuteContext(ctx)
 				took := time.Since(start)
-				cancel()
+				ctx.cancel()
 				if err != nil {
 					if !errors.Is(err, context.Canceled) {
 						t.Fatalf("plan %d workers %d: err = %v, want context.Canceled", pi, wk, err)

@@ -70,7 +70,9 @@ func requireIdentical(t *testing.T, label string, got, want *Result) {
 			t.Fatalf("%s: row %d has %d values, want %d", label, i, len(got.Rows[i]), len(want.Rows[i]))
 		}
 		for j := range got.Rows[i] {
-			if got.Rows[i][j] != want.Rows[i][j] {
+			// BitEqual, not struct equality: NaN must equal NaN and
+			// -0.0 must differ from +0.0 for bit-identity to hold.
+			if !got.Rows[i][j].BitEqual(want.Rows[i][j]) {
 				t.Fatalf("%s: row %d col %d = %v, want %v\ngot:\n%swant:\n%s",
 					label, i, j, got.Rows[i][j], want.Rows[i][j], fmtRows(got), fmtRows(want))
 			}

@@ -134,6 +134,64 @@ func touchRows(rows [][]rel.Value) {
 	scanSink.Add(sink)
 }
 
+// touchTable is touchRows over columnar storage: the same simulated
+// per-byte scan cost for rows [lo, hi), read straight from the column
+// vectors — numeric cells cost one unit of work per cell per pass,
+// string cells one per byte — without materializing a row. Columns
+// holding exception values (appends that don't round-trip through the
+// typed vectors) fall back to per-cell materialization so the charged
+// work matches the row store exactly.
+func touchTable(t *rel.Table, lo, hi int) {
+	if lo >= hi {
+		return
+	}
+	var sink int64
+	for pass := 0; pass < scanTouchPasses; pass++ {
+		for ci := range t.Columns {
+			if codes, dict, nulls, ok := t.StrCol(ci); ok {
+				strs := dict.Strs()
+				for r := lo; r < hi; r++ {
+					if nulls.Get(r) {
+						sink += 8
+						continue
+					}
+					s := strs[codes[r]]
+					for j := 0; j < len(s); j++ {
+						sink += int64(s[j])
+					}
+				}
+				continue
+			}
+			if t.Columns[ci].Typ != rel.TString {
+				if _, _, ok := t.IntCol(ci); ok {
+					for r := lo; r < hi; r++ {
+						sink += 8
+					}
+					continue
+				}
+				if _, _, ok := t.FloatCol(ci); ok {
+					for r := lo; r < hi; r++ {
+						sink += 8
+					}
+					continue
+				}
+			}
+			// Exception fallback: charge each cell like touchRows would.
+			for r := lo; r < hi; r++ {
+				v := t.ValueAt(r, ci)
+				if v.Typ == rel.TString && !v.Null {
+					for j := 0; j < len(v.S); j++ {
+						sink += int64(v.S[j])
+					}
+				} else {
+					sink += 8
+				}
+			}
+		}
+	}
+	scanSink.Add(sink)
+}
+
 func predInScope(p *sqlast.Pred, sc *scope) bool {
 	switch p.Kind {
 	case sqlast.PredCompare:

@@ -359,7 +359,7 @@ func TestIndexSeekMatchesFilter(t *testing.T) {
 		for _, year := range []int64{1950, 1984, 2004, 1900, 2050} {
 			got := len(bi.seekRange(op, rel.Int(year)))
 			want := 0
-			for _, row := range mt.Rows {
+			for _, row := range mt.Rows() {
 				if row[yi].Null {
 					continue
 				}
@@ -429,8 +429,9 @@ func TestPartitionAlignment(t *testing.T) {
 	if g0.RowCount() != mt.RowCount() || g1.RowCount() != mt.RowCount() {
 		t.Fatal("group row counts differ from base")
 	}
-	for i := range mt.Rows {
-		if g0.Rows[i][0].I != g1.Rows[i][0].I || g0.Rows[i][0].I != mt.Rows[i][mt.ColIndex("ID")].I {
+	mrows, g0rows, g1rows := mt.Rows(), g0.Rows(), g1.Rows()
+	for i := range mrows {
+		if g0rows[i][0].I != g1rows[i][0].I || g0rows[i][0].I != mrows[i][mt.ColIndex("ID")].I {
 			t.Fatalf("row %d misaligned across groups", i)
 		}
 	}

@@ -1,0 +1,208 @@
+package engine
+
+import (
+	"strings"
+
+	"repro/internal/rel"
+	"repro/internal/sqlast"
+)
+
+// This file holds the columnar filter kernels of the batch executor.
+// Driver-stage predicates (everything before the first join) on table
+// scans and index range scans compile to colKernels: tight loops over
+// one typed column vector that compact a selection vector of row ids
+// in place, without boxing a rel.Value per cell. Every kernel is
+// bit-equivalent to matchCompare over the materialized row — the
+// specialized paths delegate to rel.CompareInts/CompareFloats (the
+// scalar orders Value.Compare is built on) and the generic fallback
+// materializes single cells through Table.ValueAt.
+
+// colKernel compacts a selection vector of driver row ids in place,
+// returning the surviving prefix.
+type colKernel func(sel []int32) []int32
+
+// compileColKernel compiles one predicate into a columnar kernel over
+// the driver table. sc holds only the driver table at this stage, so
+// scope positions are column indices. It never fails to produce a
+// kernel for a supported predicate kind: unsupported column/literal
+// shapes fall back to a per-cell ValueAt kernel.
+func compileColKernel(b *Built, p *sqlast.Pred, t *rel.Table, sc *scope) (colKernel, error) {
+	switch p.Kind {
+	case sqlast.PredCompare:
+		pos, err := sc.pos(p.Col)
+		if err != nil {
+			return nil, err
+		}
+		if k := compareKernel(t, pos, p.Op, p.Value); k != nil {
+			return k, nil
+		}
+		op, lit := p.Op, p.Value
+		return func(sel []int32) []int32 {
+			live := sel[:0]
+			for _, r := range sel {
+				if matchCompare(t.ValueAt(int(r), pos), op, lit) {
+					live = append(live, r)
+				}
+			}
+			return live
+		}, nil
+	case sqlast.PredOr:
+		positions, err := colPositions(sc, p.Cols)
+		if err != nil {
+			return nil, err
+		}
+		op, lit := p.Op, p.Value
+		return func(sel []int32) []int32 {
+			live := sel[:0]
+			for _, r := range sel {
+				for _, pos := range positions {
+					if matchCompare(t.ValueAt(int(r), pos), op, lit) {
+						live = append(live, r)
+						break
+					}
+				}
+			}
+			return live
+		}, nil
+	case sqlast.PredExists, sqlast.PredOrExists:
+		positions, err := colPositions(sc, p.Cols)
+		if err != nil {
+			return nil, err
+		}
+		outerPos, err := sc.pos(p.OuterCol)
+		if err != nil {
+			return nil, err
+		}
+		set, err := b.existsProbeSet(p)
+		if err != nil {
+			return nil, err
+		}
+		op, lit := p.Op, p.Value
+		return func(sel []int32) []int32 {
+			live := sel[:0]
+		rows:
+			for _, r := range sel {
+				for _, pos := range positions {
+					if matchCompare(t.ValueAt(int(r), pos), op, lit) {
+						live = append(live, r)
+						continue rows
+					}
+				}
+				if set.match(t.ValueAt(int(r), outerPos)) {
+					live = append(live, r)
+				}
+			}
+			return live
+		}, nil
+	}
+	return nil, nil
+}
+
+// compareKernel builds the typed fast path for a PredCompare over
+// column ci, or nil when the column/literal shape needs the generic
+// fallback (a column with exception values, or a literal whose
+// comparison against the column type crosses into string space).
+func compareKernel(t *rel.Table, ci int, op sqlast.CmpOp, lit rel.Value) colKernel {
+	if lit.Null {
+		// matchCompare never matches a NULL literal.
+		return func(sel []int32) []int32 { return sel[:0] }
+	}
+	switch t.Columns[ci].Typ {
+	case rel.TInt:
+		ints, nulls, ok := t.IntCol(ci)
+		if !ok {
+			return nil
+		}
+		switch lit.Typ {
+		case rel.TInt:
+			l := lit.I
+			return func(sel []int32) []int32 {
+				live := sel[:0]
+				for _, r := range sel {
+					if !nulls.Get(int(r)) && op.Matches(rel.CompareInts(ints[r], l)) {
+						live = append(live, r)
+					}
+				}
+				return live
+			}
+		case rel.TFloat:
+			// Mixed numeric types compare as floats (Value.Compare).
+			l := lit.F
+			return func(sel []int32) []int32 {
+				live := sel[:0]
+				for _, r := range sel {
+					if !nulls.Get(int(r)) && op.Matches(rel.CompareFloats(float64(ints[r]), l)) {
+						live = append(live, r)
+					}
+				}
+				return live
+			}
+		}
+		return nil // string literal vs int column compares string forms
+	case rel.TFloat:
+		floats, nulls, ok := t.FloatCol(ci)
+		if !ok {
+			return nil
+		}
+		var l float64
+		switch lit.Typ {
+		case rel.TFloat:
+			l = lit.F
+		case rel.TInt:
+			l = float64(lit.I)
+		default:
+			return nil
+		}
+		return func(sel []int32) []int32 {
+			live := sel[:0]
+			for _, r := range sel {
+				if !nulls.Get(int(r)) && op.Matches(rel.CompareFloats(floats[r], l)) {
+					live = append(live, r)
+				}
+			}
+			return live
+		}
+	case rel.TString:
+		codes, dict, nulls, ok := t.StrCol(ci)
+		if !ok {
+			return nil
+		}
+		// A string column compares its raw bytes against the literal's
+		// string form whatever the literal type (Value.Compare).
+		litS := lit.String()
+		if op == sqlast.OpEq {
+			// Equality resolves to one dictionary code — or to nothing,
+			// when the literal never occurs in the column.
+			c, present := dict.Code(litS)
+			if !present {
+				return func(sel []int32) []int32 { return sel[:0] }
+			}
+			return func(sel []int32) []int32 {
+				live := sel[:0]
+				for _, r := range sel {
+					if codes[r] == c && !nulls.Get(int(r)) {
+						live = append(live, r)
+					}
+				}
+				return live
+			}
+		}
+		// Range ops: decide once per distinct string, then filter on
+		// codes — the dictionary is frozen during execution (generation
+		// guards), so the table is complete.
+		match := make([]bool, dict.Len())
+		for code, s := range dict.Strs() {
+			match[code] = op.Matches(strings.Compare(s, litS))
+		}
+		return func(sel []int32) []int32 {
+			live := sel[:0]
+			for _, r := range sel {
+				if !nulls.Get(int(r)) && match[codes[r]] {
+					live = append(live, r)
+				}
+			}
+			return live
+		}
+	}
+	return nil
+}

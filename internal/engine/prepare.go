@@ -218,6 +218,11 @@ type driverSrc struct {
 	seekOp  opKind
 	seekVal rel.Value
 	zip     *partZip
+	// rows is the materialized row view the pipeline hands downstream
+	// operators by reference: the table's generation-cached Rows() for
+	// scans and seeks, the zip rows for partition drivers. Resolved at
+	// prepare time so execution never takes the materialization lock.
+	rows [][]rel.Value
 }
 
 // pipeKind discriminates pipeline operators.
@@ -246,13 +251,13 @@ type pipeOp struct {
 	// re-scans the build side every execution; the batch executor pays
 	// the same simulated scan cost and counters but skips the rebuild).
 	jt          *joinTable
-	scanRows    [][]rel.Value // rows to touch per run (nil for zips/seeks)
-	scanCount   int64         // RowsScanned per run
-	soughtCount int64         // RowsSought per run (seek-fed build side)
+	scanTable   *rel.Table // table to touch per run (nil for zips/seeks)
+	scanCount   int64      // RowsScanned per run
+	soughtCount int64      // RowsSought per run (seek-fed build side)
 
 	// INL join.
-	bi         *builtIndex
-	innerTable *rel.Table
+	bi        *builtIndex
+	innerRows [][]rel.Value // generation-cached row view of the inner table
 }
 
 // proj is one projection slot.
@@ -263,7 +268,15 @@ type proj struct {
 
 // preparedBranch is one compiled union branch.
 type preparedBranch struct {
-	src        driverSrc
+	src driverSrc
+	// kerns are the driver-stage columnar filter kernels: every
+	// predicate applied before the first join, compiled against the
+	// driver table's column vectors (table scans and index seeks only —
+	// partition-zip drivers keep row filters in ops). They run over the
+	// selection vector of driver row ids before any row is materialized
+	// into a batch, in the same WHERE order the reference executor
+	// applies.
+	kerns      []colKernel
 	ops        []pipeOp
 	projs      []proj
 	nJoinSlots int
@@ -272,10 +285,12 @@ type preparedBranch struct {
 	pool sync.Pool
 }
 
-// branchState is the per-execution operator state: the driver batch
-// plus one output batch per join operator.
+// branchState is the per-execution operator state: the driver batch,
+// the driver selection vector the columnar kernels compact, and one
+// output batch per join operator.
 type branchState struct {
 	in      *rel.Batch
+	sel     []int32
 	joinOut []*rel.Batch
 }
 
@@ -304,7 +319,7 @@ func prepareBranch(b *Built, br *optimizer.Branch) (*preparedBranch, error) {
 		if err != nil {
 			return nil, err
 		}
-		pb.src = driverSrc{kind: srcZip, zip: z}
+		pb.src = driverSrc{kind: srcZip, zip: z, rows: z.rows}
 		cols = z.cols
 	} else {
 		t := resolveTable(b, a.Table)
@@ -321,21 +336,23 @@ func prepareBranch(b *Built, br *optimizer.Branch) (*preparedBranch, error) {
 				return nil, fmt.Errorf("engine: seek access without predicate on %s", a.Table)
 			}
 			pb.src = driverSrc{kind: srcSeek, table: t, bi: bi,
-				seekOp: opFromCmp(a.SeekPred.Op), seekVal: a.SeekPred.Value}
+				seekOp: opFromCmp(a.SeekPred.Op), seekVal: a.SeekPred.Value, rows: t.Rows()}
 		} else {
-			pb.src = driverSrc{kind: srcScan, table: t}
+			pb.src = driverSrc{kind: srcScan, table: t, rows: t.Rows()}
 		}
 	}
 	sc.add(a.Table, cols)
 	applied := make(map[int]bool)
-	if err := pb.appendFilters(b, br, sc, applied); err != nil {
+	// Driver-stage filters over a table source compile to columnar
+	// kernels; everything after the first join filters materialized rows.
+	if err := pb.appendFilters(b, br, sc, applied, pb.src.table); err != nil {
 		return nil, err
 	}
 	for _, j := range br.Joins {
 		if err := pb.appendJoin(b, br, sc, j); err != nil {
 			return nil, err
 		}
-		if err := pb.appendFilters(b, br, sc, applied); err != nil {
+		if err := pb.appendFilters(b, br, sc, applied, nil); err != nil {
 			return nil, err
 		}
 	}
@@ -366,7 +383,11 @@ func prepareBranch(b *Built, br *optimizer.Branch) (*preparedBranch, error) {
 // appendFilters compiles every not-yet-applied predicate whose
 // referenced tables are in scope, in WHERE order — the same
 // application order as the reference executor's applyPreds passes.
-func (pb *preparedBranch) appendFilters(b *Built, br *optimizer.Branch, sc *scope, applied map[int]bool) error {
+// When kt is non-nil (the driver-stage pass over a table scan or index
+// seek) each predicate compiles to a columnar kernel over kt's vectors
+// instead of a row closure; kernels run in the same order the closures
+// would have.
+func (pb *preparedBranch) appendFilters(b *Built, br *optimizer.Branch, sc *scope, applied map[int]bool, kt *rel.Table) error {
 	s := br.Sel
 	for i := range s.Where {
 		p := &s.Where[i]
@@ -375,6 +396,17 @@ func (pb *preparedBranch) appendFilters(b *Built, br *optimizer.Branch, sc *scop
 		}
 		if !predInScope(p, sc) {
 			continue
+		}
+		if kt != nil {
+			k, err := compileColKernel(b, p, kt, sc)
+			if err != nil {
+				return err
+			}
+			if k != nil {
+				pb.kerns = append(pb.kerns, k)
+				applied[i] = true
+				continue
+			}
 		}
 		f, err := compileBatchPred(b, p, sc)
 		if err != nil {
@@ -403,14 +435,14 @@ func (pb *preparedBranch) appendJoin(b *Built, br *optimizer.Branch, sc *scope, 
 		t := bi.table
 		sc.add(j.Inner.Table, colNames(t))
 		pb.ops = append(pb.ops, pipeOp{kind: pipeINLJoin, outerPos: outerPos,
-			bi: bi, innerTable: t, width: sc.width, slot: slot})
+			bi: bi, innerRows: t.Rows(), width: sc.width, slot: slot})
 		return nil
 	}
 	// Hash join: resolve the inner row source.
 	var rows [][]rel.Value
 	var cols []string
 	var srcKey string
-	var scanRows [][]rel.Value
+	var scanTable *rel.Table
 	var scanCount, soughtCount int64
 	a := j.Inner
 	if len(a.PartGroups) > 0 {
@@ -439,20 +471,21 @@ func (pb *preparedBranch) appendJoin(b *Built, br *optimizer.Branch, sc *scope, 
 				return fmt.Errorf("engine: seek access without predicate on %s", a.Table)
 			}
 			ids := bi.seekRange(opFromCmp(a.SeekPred.Op), a.SeekPred.Value)
+			trows := t.Rows()
 			rows = make([][]rel.Value, len(ids))
 			for i, id := range ids {
-				rows[i] = t.Rows[id]
+				rows[i] = trows[id]
 			}
 			soughtCount = int64(len(rows))
 		} else {
-			rows = t.Rows
+			rows = t.Rows()
 			if b.ViewTable(a.Table) != nil {
 				srcKey = "v:" + a.Table
 			} else {
 				srcKey = "t:" + a.Table
 			}
-			scanRows = t.Rows
-			scanCount = int64(len(t.Rows))
+			scanTable = t
+			scanCount = int64(t.RowCount())
 		}
 	}
 	ji := -1
@@ -476,7 +509,7 @@ func (pb *preparedBranch) appendJoin(b *Built, br *optimizer.Branch, sc *scope, 
 		jt = buildJoinTable(rows, ji)
 	}
 	pb.ops = append(pb.ops, pipeOp{kind: pipeHashJoin, outerPos: outerPos, jt: jt,
-		width: sc.width, slot: slot, scanRows: scanRows,
+		width: sc.width, slot: slot, scanTable: scanTable,
 		scanCount: scanCount, soughtCount: soughtCount})
 	return nil
 }
@@ -541,7 +574,8 @@ func (pb *preparedBranch) initPool() {
 		}
 	}
 	pb.pool.New = func() any {
-		st := &branchState{in: rel.NewBatch(0), joinOut: make([]*rel.Batch, len(widths))}
+		st := &branchState{in: rel.NewBatch(0), sel: make([]int32, 0, rel.BatchSize),
+			joinOut: make([]*rel.Batch, len(widths))}
 		for i, w := range widths {
 			st.joinOut[i] = rel.NewBatch(w)
 		}
@@ -571,8 +605,8 @@ func (pb *preparedBranch) precharge(st *ExecStats) {
 		if op.kind != pipeHashJoin {
 			continue
 		}
-		if op.scanRows != nil {
-			touchRows(op.scanRows)
+		if op.scanTable != nil {
+			touchTable(op.scanTable, 0, op.scanTable.RowCount())
 		}
 		st.RowsScanned += op.scanCount
 		st.RowsSought += op.soughtCount
@@ -593,7 +627,7 @@ func (pb *preparedBranch) resolveDriver(st *ExecStats) (int, []int) {
 	case srcZip:
 		return len(pb.src.zip.rows), nil
 	default: // srcScan
-		return len(pb.src.table.Rows), nil
+		return pb.src.table.RowCount(), nil
 	}
 }
 
@@ -703,7 +737,7 @@ func (pb *preparedBranch) runRange(ctx context.Context, st *ExecStats, ids []int
 						}
 					}
 				} else {
-					t := op.innerTable
+					irows := op.innerRows
 					for _, si := range bt.Sel {
 						orow := bt.Rows[si]
 						v := orow[op.outerPos]
@@ -712,7 +746,7 @@ func (pb *preparedBranch) runRange(ctx context.Context, st *ExecStats, ids []int
 						}
 						for _, rid := range op.bi.seekEqual(v) {
 							st.RowsSought++
-							ob.AppendConcat(orow, t.Rows[rid])
+							ob.AppendConcat(orow, irows[rid])
 							if ob.Full() {
 								flush()
 							}
@@ -734,23 +768,39 @@ func (pb *preparedBranch) runRange(ctx context.Context, st *ExecStats, ids []int
 		}
 		process(0, bt)
 	}
+	// feedSel materializes the surviving driver rows — after the
+	// columnar kernels compacted the selection vector — as references
+	// into the generation-cached row view and pushes them through the
+	// remaining (join and post-join) operators.
+	rows := pb.src.rows
+	feedSel := func(sel []int32) {
+		for _, k := range pb.kerns {
+			sel = k(sel)
+			if len(sel) == 0 {
+				return
+			}
+		}
+		bt := state.in
+		bt.Reset()
+		for _, r := range sel {
+			bt.AppendRef(rows[r])
+		}
+		process(0, bt)
+	}
 	switch pb.src.kind {
 	case srcSeek:
-		t := pb.src.table
-		bt := state.in
 		for start := lo; start < hi; start += rel.BatchSize {
 			if cancelled() {
 				return out, ctx.Err()
 			}
 			end := min(start+rel.BatchSize, hi)
-			bt.Reset()
+			sel := state.sel[:0]
 			for _, id := range ids[start:end] {
-				bt.AppendRef(t.Rows[id])
+				sel = append(sel, int32(id))
 			}
-			process(0, bt)
+			feedSel(sel)
 		}
 	case srcZip:
-		rows := pb.src.zip.rows
 		for start := lo; start < hi; start += rel.BatchSize {
 			if cancelled() {
 				return out, ctx.Err()
@@ -760,18 +810,22 @@ func (pb *preparedBranch) runRange(ctx context.Context, st *ExecStats, ids []int
 			feed(rows[start:end])
 		}
 	default: // srcScan
-		rows := pb.src.table.Rows
+		t := pb.src.table
 		for start := lo; start < hi; start += rel.BatchSize {
 			if cancelled() {
 				return out, ctx.Err()
 			}
 			end := min(start+rel.BatchSize, hi)
-			chunk := rows[start:end]
 			// Per-batch scan-cost touch: the simulated sequential-read
-			// work stays proportional to scanned bytes (see touchRows).
-			touchRows(chunk)
-			st.RowsScanned += int64(len(chunk))
-			feed(chunk)
+			// work stays proportional to scanned bytes (see touchTable),
+			// read straight off the column vectors.
+			touchTable(t, start, end)
+			st.RowsScanned += int64(end - start)
+			sel := state.sel[:0]
+			for r := start; r < end; r++ {
+				sel = append(sel, int32(r))
+			}
+			feedSel(sel)
 		}
 	}
 	return out, nil

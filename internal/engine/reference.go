@@ -124,20 +124,22 @@ func fetchAccess(b *Built, s *sqlast.Select, a optimizer.Access, st *ExecStats) 
 			return nil, nil, fmt.Errorf("engine: seek access without predicate on %s", a.Table)
 		}
 		ids := bi.seekRange(opFromCmp(a.SeekPred.Op), a.SeekPred.Value)
+		trows := t.Rows()
 		rows := make([][]rel.Value, len(ids))
 		for i, id := range ids {
-			rows[i] = t.Rows[id]
+			rows[i] = trows[id]
 		}
 		if st != nil {
 			st.RowsSought += int64(len(rows))
 		}
 		return cols, rows, nil
 	}
-	touchRows(t.Rows)
+	trows := t.Rows()
+	touchRows(trows)
 	if st != nil {
-		st.RowsScanned += int64(len(t.Rows))
+		st.RowsScanned += int64(len(trows))
 	}
-	return cols, t.Rows, nil
+	return cols, trows, nil
 }
 
 // fetchPartition zips the needed partition groups into combined rows.
@@ -164,12 +166,16 @@ func fetchPartition(b *Built, s *sqlast.Select, a optimizer.Access, st *ExecStat
 			srcs = append(srcs, src{gi, ci})
 		}
 	}
+	groupRows := make([][][]rel.Value, len(groupTables))
+	for gi, gt := range groupTables {
+		groupRows[gi] = gt.Rows()
+	}
 	n := groupTables[0].RowCount()
 	rows := make([][]rel.Value, n)
 	for i := 0; i < n; i++ {
 		row := make([]rel.Value, len(srcs))
 		for k, sr := range srcs {
-			row[k] = groupTables[sr.gi].Rows[i][sr.ci]
+			row[k] = groupRows[sr.gi][i][sr.ci]
 		}
 		rows[i] = row
 	}
@@ -293,8 +299,9 @@ func (e *existsCache) matcher(p *sqlast.Pred) (func(rel.Value) bool, error) {
 			return nil, fmt.Errorf("engine: EXISTS value column %s.%s missing", p.Table, p.InnerCol)
 		}
 	}
+	trows := t.Rows()
 	if t.Columns[ji].Typ == rel.TInt {
-		if set, ok := buildIntExists(t.Rows, ji, vi, p); ok {
+		if set, ok := buildIntExists(trows, ji, vi, p); ok {
 			if e.ints == nil {
 				e.ints = make(map[string]map[int64]bool)
 			}
@@ -302,7 +309,7 @@ func (e *existsCache) matcher(p *sqlast.Pred) (func(rel.Value) bool, error) {
 			return intSetMatcher(set), nil
 		}
 	}
-	set := buildStrExists(t.Rows, ji, vi, p)
+	set := buildStrExists(trows, ji, vi, p)
 	if e.strs == nil {
 		e.strs = make(map[string]map[string]bool)
 	}
@@ -400,6 +407,7 @@ func execJoin(b *Built, s *sqlast.Select, sc *scope, outer [][]rel.Value, j opti
 			cols[i] = c.Name
 		}
 		sc.add(j.Inner.Table, cols)
+		trows := t.Rows()
 		var out [][]rel.Value
 		for _, orow := range outer {
 			v := orow[outerPos]
@@ -410,7 +418,7 @@ func execJoin(b *Built, s *sqlast.Select, sc *scope, outer [][]rel.Value, j opti
 				if st != nil {
 					st.RowsSought++
 				}
-				out = append(out, concatRows(orow, t.Rows[rid]))
+				out = append(out, concatRows(orow, trows[rid]))
 			}
 		}
 		return out, nil

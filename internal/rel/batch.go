@@ -1,5 +1,7 @@
 package rel
 
+import "fmt"
+
 // BatchSize is the number of tuples an executor batch holds. Batches
 // are the unit of work of the pipelined executor: operators pass
 // fixed-size blocks of tuples with a selection vector instead of
@@ -67,13 +69,42 @@ func (b *Batch) AppendRef(row []Value) {
 
 // AppendConcat appends the live combined tuple left++right, copied
 // into the batch arena. len(left)+len(right) must equal the batch
-// width and the batch must not be Full.
+// width and the batch must not be Full; violations panic, because the
+// append would otherwise silently reallocate the arena and invalidate
+// every previously appended row slice.
 func (b *Batch) AppendConcat(left, right []Value) {
+	if len(left)+len(right) != b.width {
+		panic(fmt.Sprintf("rel: concat width %d+%d != batch width %d", len(left), len(right), b.width))
+	}
+	chunk := b.appendArenaRow()
+	copy(chunk, left)
+	copy(chunk[len(left):], right)
+}
+
+// AppendArena registers the next live row backed by a cleared arena
+// chunk of the batch width and returns the chunk for the caller to
+// fill. The batch must not be Full. The executor's columnar sink uses
+// it to project straight from column vectors without staging a row.
+func (b *Batch) AppendArena() []Value {
+	chunk := b.appendArenaRow()
+	for i := range chunk {
+		chunk[i] = Value{}
+	}
+	return chunk
+}
+
+func (b *Batch) appendArenaRow() []Value {
+	if b.Full() {
+		panic("rel: arena append on a full batch")
+	}
+	if b.width == 0 {
+		panic("rel: arena append on a batch created without an arena width")
+	}
 	n := len(b.arena)
-	b.arena = append(b.arena, left...)
-	b.arena = append(b.arena, right...)
+	b.arena = b.arena[:n+b.width]
 	b.Sel = append(b.Sel, int32(len(b.Rows)))
-	b.Rows = append(b.Rows, b.arena[n:len(b.arena):len(b.arena)])
+	b.Rows = append(b.Rows, b.arena[n:n+b.width:n+b.width])
+	return b.arena[n : n+b.width]
 }
 
 // FilterSel compacts the selection vector in place, keeping the rows

@@ -2,6 +2,7 @@ package rel
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 )
 
@@ -47,6 +48,79 @@ func TestBatchFilterSelPreservesOrder(t *testing.T) {
 	b.FilterSel(func(r []Value) bool { return r[0].I > 2 })
 	if got := fmt.Sprint(b.Sel); got != "[4 6 8]" {
 		t.Fatalf("Sel after second filter = %s", got)
+	}
+}
+
+// mustPanic runs f and fails the test unless it panics with a message
+// containing want.
+func mustPanic(t *testing.T, want string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic, want one containing %q", want)
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, want) {
+			t.Fatalf("panic %q, want one containing %q", msg, want)
+		}
+	}()
+	f()
+}
+
+// TestBatchAppendConcatContract pins the arena-safety panics: a
+// width-mismatched concat or an append past BatchSize would silently
+// reallocate the arena and dangle every previously returned row slice,
+// so both must refuse loudly instead.
+func TestBatchAppendConcatContract(t *testing.T) {
+	mustPanic(t, "concat width 1+1 != batch width 3", func() {
+		b := NewBatch(3)
+		b.AppendConcat([]Value{Int(1)}, []Value{Int(2)})
+	})
+	mustPanic(t, "arena append on a full batch", func() {
+		b := NewBatch(1)
+		for i := 0; i <= BatchSize; i++ {
+			b.AppendConcat([]Value{Int(int64(i))}, nil)
+		}
+	})
+	mustPanic(t, "arena append on a batch created without an arena width", func() {
+		b := NewBatch(0)
+		b.AppendConcat(nil, nil)
+	})
+	mustPanic(t, "arena append on a batch created without an arena width", func() {
+		b := NewBatch(0)
+		b.AppendArena()
+	})
+	// A width-matching concat right at the boundary still works: the
+	// contract rejects the row after the last, not the last itself.
+	b := NewBatch(2)
+	for i := 0; i < BatchSize; i++ {
+		b.AppendConcat([]Value{Int(int64(i))}, []Value{Str("x")})
+	}
+	if !b.Full() || b.Len() != BatchSize {
+		t.Fatalf("Full=%v Len=%d after %d appends", b.Full(), b.Len(), BatchSize)
+	}
+}
+
+// TestBatchAppendArena: the returned chunk is cleared, registered as a
+// live row, and stable across subsequent appends.
+func TestBatchAppendArena(t *testing.T) {
+	b := NewBatch(2)
+	first := b.AppendArena()
+	first[0], first[1] = Int(1), Str("a")
+	for i := 0; i < 100; i++ {
+		chunk := b.AppendArena()
+		for j, v := range chunk {
+			if (v != Value{}) {
+				t.Fatalf("append %d slot %d not cleared: %v", i, j, v)
+			}
+		}
+		chunk[0] = Int(int64(i))
+	}
+	if first[0].I != 1 || first[1].S != "a" {
+		t.Fatalf("first arena row moved: %v", first)
+	}
+	if got := b.Rows[b.Sel[0]]; &got[0] != &first[0] {
+		t.Fatal("Sel[0] does not reference the first arena chunk")
 	}
 }
 

@@ -1,0 +1,232 @@
+package rel
+
+import "fmt"
+
+// This file is the columnar storage layer under Table: one typed vector
+// per column (int64, float64, or dictionary-coded strings) plus a null
+// bitmap, with a sparse exception slot for the rare value whose
+// representation does not round-trip through the vector (e.g. a value
+// appended with a type different from the declared column type). The
+// executor's hot loops read the vectors directly; everything else goes
+// through the row-materializing accessors on Table.
+
+// Bitmap is an append-only bitmap with one bit per row (set = NULL).
+type Bitmap struct {
+	words []uint64
+	n     int
+	set   int
+}
+
+// Append adds one bit.
+func (b *Bitmap) Append(v bool) {
+	if b.n%64 == 0 {
+		b.words = append(b.words, 0)
+	}
+	if v {
+		b.words[b.n/64] |= 1 << uint(b.n%64)
+		b.set++
+	}
+	b.n++
+}
+
+// Get reports bit i.
+func (b *Bitmap) Get(i int) bool {
+	return b.words[i/64]&(1<<uint(i%64)) != 0
+}
+
+// Len returns the number of bits appended.
+func (b *Bitmap) Len() int { return b.n }
+
+// SetCount returns the number of set bits.
+func (b *Bitmap) SetCount() int { return b.set }
+
+// Any reports whether any bit is set; filter kernels skip the per-row
+// null check entirely on all-valid columns.
+func (b *Bitmap) Any() bool { return b.set > 0 }
+
+// permute rebuilds the bitmap so that new bit i = old bit perm[i].
+func (b *Bitmap) permute(perm []int) {
+	nb := Bitmap{words: make([]uint64, 0, len(b.words))}
+	for _, p := range perm {
+		nb.Append(b.Get(p))
+	}
+	*b = nb
+}
+
+// Dict is a per-column string dictionary: distinct strings in first-
+// appearance order, so codes are stable as the column grows and
+// decode(encode(s)) == s exactly.
+type Dict struct {
+	strs []string
+	idx  map[string]uint32
+}
+
+// Intern returns the code for s, adding it to the dictionary if new.
+func (d *Dict) Intern(s string) uint32 {
+	if c, ok := d.idx[s]; ok {
+		return c
+	}
+	if d.idx == nil {
+		d.idx = make(map[string]uint32)
+	}
+	c := uint32(len(d.strs))
+	d.strs = append(d.strs, s)
+	d.idx[s] = c
+	return c
+}
+
+// Code looks up the code for s without interning.
+func (d *Dict) Code(s string) (uint32, bool) {
+	c, ok := d.idx[s]
+	return c, ok
+}
+
+// Str decodes a code.
+func (d *Dict) Str(c uint32) string { return d.strs[c] }
+
+// Strs returns the dictionary entries in code order. The slice is the
+// dictionary's backing store — callers must not modify it.
+func (d *Dict) Strs() []string { return d.strs }
+
+// Len returns the number of distinct entries.
+func (d *Dict) Len() int { return len(d.strs) }
+
+// colVec is the typed storage of one column.
+type colVec struct {
+	typ    Type
+	nulls  Bitmap
+	ints   []int64   // TInt
+	floats []float64 // TFloat
+	codes  []uint32  // TString: dictionary codes
+	dict   *Dict
+	// exc holds, by row, the exact appended Value for rows whose value
+	// does not round-trip through the typed vector (wrong-typed values,
+	// NULLs carrying a payload, ...). In practice the shredder coerces
+	// everything to the declared type and this map stays nil; it exists
+	// so columnar storage is bit-faithful to the row store for any
+	// caller.
+	exc map[int]Value
+}
+
+func newColVec(t Type) colVec {
+	cv := colVec{typ: t}
+	if t == TString {
+		cv.dict = &Dict{}
+	}
+	return cv
+}
+
+// append stores v as the next row of the column.
+func (cv *colVec) append(v Value) {
+	row := cv.nulls.Len()
+	cv.nulls.Append(v.Null)
+	switch cv.typ {
+	case TInt:
+		if !v.Null && v.Typ == TInt {
+			cv.ints = append(cv.ints, v.I)
+		} else {
+			cv.ints = append(cv.ints, 0)
+		}
+	case TFloat:
+		if !v.Null && v.Typ == TFloat {
+			cv.floats = append(cv.floats, v.F)
+		} else {
+			cv.floats = append(cv.floats, 0)
+		}
+	case TString:
+		if !v.Null && v.Typ == TString {
+			cv.codes = append(cv.codes, cv.dict.Intern(v.S))
+		} else {
+			cv.codes = append(cv.codes, 0)
+		}
+	}
+	if !v.BitEqual(cv.materialize(row)) {
+		if cv.exc == nil {
+			cv.exc = make(map[int]Value)
+		}
+		cv.exc[row] = v
+	}
+}
+
+// materialize rebuilds the canonical Value of one row from the vectors,
+// ignoring the exception slot.
+func (cv *colVec) materialize(row int) Value {
+	if cv.nulls.Get(row) {
+		return NullOf(cv.typ)
+	}
+	switch cv.typ {
+	case TInt:
+		return Int(cv.ints[row])
+	case TFloat:
+		return Float(cv.floats[row])
+	default:
+		return Str(cv.dict.Str(cv.codes[row]))
+	}
+}
+
+// value returns the exact Value appended at row.
+func (cv *colVec) value(row int) Value {
+	if cv.exc != nil {
+		if v, ok := cv.exc[row]; ok {
+			return v
+		}
+	}
+	return cv.materialize(row)
+}
+
+// clean reports whether every row round-trips through the typed vector;
+// kernels require it before reading the vectors directly.
+func (cv *colVec) clean() bool { return len(cv.exc) == 0 }
+
+// permute reorders the column so that new row i = old row perm[i].
+func (cv *colVec) permute(perm []int) {
+	switch cv.typ {
+	case TInt:
+		ni := make([]int64, len(perm))
+		for i, p := range perm {
+			ni[i] = cv.ints[p]
+		}
+		cv.ints = ni
+	case TFloat:
+		nf := make([]float64, len(perm))
+		for i, p := range perm {
+			nf[i] = cv.floats[p]
+		}
+		cv.floats = nf
+	case TString:
+		nc := make([]uint32, len(perm))
+		for i, p := range perm {
+			nc[i] = cv.codes[p]
+		}
+		cv.codes = nc
+	}
+	cv.nulls.permute(perm)
+	if cv.exc != nil {
+		inv := make(map[int]int, len(perm)) // old row -> new row
+		for i, p := range perm {
+			inv[p] = i
+		}
+		ne := make(map[int]Value, len(cv.exc))
+		for old, v := range cv.exc {
+			ne[inv[old]] = v
+		}
+		cv.exc = ne
+	}
+}
+
+// sanity check used by tests.
+func (cv *colVec) lenCheck(n int) error {
+	var dn int
+	switch cv.typ {
+	case TInt:
+		dn = len(cv.ints)
+	case TFloat:
+		dn = len(cv.floats)
+	default:
+		dn = len(cv.codes)
+	}
+	if dn != n || cv.nulls.Len() != n {
+		return fmt.Errorf("rel: column vector length %d / bitmap %d, want %d", dn, cv.nulls.Len(), n)
+	}
+	return nil
+}

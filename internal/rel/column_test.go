@@ -1,0 +1,253 @@
+package rel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestBitmapRoundTrip: a bitmap reproduces exactly the bit sequence
+// appended to it, across word boundaries, and its set count matches.
+func TestBitmapRoundTrip(t *testing.T) {
+	prop := func(bits []bool) bool {
+		var b Bitmap
+		want := 0
+		for _, v := range bits {
+			b.Append(v)
+			if v {
+				want++
+			}
+		}
+		if b.Len() != len(bits) || b.SetCount() != want || b.Any() != (want > 0) {
+			return false
+		}
+		for i, v := range bits {
+			if b.Get(i) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+	// Deterministic word-boundary case: 130 bits straddling three words.
+	var b Bitmap
+	for i := 0; i < 130; i++ {
+		b.Append(i%3 == 0)
+	}
+	for i := 0; i < 130; i++ {
+		if b.Get(i) != (i%3 == 0) {
+			t.Fatalf("bit %d = %v", i, b.Get(i))
+		}
+	}
+}
+
+// TestDictIdentity: decode(encode(s)) == s for any string stream, codes
+// are stable as the dictionary grows, and Code never interns.
+func TestDictIdentity(t *testing.T) {
+	prop := func(strs []string) bool {
+		var d Dict
+		codes := make([]uint32, len(strs))
+		for i, s := range strs {
+			codes[i] = d.Intern(s)
+		}
+		for i, s := range strs {
+			if d.Str(codes[i]) != s {
+				return false
+			}
+			if c, ok := d.Code(s); !ok || c != codes[i] {
+				return false
+			}
+		}
+		if _, ok := d.Code("\x00never-interned\x00"); ok {
+			return false
+		}
+		return d.Len() <= len(strs)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomValue draws a value for column type ct, sometimes of the wrong
+// type or with special float payloads, so the exception slot and the
+// bit-faithfulness contract are exercised together.
+func randomValue(r *rand.Rand, ct Type) Value {
+	switch r.Intn(10) {
+	case 0:
+		return NullOf(ct)
+	case 1:
+		// Wrong-typed value: lands in the exception slot.
+		switch ct {
+		case TInt:
+			return Str("7")
+		case TFloat:
+			return Int(3)
+		default:
+			return Float(1.5)
+		}
+	}
+	switch ct {
+	case TInt:
+		return Int(r.Int63n(100) - 50)
+	case TFloat:
+		switch r.Intn(8) {
+		case 0:
+			return Float(math.NaN())
+		case 1:
+			return Float(math.Inf(1))
+		case 2:
+			return Float(math.Copysign(0, -1))
+		default:
+			return Float(float64(r.Intn(20)) / 4)
+		}
+	default:
+		return Str(fmt.Sprintf("s-%d", r.Intn(12)))
+	}
+}
+
+// TestTableBitFaithful: whatever mix of values a table ingests —
+// wrong-typed cells, NaN, -0.0, NULLs — ValueAt, ReadRowInto and Rows
+// return values bit-identical to what AppendRow stored, and the typed
+// accessors refuse (ok=false) exactly the columns that hold exceptions.
+func TestTableBitFaithful(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	cols := []Column{
+		{Name: "ID", Typ: TInt},
+		{Name: "f", Typ: TFloat, Nullable: true},
+		{Name: "s", Typ: TString, Nullable: true},
+	}
+	tb := NewTable("bitfaithful", cols)
+	var want [][]Value
+	for i := 0; i < 500; i++ {
+		row := []Value{Int(int64(i)), randomValue(r, TFloat), randomValue(r, TString)}
+		want = append(want, append([]Value(nil), row...))
+		tb.AppendRow(row)
+		// The appended slice may be reused by the caller.
+		row[0] = Str("clobbered")
+	}
+	rows := tb.Rows()
+	scratch := make([]Value, len(cols))
+	for i, wr := range want {
+		tb.ReadRowInto(scratch, i)
+		for j := range wr {
+			if !tb.ValueAt(i, j).BitEqual(wr[j]) {
+				t.Fatalf("ValueAt(%d,%d) = %v, want %v", i, j, tb.ValueAt(i, j), wr[j])
+			}
+			if !rows[i][j].BitEqual(wr[j]) {
+				t.Fatalf("Rows()[%d][%d] = %v, want %v", i, j, rows[i][j], wr[j])
+			}
+			if !scratch[j].BitEqual(wr[j]) {
+				t.Fatalf("ReadRowInto(%d)[%d] = %v, want %v", i, j, scratch[j], wr[j])
+			}
+			if tb.IsNullAt(i, j) != wr[j].Null {
+				t.Fatalf("IsNullAt(%d,%d) = %v, want %v", i, j, tb.IsNullAt(i, j), wr[j].Null)
+			}
+		}
+	}
+	// Columns 1 and 2 received wrong-typed values, so the typed
+	// accessors must refuse them; column 0 is clean.
+	if _, _, ok := tb.IntCol(0); !ok {
+		t.Error("IntCol(0) refused a clean column")
+	}
+	if _, _, ok := tb.FloatCol(1); ok {
+		t.Error("FloatCol(1) served a column with exceptions")
+	}
+	if _, _, _, ok := tb.StrCol(2); ok {
+		t.Error("StrCol(2) served a column with exceptions")
+	}
+	if _, _, ok := tb.IntCol(1); ok {
+		t.Error("IntCol(1) served a TFloat column")
+	}
+	for ci := range cols {
+		if err := tb.cols[ci].lenCheck(tb.RowCount()); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestTableBytesAccounting: the columnar table accounts exactly what
+// the row store accounted — sum of Value.Width() over all cells plus 8
+// bytes per row — so mapping-enumeration size estimates are unchanged.
+func TestTableBytesAccounting(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	cols := []Column{
+		{Name: "ID", Typ: TInt},
+		{Name: "f", Typ: TFloat, Nullable: true},
+		{Name: "s", Typ: TString, Nullable: true},
+	}
+	tb := NewTable("acct", cols)
+	var want int64
+	for i := 0; i < 300; i++ {
+		row := []Value{Int(int64(i)), randomValue(r, TFloat), randomValue(r, TString)}
+		for _, v := range row {
+			want += int64(v.Width())
+		}
+		want += 8
+		tb.AppendRow(row)
+		if tb.Bytes() != want {
+			t.Fatalf("after %d rows: Bytes() = %d, want %d", i+1, tb.Bytes(), want)
+		}
+	}
+	if tb.Pages() != (want+PageSize-1)/PageSize {
+		t.Fatalf("Pages() = %d, want %d", tb.Pages(), (want+PageSize-1)/PageSize)
+	}
+}
+
+// TestSortByIDPermutes: sorting by ID moves whole rows — exception
+// cells, NULL bits and dictionary codes travel with their row — and
+// bumps the generation.
+func TestSortByIDPermutes(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	cols := []Column{
+		{Name: "ID", Typ: TInt},
+		{Name: "f", Typ: TFloat, Nullable: true},
+		{Name: "s", Typ: TString, Nullable: true},
+	}
+	tb := NewTable("sorted", cols)
+	byID := make(map[int64][]Value)
+	perm := rand.New(rand.NewSource(7)).Perm(200)
+	for _, id := range perm {
+		row := []Value{Int(int64(id)), randomValue(r, TFloat), randomValue(r, TString)}
+		byID[int64(id)] = append([]Value(nil), row...)
+		tb.AppendRow(row)
+	}
+	genBefore := tb.Generation()
+	tb.SortByID()
+	if tb.Generation() == genBefore {
+		t.Fatal("SortByID did not bump the generation")
+	}
+	rows := tb.Rows()
+	for i, row := range rows {
+		if row[0].I != int64(i) {
+			t.Fatalf("row %d has ID %d after sort", i, row[0].I)
+		}
+		for j, v := range byID[row[0].I] {
+			if !row[j].BitEqual(v) {
+				t.Fatalf("row ID %d col %d = %v, want %v", row[0].I, j, row[j], v)
+			}
+		}
+	}
+}
+
+// TestRowsCachePerGeneration: Rows() is cached until the table mutates,
+// and a superseded cache still describes the old generation unchanged.
+func TestRowsCachePerGeneration(t *testing.T) {
+	tb := NewTable("gen", []Column{{Name: "ID", Typ: TInt}})
+	tb.AppendRow([]Value{Int(1)})
+	r1 := tb.Rows()
+	if r2 := tb.Rows(); &r1[0] != &r2[0] {
+		t.Fatal("Rows() rebuilt the cache without a mutation")
+	}
+	tb.AppendRow([]Value{Int(2)})
+	r3 := tb.Rows()
+	if len(r1) != 1 || r1[0][0].I != 1 {
+		t.Fatalf("old generation's rows mutated: %v", r1)
+	}
+	if len(r3) != 2 {
+		t.Fatalf("new generation has %d rows, want 2", len(r3))
+	}
+}

@@ -3,6 +3,7 @@ package rel
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Well-known column names: every shredded relation carries an ID
@@ -30,7 +31,13 @@ type Column struct {
 	Occurrence int
 }
 
-// Table is a heap table of rows.
+// Table is a columnar table: one typed vector per column (int64,
+// float64, or dictionary-coded strings) plus a null bitmap. The
+// executor's kernels read the vectors through the typed accessors
+// (IntCol/FloatCol/StrCol); row-at-a-time consumers — the reference
+// executor, the shredder's round-trip checks, tests — use the
+// materializing accessors (Rows, ValueAt, ReadRowInto), which rebuild
+// bit-identical rows.
 type Table struct {
 	// Name is the relation name.
 	Name string
@@ -40,22 +47,34 @@ type Table struct {
 	// Parent is the name of the parent relation PID references; empty
 	// for the root relation.
 	Parent string
-	// Rows is the row store.
-	Rows [][]Value
 
+	cols   []colVec
+	nrows  int
 	colIdx map[string]int
 	bytes  int64
 	gen    int64
+
+	// rowMu guards the lazily built row-materialized view. Concurrent
+	// executions share one table, so the first Rows() call per
+	// generation builds the cache under the lock and later calls reuse
+	// it. A superseded cache is abandoned, never mutated, so slices
+	// handed out before a mutation stay valid (they just describe the
+	// old generation, which Generation() guards catch).
+	rowMu       sync.Mutex
+	rowCache    [][]Value
+	rowCacheGen int64
 }
 
 // NewTable creates an empty table.
 func NewTable(name string, cols []Column) *Table {
 	t := &Table{Name: name, Columns: cols, colIdx: make(map[string]int, len(cols))}
+	t.cols = make([]colVec, len(cols))
 	for i, c := range cols {
 		if _, dup := t.colIdx[c.Name]; dup {
 			panic(fmt.Sprintf("rel: duplicate column %s.%s", name, c.Name))
 		}
 		t.colIdx[c.Name] = i
+		t.cols[i] = newColVec(c.Typ)
 	}
 	return t
 }
@@ -80,15 +99,18 @@ func (t *Table) Column(name string) *Column {
 // HasColumn reports whether the table has the named column.
 func (t *Table) HasColumn(name string) bool { return t.ColIndex(name) >= 0 }
 
-// AppendRow adds a row; it must have exactly one value per column.
+// AppendRow adds a row; it must have exactly one value per column. The
+// values are decomposed into the column vectors — the slice is not
+// retained, so callers may reuse it.
 func (t *Table) AppendRow(row []Value) {
 	if len(row) != len(t.Columns) {
 		panic(fmt.Sprintf("rel: row width %d != %d columns in %s", len(row), len(t.Columns), t.Name))
 	}
-	t.Rows = append(t.Rows, row)
-	for _, v := range row {
+	for i, v := range row {
+		t.cols[i].append(v)
 		t.bytes += int64(v.Width())
 	}
+	t.nrows++
 	t.bytes += 8 // per-row overhead
 	t.gen++
 }
@@ -101,7 +123,7 @@ func (t *Table) AppendRow(row []Value) {
 func (t *Table) Generation() int64 { return t.gen }
 
 // RowCount returns the number of rows.
-func (t *Table) RowCount() int { return len(t.Rows) }
+func (t *Table) RowCount() int { return t.nrows }
 
 // Bytes returns the accounted data size in bytes.
 func (t *Table) Bytes() int64 { return t.bytes }
@@ -115,6 +137,94 @@ func (t *Table) Pages() int64 {
 	return p
 }
 
+// ValueAt returns the value at (row, col), bit-identical to what
+// AppendRow stored.
+func (t *Table) ValueAt(row, col int) Value { return t.cols[col].value(row) }
+
+// IsNullAt reports whether the value at (row, col) is NULL.
+func (t *Table) IsNullAt(row, col int) bool {
+	cv := &t.cols[col]
+	if cv.exc != nil {
+		if v, ok := cv.exc[row]; ok {
+			return v.Null
+		}
+	}
+	return cv.nulls.Get(row)
+}
+
+// ReadRowInto materializes row rid into dst, which must have exactly
+// one slot per column.
+func (t *Table) ReadRowInto(dst []Value, rid int) {
+	if len(dst) != len(t.Columns) {
+		panic(fmt.Sprintf("rel: dst width %d != %d columns in %s", len(dst), len(t.Columns), t.Name))
+	}
+	for i := range t.cols {
+		dst[i] = t.cols[i].value(rid)
+	}
+}
+
+// IntCol returns the int64 vector and null bitmap of column ci, with
+// ok=true only when the column is TInt and every stored value
+// round-trips through the vector (no type-mismatched exceptions) — the
+// precondition for the executor's typed kernels. The vector includes
+// rows whose bit is set in the bitmap (their payload slot is 0).
+func (t *Table) IntCol(ci int) (vals []int64, nulls *Bitmap, ok bool) {
+	cv := &t.cols[ci]
+	if cv.typ != TInt || !cv.clean() {
+		return nil, nil, false
+	}
+	return cv.ints, &cv.nulls, true
+}
+
+// FloatCol is IntCol for TFloat columns.
+func (t *Table) FloatCol(ci int) (vals []float64, nulls *Bitmap, ok bool) {
+	cv := &t.cols[ci]
+	if cv.typ != TFloat || !cv.clean() {
+		return nil, nil, false
+	}
+	return cv.floats, &cv.nulls, true
+}
+
+// StrCol returns the dictionary codes, dictionary, and null bitmap of
+// a TString column under the same cleanliness precondition as IntCol.
+func (t *Table) StrCol(ci int) (codes []uint32, dict *Dict, nulls *Bitmap, ok bool) {
+	cv := &t.cols[ci]
+	if cv.typ != TString || !cv.clean() {
+		return nil, nil, nil, false
+	}
+	return cv.codes, cv.dict, &cv.nulls, true
+}
+
+// Rows materializes the table as row slices, cached per generation.
+// This is the compatibility accessor for row-at-a-time consumers (the
+// reference executor, hash-join build sides, views); values are
+// bit-identical to what AppendRow stored. Callers must not modify the
+// returned rows.
+func (t *Table) Rows() [][]Value {
+	t.rowMu.Lock()
+	defer t.rowMu.Unlock()
+	if t.rowCache != nil && t.rowCacheGen == t.gen {
+		return t.rowCache
+	}
+	w := len(t.Columns)
+	rows := make([][]Value, t.nrows)
+	if t.nrows > 0 {
+		flat := make([]Value, t.nrows*w)
+		for ci := range t.cols {
+			cv := &t.cols[ci]
+			for r := 0; r < t.nrows; r++ {
+				flat[r*w+ci] = cv.value(r)
+			}
+		}
+		for r := range rows {
+			rows[r] = flat[r*w : (r+1)*w : (r+1)*w]
+		}
+	}
+	t.rowCache = rows
+	t.rowCacheGen = t.gen
+	return rows
+}
+
 // SortByID sorts rows by the ID column; shredding emits rows in
 // document order so this is normally already true.
 func (t *Table) SortByID() {
@@ -122,9 +232,17 @@ func (t *Table) SortByID() {
 	if id < 0 {
 		return
 	}
-	sort.SliceStable(t.Rows, func(i, j int) bool {
-		return t.Rows[i][id].Compare(t.Rows[j][id]) < 0
+	perm := make([]int, t.nrows)
+	for i := range perm {
+		perm[i] = i
+	}
+	idc := &t.cols[id]
+	sort.SliceStable(perm, func(i, j int) bool {
+		return idc.value(perm[i]).Compare(idc.value(perm[j])) < 0
 	})
+	for ci := range t.cols {
+		t.cols[ci].permute(perm)
+	}
 	t.gen++
 }
 

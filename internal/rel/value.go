@@ -7,6 +7,7 @@ package rel
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -63,9 +64,11 @@ func NullOf(t Type) Value { return Value{Typ: t, Null: true} }
 // IsNull reports whether the value is NULL.
 func (v Value) IsNull() bool { return v.Null }
 
-// Compare orders two values; NULL sorts before every non-NULL. Values
-// of different numeric types compare numerically; comparing a string
-// with a number compares the string form.
+// Compare orders two values; NULL sorts before every non-NULL, and NaN
+// sorts after NULL but before every other float (see cmpFloat), so the
+// order is total. Values of different numeric types compare
+// numerically; comparing a string with a number compares the string
+// form.
 func (v Value) Compare(o Value) int {
 	switch {
 	case v.Null && o.Null:
@@ -92,8 +95,21 @@ func (v Value) Compare(o Value) int {
 	return strings.Compare(v.String(), o.String())
 }
 
-// Equal reports value equality (NULL equals NULL for key purposes).
+// Equal reports value equality (NULL equals NULL for key purposes, and
+// NaN equals NaN — Compare is a total order, so Equal is a proper
+// equivalence relation; before the cmpFloat fix NaN "equalled" every
+// number).
 func (v Value) Equal(o Value) bool { return v.Compare(o) == 0 }
+
+// BitEqual reports strict representational equality: same nullness,
+// type, and payload, with float payloads compared bit-for-bit so NaN
+// equals NaN (Go's == on a struct with a NaN float field is always
+// false). The differential tests use it to assert executor outputs are
+// bit-identical.
+func (v Value) BitEqual(o Value) bool {
+	return v.Null == o.Null && v.Typ == o.Typ && v.I == o.I && v.S == o.S &&
+		math.Float64bits(v.F) == math.Float64bits(o.F)
+}
 
 // AsFloat converts numeric values to float64.
 func (v Value) AsFloat() float64 {
@@ -182,6 +198,16 @@ func (v Value) Coerce(t Type) Value {
 	return NullOf(t)
 }
 
+// CompareInts and CompareFloats expose the scalar orders Compare is
+// built on, so the engine's columnar filter kernels stay bit-consistent
+// with Value comparisons (including the NaN total order) without
+// boxing a Value per cell.
+func CompareInts(a, b int64) int { return cmpInt(a, b) }
+
+// CompareFloats orders float64s with the same total order cmpFloat
+// gives Compare: NaN before every other float, NaN == NaN, -0.0 == 0.0.
+func CompareFloats(a, b float64) int { return cmpFloat(a, b) }
+
 func cmpInt(a, b int64) int {
 	switch {
 	case a < b:
@@ -192,8 +218,20 @@ func cmpInt(a, b int64) int {
 	return 0
 }
 
+// cmpFloat is a total order over float64: NaN sorts before every other
+// float (after NULL, which Compare handles first) and equals itself.
+// The naive <,> comparison returned 0 for any comparison involving NaN,
+// which made NaN "equal" every number and handed sort.SliceStable an
+// inconsistent less-func. -0.0 and +0.0 compare equal, like SQL.
 func cmpFloat(a, b float64) int {
+	an, bn := math.IsNaN(a), math.IsNaN(b)
 	switch {
+	case an && bn:
+		return 0
+	case an:
+		return -1
+	case bn:
+		return 1
 	case a < b:
 		return -1
 	case a > b:

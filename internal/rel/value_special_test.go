@@ -1,0 +1,106 @@
+package rel
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFloatTotalOrder pins the total order over special floats: NULL
+// sorts before everything, NaN sorts before every other float and
+// equals itself, and -0.0 equals +0.0. Both executors and ORDER BY
+// depend on this order being total — a comparator that returns "never
+// equal, never ordered" for NaN would make sort results
+// schedule-dependent.
+func TestFloatTotalOrder(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	negZero := math.Copysign(0, -1)
+	cases := []struct {
+		name string
+		a, b Value
+		want int
+	}{
+		{"nan-eq-nan", Float(nan), Float(nan), 0},
+		{"nan-lt-neginf", Float(nan), Float(math.Inf(-1)), -1},
+		{"nan-lt-zero", Float(nan), Float(0), -1},
+		{"nan-lt-inf", Float(nan), Float(inf), -1},
+		{"inf-gt-nan", Float(inf), Float(nan), 1},
+		{"inf-gt-max", Float(inf), Float(math.MaxFloat64), 1},
+		{"neginf-lt-min", Float(math.Inf(-1)), Float(-math.MaxFloat64), -1},
+		{"neginf-eq-neginf", Float(math.Inf(-1)), Float(math.Inf(-1)), 0},
+		{"inf-eq-inf", Float(inf), Float(inf), 0},
+		{"negzero-eq-zero", Float(negZero), Float(0), 0},
+		{"zero-eq-negzero", Float(0), Float(negZero), 0},
+		{"null-lt-nan", NullOf(TFloat), Float(nan), -1},
+		{"nan-gt-null", Float(nan), NullOf(TFloat), 1},
+		{"int-vs-nan", Int(0), Float(nan), 1},
+		{"nan-vs-int", Float(nan), Int(0), -1},
+		{"int-vs-inf", Int(0), Float(inf), -1},
+		{"negzero-vs-int", Float(negZero), Int(0), 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("%s: Compare(%v,%v) = %d, want %d", c.name, c.a, c.b, got, c.want)
+		}
+		if got, want := c.a.Equal(c.b), c.want == 0; got != want {
+			t.Errorf("%s: Equal(%v,%v) = %v, want %v", c.name, c.a, c.b, got, want)
+		}
+		// Antisymmetry must hold for specials too.
+		if got := c.b.Compare(c.a); got != -c.want {
+			t.Errorf("%s: Compare(%v,%v) = %d, want %d", c.name, c.b, c.a, got, -c.want)
+		}
+	}
+}
+
+// TestBitEqual distinguishes what Equal deliberately conflates: -0.0 is
+// not bit-equal to +0.0, while NaN is bit-equal to the same NaN
+// payload. Equivalence tests compare executor outputs with BitEqual, so
+// a batch path that flips a zero sign or loses a NaN would be caught.
+func TestBitEqual(t *testing.T) {
+	nan := math.NaN()
+	negZero := math.Copysign(0, -1)
+	cases := []struct {
+		name string
+		a, b Value
+		want bool
+	}{
+		{"nan-nan", Float(nan), Float(nan), true},
+		{"negzero-zero", Float(negZero), Float(0), false},
+		{"negzero-negzero", Float(negZero), Float(negZero), true},
+		{"inf-inf", Float(math.Inf(1)), Float(math.Inf(1)), true},
+		{"inf-neginf", Float(math.Inf(1)), Float(math.Inf(-1)), false},
+		{"null-null", NullOf(TFloat), NullOf(TFloat), true},
+		{"null-nan", NullOf(TFloat), Float(nan), false},
+		{"int-float", Int(2), Float(2), false},
+		{"str-str", Str("x"), Str("x"), true},
+	}
+	for _, c := range cases {
+		if got := c.a.BitEqual(c.b); got != c.want {
+			t.Errorf("%s: BitEqual(%v,%v) = %v, want %v", c.name, c.a, c.b, got, c.want)
+		}
+		if got := c.b.BitEqual(c.a); got != c.want {
+			t.Errorf("%s: BitEqual(%v,%v) = %v, want %v (symmetry)", c.name, c.b, c.a, got, c.want)
+		}
+	}
+}
+
+// TestCoerceLexicalForms pins the lexical paths documents rely on:
+// whitespace-padded numerics parse, "NaN" parses to the float NaN, and
+// garbage coerces to NULL.
+func TestCoerceLexicalForms(t *testing.T) {
+	if v := Str(" 42 ").Coerce(TInt); v.Null || v.I != 42 {
+		t.Errorf("Coerce(\" 42 \", TInt) = %v", v)
+	}
+	if v := Str("NaN").Coerce(TFloat); v.Null || !math.IsNaN(v.F) {
+		t.Errorf("Coerce(\"NaN\", TFloat) = %v", v)
+	}
+	if v := Str(" 2.5 ").Coerce(TFloat); v.Null || v.F != 2.5 {
+		t.Errorf("Coerce(\" 2.5 \", TFloat) = %v", v)
+	}
+	if v := Str("-Inf").Coerce(TFloat); v.Null || !math.IsInf(v.F, -1) {
+		t.Errorf("Coerce(\"-Inf\", TFloat) = %v", v)
+	}
+	if v := Str("not-a-number").Coerce(TFloat); !v.Null {
+		t.Errorf("Coerce(\"not-a-number\", TFloat) = %v, want NULL", v)
+	}
+}

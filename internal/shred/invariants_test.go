@@ -115,7 +115,7 @@ func checkRowConservation(t *testing.T, m *Mapping, db *rel.Database, col interf
 						if ci < 0 {
 							continue
 						}
-						for _, row := range db.Table(pr.Name).Rows {
+						for _, row := range db.Table(pr.Name).Rows() {
 							if !row[ci].Null {
 								inlined++
 							}

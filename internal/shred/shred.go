@@ -34,9 +34,10 @@ func Shred(m *Mapping, docs ...*xmlgen.Doc) (*rel.Database, error) {
 }
 
 type shredder struct {
-	m      *Mapping
-	db     *rel.Database
-	nextID int64
+	m       *Mapping
+	db      *rel.Database
+	nextID  int64
+	scratch []rel.Value // reused across rows; AppendRow copies, never retains
 }
 
 func (s *shredder) newID() int64 {
@@ -65,7 +66,7 @@ func (s *shredder) instance(e *xmlgen.Elem, parentID int64) error {
 	if err != nil {
 		return err
 	}
-	row, err := buildRow(r, id, parentID, values, node)
+	row, err := s.buildRow(r, id, parentID, values, node)
 	if err != nil {
 		return err
 	}
@@ -116,7 +117,7 @@ func (s *shredder) overflow(leaf *schema.Node, e *xmlgen.Elem, parentID int64) e
 	}
 	r := rels[0]
 	oid := s.newID()
-	row, err := buildRow(r, oid, parentID, map[int][]rel.Value{leaf.ID: {e.Value}}, leaf)
+	row, err := s.buildRow(r, oid, parentID, map[int][]rel.Value{leaf.ID: {e.Value}}, leaf)
 	if err != nil {
 		return err
 	}
@@ -186,9 +187,15 @@ func branchPresent(branch *schema.Node, presence map[int]bool) bool {
 	return false
 }
 
-// buildRow materializes a relation row from collected leaf values.
-func buildRow(r *Relation, id, parentID int64, values map[int][]rel.Value, node *schema.Node) ([]rel.Value, error) {
-	row := make([]rel.Value, len(r.Columns))
+// buildRow materializes a relation row from collected leaf values into
+// the shredder's scratch buffer. Every column index is assigned below,
+// and AppendRow copies the slice into column vectors, so one buffer per
+// shredder suffices for the whole load.
+func (s *shredder) buildRow(r *Relation, id, parentID int64, values map[int][]rel.Value, node *schema.Node) ([]rel.Value, error) {
+	if cap(s.scratch) < len(r.Columns) {
+		s.scratch = make([]rel.Value, len(r.Columns))
+	}
+	row := s.scratch[:len(r.Columns)]
 	for i, c := range r.Columns {
 		switch {
 		case c.Name == rel.IDColumn:

@@ -212,19 +212,19 @@ func TestShredMovieHybrid(t *testing.T) {
 	movieIDs := make(map[int64]bool)
 	mt := db.Table("movie")
 	idIdx := mt.ColIndex(rel.IDColumn)
-	for _, row := range mt.Rows {
+	for _, row := range mt.Rows() {
 		movieIDs[row[idIdx].I] = true
 	}
 	at := db.Table("aka_title")
 	pidIdx := at.ColIndex(rel.PIDColumn)
-	for _, row := range at.Rows {
+	for _, row := range at.Rows() {
 		if !movieIDs[row[pidIdx].I] {
 			t.Fatalf("dangling aka_title PID %d", row[pidIdx].I)
 		}
 	}
 	// Root relation has exactly one row with NULL PID.
 	rt := db.Table("movies")
-	if rt.RowCount() != 1 || !rt.Rows[0][rt.ColIndex(rel.PIDColumn)].Null {
+	if rt.RowCount() != 1 || !rt.Rows()[0][rt.ColIndex(rel.PIDColumn)].Null {
 		t.Error("root relation should have one row with NULL PID")
 	}
 }
@@ -253,7 +253,7 @@ func TestShredPartitionsRouteRows(t *testing.T) {
 	// box_office column has no NULLs in its partition.
 	bt := db.Table("movie_box_office")
 	bi := bt.ColIndex("box_office")
-	for _, row := range bt.Rows {
+	for _, row := range bt.Rows() {
 		if row[bi].Null {
 			t.Fatal("NULL box_office inside box_office partition")
 		}
@@ -320,7 +320,7 @@ func TestShredRepetitionSplitOverflow(t *testing.T) {
 	inline := 0
 	for _, col := range []string{"author_1", "author_2"} {
 		ci := in.ColIndex(col)
-		for _, row := range in.Rows {
+		for _, row := range in.Rows() {
 			if !row[ci].Null {
 				inline++
 			}

@@ -9,6 +9,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/rel"
@@ -165,7 +166,7 @@ func (c *ColumnStats) Scale(f float64) *ColumnStats {
 }
 
 func clamp01(f float64) float64 {
-	if f < 0 {
+	if !(f >= 0) { // catches NaN along with negatives
 		return 0
 	}
 	if f > 1 {
@@ -179,6 +180,7 @@ func clamp01(f float64) float64 {
 type ColumnCollector struct {
 	typ      rel.Type
 	count    int64
+	finite   int64 // values eligible for min/max and the sample
 	widthSum int64
 	min, max rel.Value
 	counts   map[string]int64
@@ -198,16 +200,14 @@ func NewColumnCollector(t rel.Type) *ColumnCollector {
 	}
 }
 
-// Add accumulates one non-NULL value.
+// Add accumulates one non-NULL value. Non-finite floats (NaN, ±Inf)
+// are counted and tracked for distinct/MCV purposes but excluded from
+// min/max and the histogram sample: range selectivity over [NaN, +Inf]
+// bounds would swallow every predicate, and the estimator's arithmetic
+// must stay finite.
 func (cc *ColumnCollector) Add(v rel.Value) {
 	if v.Null {
 		return
-	}
-	if cc.count == 0 || v.Compare(cc.min) < 0 {
-		cc.min = v
-	}
-	if cc.count == 0 || v.Compare(cc.max) > 0 {
-		cc.max = v
 	}
 	cc.count++
 	cc.widthSum += int64(v.Width())
@@ -220,6 +220,16 @@ func (cc *ColumnCollector) Add(v rel.Value) {
 	} else {
 		cc.overflow = true
 	}
+	if v.Typ == rel.TFloat && (math.IsNaN(v.F) || math.IsInf(v.F, 0)) {
+		return
+	}
+	if cc.finite == 0 || v.Compare(cc.min) < 0 {
+		cc.min = v
+	}
+	if cc.finite == 0 || v.Compare(cc.max) > 0 {
+		cc.max = v
+	}
+	cc.finite++
 	if len(cc.sample) < sampleCap {
 		cc.sample = append(cc.sample, v)
 		return
@@ -228,7 +238,7 @@ func (cc *ColumnCollector) Add(v rel.Value) {
 	cc.rng ^= cc.rng << 13
 	cc.rng ^= cc.rng >> 7
 	cc.rng ^= cc.rng << 17
-	if idx := cc.rng % uint64(cc.count); idx < uint64(sampleCap) {
+	if idx := cc.rng % uint64(cc.finite); idx < uint64(sampleCap) {
 		cc.sample[idx] = v
 	}
 }
@@ -244,7 +254,8 @@ func (cc *ColumnCollector) Stats() *ColumnStats {
 	}
 	if cc.count > 0 {
 		cs.AvgWidth = float64(cc.widthSum) / float64(cc.count)
-	} else {
+	}
+	if cc.finite == 0 {
 		cs.Min, cs.Max = rel.NullOf(cc.typ), rel.NullOf(cc.typ)
 	}
 	cs.Hist = NewHistogram(cc.sample)
@@ -462,12 +473,13 @@ func FromDatabase(db *rel.Database) MapProvider {
 		for ci, col := range t.Columns {
 			cc := NewColumnCollector(col.Typ)
 			nulls := int64(0)
-			for _, row := range t.Rows {
-				if row[ci].Null {
+			for r := 0; r < t.RowCount(); r++ {
+				v := t.ValueAt(r, ci)
+				if v.Null {
 					nulls++
 					continue
 				}
-				cc.Add(row[ci])
+				cc.Add(v)
 			}
 			cs := cc.Stats()
 			if t.RowCount() > 0 {

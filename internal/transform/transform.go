@@ -410,14 +410,24 @@ func EnumerateNonSubsumed(tr *schema.Tree, col *stats.Collection) []Transformati
 			out = append(out, t)
 		}
 	}
-	// Type splits: each anchor of a shared annotation.
+	// Type splits: each anchor of a shared annotation. Annotations are
+	// visited in sorted order, not map order: enumeration feeds
+	// index-based random choice (the advisor's candidate picks and the
+	// differential harness's transform sequences), so candidate ORDER is
+	// part of the replay contract, not just the candidate set.
 	byAnn := make(map[string][]*schema.Node)
 	tr.Walk(func(n *schema.Node) {
 		if n.Kind == schema.KindElement && n.Annotation != "" {
 			byAnn[n.Annotation] = append(byAnn[n.Annotation], n)
 		}
 	})
-	for _, group := range byAnn {
+	anns := make([]string, 0, len(byAnn))
+	for a := range byAnn {
+		anns = append(anns, a)
+	}
+	sort.Strings(anns)
+	for _, a := range anns {
+		group := byAnn[a]
 		if len(group) < 2 {
 			continue
 		}
@@ -430,7 +440,14 @@ func EnumerateNonSubsumed(tr *schema.Tree, col *stats.Collection) []Transformati
 	// siblings of one parent would make their rows indistinguishable
 	// after the PID join (the paper's merges — author, title — are
 	// always across distinct parents).
-	for _, group := range tr.SharedTypeGroups() {
+	typeGroups := tr.SharedTypeGroups()
+	typeNames := make([]string, 0, len(typeGroups))
+	for tn := range typeGroups {
+		typeNames = append(typeNames, tn)
+	}
+	sort.Strings(typeNames)
+	for _, tn := range typeNames {
+		group := typeGroups[tn]
 		mergeable := true
 		sameAnn := true
 		parents := make(map[*schema.Node]bool)
@@ -456,7 +473,8 @@ func EnumerateNonSubsumed(tr *schema.Tree, col *stats.Collection) []Transformati
 		}
 	}
 	// Distributions on single-anchor annotated nodes.
-	for _, group := range byAnn {
+	for _, a := range anns {
+		group := byAnn[a]
 		if len(group) != 1 {
 			continue
 		}

@@ -22,7 +22,9 @@ func CollectStats(t *schema.Tree, docs ...*Doc) *stats.Collection {
 		d.Root.Walk(func(e *Elem) {
 			c.Count[e.Node.ID]++
 			if e.Leaf() {
-				collectors[e.Node.ID].Add(e.Value)
+				// Atomize lexical string forms to the declared type so the
+				// statistics see the same values the shredded columns hold.
+				collectors[e.Node.ID].Add(atomize(e))
 				return
 			}
 			// Cardinalities of set-valued children, including zeros.

@@ -96,7 +96,13 @@ func validateElem(e *Elem, t *schema.Tree) error {
 		}
 		want := baseToType(n.LeafBase())
 		if e.Value.Typ != want {
-			return fmt.Errorf("xmlgen: leaf element %s has %v value, want %v", n.Name, e.Value.Typ, want)
+			// A string value under a numeric leaf is valid when its
+			// lexical form parses as the declared type — XML carries text,
+			// and "NaN" or " 42 " are legal decimal/integer literals. The
+			// shredder applies the same Coerce when loading the column.
+			if e.Value.Typ != rel.TString || e.Value.Coerce(want).Null {
+				return fmt.Errorf("xmlgen: leaf element %s has %v value, want %v", n.Name, e.Value.Typ, want)
+			}
 		}
 		return nil
 	}

@@ -20,6 +20,18 @@ type ResultGroup struct {
 	Values [][]rel.Value
 }
 
+// atomize converts a leaf instance's value to its declared schema type,
+// mirroring the shredder's column coercion: a "NaN" lexical string
+// under a decimal leaf compares and projects as the float NaN, exactly
+// as it does after shredding into a typed column.
+func atomize(e *Elem) rel.Value {
+	want := baseToType(e.Node.LeafBase())
+	if e.Value.Null || e.Value.Typ == want {
+		return e.Value
+	}
+	return e.Value.Coerce(want)
+}
+
 // Evaluate runs the XPath query directly over the document: the gold
 // standard the shred+translate+execute pipeline must agree with.
 func Evaluate(t *schema.Tree, d *Doc, q *xpath.Query) ([]ResultGroup, error) {
@@ -36,11 +48,12 @@ func Evaluate(t *schema.Tree, d *Doc, q *xpath.Query) ([]ResultGroup, error) {
 			}
 			match := false
 			for _, l := range leaves {
-				lit := literalValue(q.Pred.Value).Coerce(l.Value.Typ)
+				v := atomize(l)
+				lit := literalValue(q.Pred.Value).Coerce(v.Typ)
 				if lit.Null {
 					continue
 				}
-				if sqlOpMatches(q.Pred.Op, l.Value.Compare(lit)) {
+				if sqlOpMatches(q.Pred.Op, v.Compare(lit)) {
 					match = true
 					break
 				}
@@ -56,11 +69,11 @@ func Evaluate(t *schema.Tree, d *Doc, q *xpath.Query) ([]ResultGroup, error) {
 			// otherwise project the single-valued direct leaf children
 			// (matching the translator's bare-context semantics).
 			if e.Leaf() {
-				g.Values = append(g.Values, []rel.Value{e.Value})
+				g.Values = append(g.Values, []rel.Value{atomize(e)})
 			} else {
 				for _, c := range e.Children {
 					if c.Leaf() && !c.Node.IsSetValued() {
-						g.Values = append(g.Values, []rel.Value{c.Value})
+						g.Values = append(g.Values, []rel.Value{atomize(c)})
 					}
 				}
 			}
@@ -71,7 +84,7 @@ func Evaluate(t *schema.Tree, d *Doc, q *xpath.Query) ([]ResultGroup, error) {
 			leaves := resolveRel(e, p)
 			vals := make([]rel.Value, len(leaves))
 			for i, l := range leaves {
-				vals[i] = l.Value
+				vals[i] = atomize(l)
 			}
 			g.Values = append(g.Values, vals)
 		}

@@ -14,11 +14,16 @@
 //     the hardware.
 //  2. enabled-tracing overhead: ExecutePreparedTraced / ExecutePrepared
 //     from the same run.
+//  3. columnar-kernel drift (optional, -columnar BENCH_PR6.json): the
+//     same normalized ratio against the columnar baseline, which pins
+//     the PR 6 speedup — a change that quietly drops the batch executor
+//     back toward the row-store ratio fails even though it would still
+//     clear the looser PR 3 bound.
 //
 // Usage:
 //
 //	go test -run '^$' -bench 'BenchmarkExecute...' -benchtime 2s | \
-//	    go run ./scripts/benchguard -baseline BENCH_PR3.json
+//	    go run ./scripts/benchguard -baseline BENCH_PR3.json -columnar BENCH_PR6.json
 package main
 
 import (
@@ -55,11 +60,8 @@ type baseline struct {
 
 var benchLine = regexp.MustCompile(`^(Benchmark\w+?)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op`)
 
-func main() {
-	baselinePath := flag.String("baseline", "BENCH_PR3.json", "baseline benchmark JSON")
-	flag.Parse()
-
-	data, err := os.ReadFile(*baselinePath)
+func loadBaseline(path string) map[string]float64 {
+	data, err := os.ReadFile(path)
 	if err != nil {
 		fatal("reading baseline: %v", err)
 	}
@@ -67,10 +69,19 @@ func main() {
 	if err := json.Unmarshal(data, &base); err != nil {
 		fatal("parsing baseline: %v", err)
 	}
-	baseNs := map[string]float64{}
+	ns := map[string]float64{}
 	for _, r := range base.Results {
-		baseNs[r.Name] = r.NsPerOp
+		ns[r.Name] = r.NsPerOp
 	}
+	return ns
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_PR3.json", "baseline benchmark JSON")
+	columnarPath := flag.String("columnar", "", "columnar baseline JSON (BENCH_PR6.json); empty skips the columnar bound")
+	flag.Parse()
+
+	baseNs := loadBaseline(*baselinePath)
 
 	measured := map[string]float64{}
 	sc := bufio.NewScanner(os.Stdin)
@@ -120,6 +131,18 @@ func main() {
 	if overhead > maxEnabledOverhead {
 		fmt.Printf("benchguard: FAIL: enabled tracing costs %.1f%% over the disabled path\n", (overhead-1)*100)
 		failed = true
+	}
+	if *columnarPath != "" {
+		colNs := loadBaseline(*columnarPath)
+		refCol := need(colNs, "BenchmarkExecuteReference", *columnarPath)
+		prepCol := need(colNs, "BenchmarkExecutePrepared", *columnarPath)
+		colDrift := (prepNow / refNow) / (prepCol / refCol)
+		fmt.Printf("benchguard: columnar drift %.3f (bound %.2f)\n", colDrift, maxDisabledDrift)
+		if colDrift > maxDisabledDrift {
+			fmt.Printf("benchguard: FAIL: batch executor regressed %.1f%% vs the columnar baseline %s (normalized by the reference executor)\n",
+				(colDrift-1)*100, *columnarPath)
+			failed = true
+		}
 	}
 	// The workers bound is optional: it only applies when the bench run
 	// included BenchmarkExecutePreparedWorkers4 (older baselines and
