@@ -26,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/storage"
 )
 
 func main() {
@@ -44,6 +45,8 @@ func main() {
 	flag.IntVar(&cfg.workers, "workers", 0, "intra-query morsel workers for -execute measurements (0/1 = serial pipeline, -1 = all CPUs; results are identical at any setting)")
 	flag.StringVar(&cfg.traceJSON, "trace-json", "", "write the structured span tree (search phases, tuner calls, executor stages) to this file as JSON")
 	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve /debug/vars, /debug/metrics, and /debug/pprof on this address while running")
+	flag.StringVar(&cfg.saveDir, "save-dir", "", "persist the loaded data and recommended design as a durable store in this directory")
+	flag.StringVar(&cfg.openDir, "open-dir", "", "reopen a store saved with -save-dir, verify it, and print its summary (no advisor run)")
 	flag.Parse()
 	if *trace {
 		traceWriter = os.Stderr
@@ -65,9 +68,13 @@ type cliConfig struct {
 	parallel, workers                               int
 	execute, showSQL                                bool
 	traceJSON, debugAddr                            string
+	saveDir, openDir                                string
 }
 
 func run(c cliConfig) error {
+	if c.openDir != "" {
+		return openStore(c)
+	}
 	var tree *xmlshred.SchemaTree
 	var docs []*xmlshred.Document
 	switch {
@@ -175,12 +182,66 @@ func run(c cliConfig) error {
 			return err
 		}
 	}
+	if c.saveDir != "" {
+		_, built, err := adv.BuildFor(res, docs...)
+		if err != nil {
+			return err
+		}
+		man, err := storage.Save(c.saveDir, built, storage.Options{
+			Registry:   reg,
+			MappingSQL: res.Mapping.SQLSchema(),
+		})
+		if err != nil {
+			return err
+		}
+		var rows int64
+		for _, e := range man.Tables {
+			rows += int64(e.Rows)
+		}
+		fmt.Printf("\n-- saved store --\n%d tables (%d rows) persisted to %s; reopen with -open-dir %s\n",
+			len(man.Tables), rows, c.saveDir, c.saveDir)
+	}
 	if c.traceJSON != "" {
 		if err := writeTrace(tr, c.traceJSON); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "trace: %d spans written to %s\n", tr.SpanCount(), c.traceJSON)
 	}
+	return nil
+}
+
+// openStore reopens a saved store: it verifies the manifest, loads and
+// validates every segment, rebuilds the physical design, and prints a
+// summary with the cold reopen latency.
+func openStore(c cliConfig) error {
+	reg := obs.NewRegistry()
+	st, err := storage.Open(c.openDir, storage.Options{Registry: reg})
+	if err != nil {
+		return err
+	}
+	man := st.Manifest()
+	fmt.Printf("store %s (segment format v%d)\n", c.openDir, man.FormatVersion)
+	built, err := st.Built()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-20s %10s %12s %12s  %s\n", "table", "rows", "generation", "bytes", "segment")
+	for _, e := range man.Tables {
+		fmt.Printf("%-20s %10d %12d %12d  %s\n", e.Name, e.Rows, e.Generation, e.Bytes, e.File)
+	}
+	if man.Design != nil {
+		if s := man.Design.String(); s != "" {
+			fmt.Printf("\n-- physical design --\n%s", s)
+		}
+	}
+	if man.MappingSQL != "" {
+		fmt.Printf("\n-- logical design (SQL schema) --\n%s\n", man.MappingSQL)
+	}
+	snap := reg.Snapshot()
+	fmt.Printf("\nreopened warm: %d tables, data %d KB, structures %d KB, segments read %.0f KB, open+rebuild %.1f ms\n",
+		len(man.Tables), built.DB.Bytes()>>10, built.StructBytes>>10,
+		snap["storage.segment.bytes_read"]/1024,
+		snap["storage.open.ms"]+snap["storage.built.ms"])
 	return nil
 }
 

@@ -2,8 +2,10 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -121,4 +123,91 @@ func TestRunTraceJSON(t *testing.T) {
 			t.Errorf("trace has no %q span (%d top-level spans)", want, len(doc.Spans))
 		}
 	}
+}
+
+// TestRunSaveOpen drives the durable-store flags end to end: an
+// advisor run with -save-dir, then a fresh process-equivalent reopen
+// with -open-dir whose summary must carry the saved tables and design.
+func TestRunSaveOpen(t *testing.T) {
+	dir := t.TempDir()
+	queries := filepath.Join(dir, "q.txt")
+	if err := os.WriteFile(queries, []byte("//movie[year >= 2000]/title\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	store := filepath.Join(dir, "store")
+	out := captureStdout(t, func() error {
+		return run(cliConfig{
+			dataset: "movie", scale: 0.02, queryPath: queries,
+			algorithm: "greedy", parallel: 1, execute: false,
+			saveDir: store,
+		})
+	})
+	if !strings.Contains(out, "saved store") || !strings.Contains(out, store) {
+		t.Fatalf("save run did not report the store:\n%s", out)
+	}
+	if _, err := os.Stat(filepath.Join(store, "MANIFEST.xman")); err != nil {
+		t.Fatalf("no manifest written: %v", err)
+	}
+
+	out = captureStdout(t, func() error {
+		return run(cliConfig{openDir: store})
+	})
+	for _, want := range []string{"segment format v", "reopened warm", "logical design (SQL schema)", "CREATE TABLE"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("open summary missing %q:\n%s", want, out)
+		}
+	}
+
+	// A corrupted store must reopen as an error, not a summary.
+	seg := filepath.Join(store, "t0000.seg")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 1
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = runSilent(t, cliConfig{openDir: store})
+	if err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("corrupted store reopened: %v", err)
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and
+// returns what it printed, failing the test if fn errors.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdout := os.Stdout
+	os.Stdout = w
+	ferr := fn()
+	os.Stdout = stdout
+	w.Close()
+	data, rerr := io.ReadAll(r)
+	r.Close()
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	return string(data)
+}
+
+// runSilent runs with stdout discarded and returns the error.
+func runSilent(t *testing.T, c cliConfig) error {
+	t.Helper()
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	stdout := os.Stdout
+	os.Stdout = devnull
+	defer func() { os.Stdout = stdout }()
+	return run(c)
 }

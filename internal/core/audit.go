@@ -6,7 +6,6 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/stats"
@@ -60,15 +59,10 @@ const (
 // optimized); the measured side re-plans against the loaded data's
 // actual statistics, exactly like MeasureExecution.
 func (a *Advisor) CostAudit(res *Result, docs ...*xmlgen.Doc) (*Audit, error) {
-	db, err := shredLoad(res, docs)
+	db, built, err := a.BuildFor(res, docs...)
 	if err != nil {
 		return nil, err
 	}
-	built, err := engine.Build(db, res.Config)
-	if err != nil {
-		return nil, fmt.Errorf("core: building configuration: %w", err)
-	}
-	built.AttachObs(a.Opts.Obs, a.Opts.Registry)
 	sp := a.Opts.Obs.StartSpan("advisor.cost-audit",
 		obs.Int("queries", int64(len(a.W.Queries))))
 	defer sp.End()

@@ -43,15 +43,10 @@ func (a *Advisor) MeasureExecution(res *Result, docs ...*xmlgen.Doc) (*Execution
 // keeps the serial per-branch path, whose timings are the paper's
 // baseline.
 func (a *Advisor) MeasureExecutionContext(ctx context.Context, res *Result, docs ...*xmlgen.Doc) (*Execution, error) {
-	db, err := shredLoad(res, docs)
+	db, built, err := a.BuildFor(res, docs...)
 	if err != nil {
 		return nil, err
 	}
-	built, err := engine.Build(db, res.Config)
-	if err != nil {
-		return nil, fmt.Errorf("core: building configuration: %w", err)
-	}
-	built.AttachObs(a.Opts.Obs, a.Opts.Registry)
 	prov := stats.FromDatabase(db)
 	opt := optimizer.New(prov)
 	type prepared struct {
@@ -162,6 +157,24 @@ func executionReps(weights []float64) []int {
 		reps[i] = r
 	}
 	return reps
+}
+
+// BuildFor loads the documents under the result's recommended mapping
+// and materializes the recommended physical configuration, with the
+// advisor's observability attached. It is the shared entry into real
+// execution (MeasureExecution, CostAudit) and durable persistence
+// (storage.Save takes the returned Built).
+func (a *Advisor) BuildFor(res *Result, docs ...*xmlgen.Doc) (*rel.Database, *engine.Built, error) {
+	db, err := shredLoad(res, docs)
+	if err != nil {
+		return nil, nil, err
+	}
+	built, err := engine.Build(db, res.Config)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: building configuration: %w", err)
+	}
+	built.AttachObs(a.Opts.Obs, a.Opts.Registry)
+	return db, built, nil
 }
 
 func shredLoad(res *Result, docs []*xmlgen.Doc) (*rel.Database, error) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"os"
 	"strconv"
 	"strings"
 
@@ -12,9 +13,11 @@ import (
 	"repro/internal/optimizer"
 	"repro/internal/physdesign"
 	"repro/internal/physical"
+	"repro/internal/rel"
 	"repro/internal/shred"
 	"repro/internal/sqlast"
 	"repro/internal/stats"
+	"repro/internal/storage"
 	"repro/internal/transform"
 	"repro/internal/translate"
 	"repro/internal/xmlgen"
@@ -39,17 +42,29 @@ type Case struct {
 	Only int
 	// CheckCosts enables the cost-model invariant checks.
 	CheckCosts bool
+	// Persist enables the persistence round trip: the built store is
+	// saved to a scratch directory, reopened, and every query must
+	// return bit-identical results at identical plan costs from the
+	// reopened store.
+	Persist bool
 }
 
 // DefaultCase is the standard trial shape for a seed.
 func DefaultCase(seed int64) Case {
-	return Case{Seed: seed, RootInstances: 8, Steps: 4, Queries: 6, Only: -1, CheckCosts: true}
+	return Case{Seed: seed, RootInstances: 8, Steps: 4, Queries: 6, Only: -1, CheckCosts: true, Persist: true}
 }
 
 // ReplaySpec renders the case in the format DIFFTEST_REPLAY accepts.
 func (c Case) ReplaySpec() string {
-	return fmt.Sprintf("seed=%d,roots=%d,steps=%d,queries=%d,only=%d",
-		c.Seed, c.RootInstances, c.Steps, c.Queries, c.Only)
+	return fmt.Sprintf("seed=%d,roots=%d,steps=%d,queries=%d,only=%d,persist=%d",
+		c.Seed, c.RootInstances, c.Steps, c.Queries, c.Only, boolInt(c.Persist))
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // ParseReplay parses a ReplaySpec back into a Case.
@@ -79,6 +94,8 @@ func ParseReplay(s string) (Case, error) {
 			c.Queries = int(v)
 		case "only":
 			c.Only = int(v)
+		case "persist":
+			c.Persist = v != 0
 		default:
 			return c, fmt.Errorf("difftest: unknown replay key %q", parts[0])
 		}
@@ -265,6 +282,41 @@ func Run(c Case) (RunStats, *Mismatch) {
 	if err != nil {
 		return st, fail("build", -1, "", "%v (config %v)", err, cfg)
 	}
+
+	// Persistence round trip: save the built store, reopen it, and hold
+	// the reopened copy to the same bar as the executors — bit-identical
+	// tables now, bit-identical results and identical plan costs per
+	// query below.
+	var reopened *engine.Built
+	var reopenedOpt *optimizer.Optimizer
+	if c.Persist {
+		dir, derr := os.MkdirTemp("", "difftest-store-")
+		if derr != nil {
+			return st, fail("persistence-round-trip", -1, "", "scratch dir: %v", derr)
+		}
+		defer os.RemoveAll(dir)
+		if _, serr := storage.Save(dir, built, storage.Options{}); serr != nil {
+			return st, fail("persistence-round-trip", -1, "", "save: %v (config %v)", serr, cfg)
+		}
+		store, oerr := storage.Open(dir, storage.Options{})
+		if oerr != nil {
+			return st, fail("persistence-round-trip", -1, "", "open: %v", oerr)
+		}
+		reopened, err = store.Built()
+		if err != nil {
+			return st, fail("persistence-round-trip", -1, "", "rebuild: %v (config %v)", err, cfg)
+		}
+		if reopened.StructBytes != built.StructBytes {
+			return st, fail("persistence-round-trip", -1, "",
+				"reopened StructBytes %d, original %d", reopened.StructBytes, built.StructBytes)
+		}
+		for _, tb := range db.Tables() {
+			if d := diffTables(tb, reopened.DB.Table(tb.Name)); d != "" {
+				return st, fail("persistence-round-trip", -1, "", "table %s: %s", tb.Name, d)
+			}
+		}
+		reopenedOpt = optimizer.New(stats.FromDatabase(reopened.DB))
+	}
 	// Every trial also exercises the tracing layer: executor spans are
 	// recorded for each batch execution and the tree must stay
 	// well-formed no matter which plans, caches, and branch shapes the
@@ -317,6 +369,27 @@ func Run(c Case) (RunStats, *Mismatch) {
 		if d := diffResults(par, ref); d != "" {
 			return st, fail("executor-parallel-equivalence", t.idx, t.q.String(),
 				"workers=%d: %s (applied %v)\nSQL:\n%s", wk, d, applied, t.sql.SQL())
+		}
+		// Persistence differential: the reopened store must plan at the
+		// exact same cost (its statistics come from bit-identical
+		// tables) and execute to bit-identical results.
+		if reopened != nil {
+			rplan, rperr := reopenedOpt.PlanQuery(t.sql, cfg)
+			if rperr != nil {
+				return st, fail("persistence-round-trip", t.idx, t.q.String(), "replan: %v\nSQL:\n%s", rperr, t.sql.SQL())
+			}
+			if rplan.Cost != plan.Cost {
+				return st, fail("persistence-round-trip", t.idx, t.q.String(),
+					"reopened plan cost %v, original %v (applied %v)\nSQL:\n%s", rplan.Cost, plan.Cost, applied, t.sql.SQL())
+			}
+			rres, rxerr := engine.Execute(reopened, rplan)
+			if rxerr != nil {
+				return st, fail("persistence-round-trip", t.idx, t.q.String(), "execute: %v\nSQL:\n%s", rxerr, t.sql.SQL())
+			}
+			if d := diffResults(rres, ref); d != "" {
+				return st, fail("persistence-round-trip", t.idx, t.q.String(),
+					"%s (applied %v)\nSQL:\n%s", d, applied, t.sql.SQL())
+			}
 		}
 		gold, gerr := xmlgen.Evaluate(base, doc, t.q)
 		if gerr != nil {
@@ -374,6 +447,44 @@ func diffResults(got, want *engine.Result) string {
 	}
 	if got.Stats != want.Stats {
 		return fmt.Sprintf("stats %+v, reference %+v", got.Stats, want.Stats)
+	}
+	return ""
+}
+
+// diffTables compares a reopened table against the original down to
+// the bit level: schema, row count, generation, byte accounting, and
+// every value under Value.BitEqual.
+func diffTables(want, got *rel.Table) string {
+	if got == nil {
+		return "missing after reopen"
+	}
+	if got.Name != want.Name || got.Parent != want.Parent {
+		return fmt.Sprintf("identity %q/%q, original %q/%q", got.Name, got.Parent, want.Name, want.Parent)
+	}
+	if len(got.Columns) != len(want.Columns) {
+		return fmt.Sprintf("%d columns, original %d", len(got.Columns), len(want.Columns))
+	}
+	for i := range want.Columns {
+		if got.Columns[i] != want.Columns[i] {
+			return fmt.Sprintf("column %d is %+v, original %+v", i, got.Columns[i], want.Columns[i])
+		}
+	}
+	if got.RowCount() != want.RowCount() {
+		return fmt.Sprintf("%d rows, original %d", got.RowCount(), want.RowCount())
+	}
+	if got.Generation() != want.Generation() {
+		return fmt.Sprintf("generation %d, original %d", got.Generation(), want.Generation())
+	}
+	if got.Bytes() != want.Bytes() || got.Pages() != want.Pages() {
+		return fmt.Sprintf("accounting %d bytes/%d pages, original %d/%d",
+			got.Bytes(), got.Pages(), want.Bytes(), want.Pages())
+	}
+	for r := 0; r < want.RowCount(); r++ {
+		for ci := range want.Columns {
+			if gv, wv := got.ValueAt(r, ci), want.ValueAt(r, ci); !gv.BitEqual(wv) {
+				return fmt.Sprintf("value (%d,%d) is %v, original %v", r, ci, gv, wv)
+			}
+		}
 	}
 	return ""
 }

@@ -160,6 +160,15 @@ func (cv *colVec) materialize(row int) Value {
 	case TFloat:
 		return Float(cv.floats[row])
 	default:
+		// A non-null, non-string value appended to a string column
+		// stores code 0 without interning anything; with an empty
+		// dictionary there is nothing to decode, so return a
+		// placeholder. The appended value's type differs, so BitEqual
+		// still fails and the row lands in the exception slot — the
+		// placeholder is never served through value().
+		if int(cv.codes[row]) >= cv.dict.Len() {
+			return Str("")
+		}
 		return Str(cv.dict.Str(cv.codes[row]))
 	}
 }

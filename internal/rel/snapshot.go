@@ -1,0 +1,345 @@
+package rel
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// This file is the snapshot/restore boundary of the columnar store: an
+// exported, serialization-friendly view of a Table's internal vectors
+// (TableSnapshot) and a validating constructor that rebuilds a Table
+// from one (TableFromSnapshot). The persistence layer
+// (internal/storage) encodes snapshots into binary segments; restoring
+// goes through full structural validation and returns errors — never
+// panics — because the bytes may come from a truncated or corrupted
+// file.
+
+// ExcEntry is one bit-faithfulness exception: the exact Value appended
+// at Row, kept because it does not round-trip through the typed vector.
+type ExcEntry struct {
+	// Row is the row index the exception covers.
+	Row int
+	// Val is the exact appended value.
+	Val Value
+}
+
+// ColumnSnapshot is the columnar state of one column. The slices alias
+// the table's backing store when produced by Snapshot — callers must
+// treat them as read-only — and are adopted without copying by
+// TableFromSnapshot.
+type ColumnSnapshot struct {
+	// Col is the column descriptor.
+	Col Column
+	// NullWords is the null bitmap's word array, one bit per row
+	// (set = NULL), little bit order within each 64-bit word.
+	NullWords []uint64
+	// Ints holds the payload vector of a TInt column (len == rows).
+	Ints []int64
+	// Floats holds the payload vector of a TFloat column.
+	Floats []float64
+	// Codes holds the dictionary codes of a TString column.
+	Codes []uint32
+	// Dict holds the string dictionary in code order (TString only).
+	Dict []string
+	// Exc lists the exception entries sorted by ascending Row.
+	Exc []ExcEntry
+}
+
+// TableSnapshot is the complete columnar state of a Table.
+type TableSnapshot struct {
+	// Name and Parent mirror Table.Name and Table.Parent.
+	Name   string
+	Parent string
+	// RowCount is the number of rows.
+	RowCount int
+	// Generation is the table's mutation counter at snapshot time; a
+	// restored table resumes from it, so Build-time generation guards
+	// survive a save/reopen cycle.
+	Generation int64
+	// Columns has one entry per column, in column order.
+	Columns []ColumnSnapshot
+}
+
+// Snapshot returns the table's columnar state. The returned slices
+// alias the table's storage (exceptions excepted, which are copied into
+// a sorted slice): the snapshot is valid as long as the table is not
+// mutated, and must not be written through.
+func (t *Table) Snapshot() *TableSnapshot {
+	s := &TableSnapshot{
+		Name:       t.Name,
+		Parent:     t.Parent,
+		RowCount:   t.nrows,
+		Generation: t.gen,
+		Columns:    make([]ColumnSnapshot, len(t.Columns)),
+	}
+	for i := range t.Columns {
+		cv := &t.cols[i]
+		cs := ColumnSnapshot{
+			Col:       t.Columns[i],
+			NullWords: cv.nulls.words,
+			Ints:      cv.ints,
+			Floats:    cv.floats,
+			Codes:     cv.codes,
+		}
+		if cv.dict != nil {
+			cs.Dict = cv.dict.strs
+		}
+		if len(cv.exc) > 0 {
+			cs.Exc = make([]ExcEntry, 0, len(cv.exc))
+			for row, v := range cv.exc {
+				cs.Exc = append(cs.Exc, ExcEntry{Row: row, Val: v})
+			}
+			sort.Slice(cs.Exc, func(a, b int) bool { return cs.Exc[a].Row < cs.Exc[b].Row })
+		}
+		s.Columns[i] = cs
+	}
+	return s
+}
+
+// TableFromSnapshot rebuilds a Table from a snapshot, adopting the
+// snapshot's slices as the table's backing store. Every structural
+// invariant the append path maintains is re-checked — vector lengths,
+// bitmap shape, dictionary canonicality, exception faithfulness — so a
+// snapshot decoded from an untrusted byte stream either yields a table
+// bit-identical to the one that produced it or a descriptive error,
+// never a panic and never a silently wrong table. Byte accounting is
+// recomputed from the values (not trusted from the source), so
+// Bytes()/Pages() match what AppendRow would have accumulated.
+func TableFromSnapshot(s *TableSnapshot) (*Table, error) {
+	if s == nil {
+		return nil, fmt.Errorf("rel: nil snapshot")
+	}
+	if s.Name == "" {
+		return nil, fmt.Errorf("rel: snapshot has empty table name")
+	}
+	if s.RowCount < 0 {
+		return nil, fmt.Errorf("rel: snapshot of %s has negative row count %d", s.Name, s.RowCount)
+	}
+	if s.Generation < 0 {
+		return nil, fmt.Errorf("rel: snapshot of %s has negative generation %d", s.Name, s.Generation)
+	}
+	t := &Table{
+		Name:   s.Name,
+		Parent: s.Parent,
+		nrows:  s.RowCount,
+		gen:    s.Generation,
+		colIdx: make(map[string]int, len(s.Columns)),
+	}
+	t.Columns = make([]Column, len(s.Columns))
+	t.cols = make([]colVec, len(s.Columns))
+	for i := range s.Columns {
+		cs := &s.Columns[i]
+		if cs.Col.Name == "" {
+			return nil, fmt.Errorf("rel: snapshot of %s: column %d has empty name", s.Name, i)
+		}
+		if _, dup := t.colIdx[cs.Col.Name]; dup {
+			return nil, fmt.Errorf("rel: snapshot of %s: duplicate column %s", s.Name, cs.Col.Name)
+		}
+		t.colIdx[cs.Col.Name] = i
+		t.Columns[i] = cs.Col
+		cv, err := colVecFromSnapshot(s.Name, cs, s.RowCount)
+		if err != nil {
+			return nil, err
+		}
+		t.cols[i] = cv
+	}
+	// Recompute byte accounting exactly as AppendRow would have.
+	for r := 0; r < t.nrows; r++ {
+		t.bytes += 8 // per-row overhead
+		for ci := range t.cols {
+			t.bytes += int64(t.cols[ci].value(r).Width())
+		}
+	}
+	return t, nil
+}
+
+// colVecFromSnapshot validates and adopts one column's vectors.
+func colVecFromSnapshot(table string, cs *ColumnSnapshot, rows int) (colVec, error) {
+	var zero colVec
+	name := cs.Col.Name
+	bad := func(format string, a ...any) (colVec, error) {
+		return zero, fmt.Errorf("rel: snapshot of %s.%s: %s", table, name, fmt.Sprintf(format, a...))
+	}
+	switch cs.Col.Typ {
+	case TInt, TFloat, TString:
+	default:
+		return bad("unknown column type %d", int(cs.Col.Typ))
+	}
+
+	// Null bitmap: exact word count, zero trailing bits, recomputed
+	// set count.
+	wantWords := (rows + 63) / 64
+	if len(cs.NullWords) != wantWords {
+		return bad("null bitmap has %d words, want %d for %d rows", len(cs.NullWords), wantWords, rows)
+	}
+	set := 0
+	for _, w := range cs.NullWords {
+		set += bits.OnesCount64(w)
+	}
+	if tail := rows % 64; tail != 0 {
+		if cs.NullWords[wantWords-1]>>uint(tail) != 0 {
+			return bad("null bitmap has bits set beyond row %d", rows)
+		}
+	}
+	nulls := Bitmap{words: cs.NullWords, n: rows, set: set}
+
+	// Typed payload vector: exactly one, matching the declared type.
+	switch cs.Col.Typ {
+	case TInt:
+		if len(cs.Ints) != rows {
+			return bad("int vector has %d entries, want %d", len(cs.Ints), rows)
+		}
+		if len(cs.Floats) != 0 || len(cs.Codes) != 0 || len(cs.Dict) != 0 {
+			return bad("INT column carries payload vectors of another type")
+		}
+	case TFloat:
+		if len(cs.Floats) != rows {
+			return bad("float vector has %d entries, want %d", len(cs.Floats), rows)
+		}
+		if len(cs.Ints) != 0 || len(cs.Codes) != 0 || len(cs.Dict) != 0 {
+			return bad("FLOAT column carries payload vectors of another type")
+		}
+	case TString:
+		if len(cs.Codes) != rows {
+			return bad("code vector has %d entries, want %d", len(cs.Codes), rows)
+		}
+		if len(cs.Ints) != 0 || len(cs.Floats) != 0 {
+			return bad("VARCHAR column carries payload vectors of another type")
+		}
+	}
+
+	// Exceptions: strictly ascending rows in range, null bit agreeing
+	// with the exception value, zeroed payload slot underneath, and a
+	// value that genuinely does not round-trip (otherwise append would
+	// not have recorded it, and re-encoding would not be stable).
+	excAt := make(map[int]Value, len(cs.Exc))
+	prev := -1
+	for _, e := range cs.Exc {
+		if e.Row <= prev {
+			return bad("exception rows not strictly ascending (%d after %d)", e.Row, prev)
+		}
+		if e.Row < 0 || e.Row >= rows {
+			return bad("exception row %d out of range [0,%d)", e.Row, rows)
+		}
+		prev = e.Row
+		if nulls.Get(e.Row) != e.Val.Null {
+			return bad("exception at row %d: null bit %v disagrees with value nullness %v",
+				e.Row, nulls.Get(e.Row), e.Val.Null)
+		}
+		excAt[e.Row] = e.Val
+	}
+
+	// Dictionary canonicality and per-row payload invariants, modeled
+	// exactly on colVec.append: a row stores its payload in the vector
+	// when the appended value is non-NULL and of the declared type
+	// (even exception rows — an exception whose Typ matches carries
+	// extra fields, not a different payload), and a zero slot
+	// otherwise; dictionary entries appear in first-appearance order
+	// with no unused or duplicate entries. Enforcing the same shape
+	// here makes snapshot->table->snapshot the identity, which the
+	// golden-format and fuzz round-trip tests rely on.
+	//
+	// stored returns the payload the vector must hold at row r: the
+	// exception value's payload when its type matches, the zero value
+	// for NULL/mismatched rows, and ok=false for plain rows (vector
+	// payload is authoritative).
+	stored := func(r int) (v Value, zero bool, constrained bool) {
+		if e, exc := excAt[r]; exc {
+			if !e.Null && e.Typ == cs.Col.Typ {
+				return e, false, true
+			}
+			return Value{}, true, true
+		}
+		if nulls.Get(r) {
+			return Value{}, true, true
+		}
+		return Value{}, false, false
+	}
+	switch cs.Col.Typ {
+	case TInt:
+		for r := 0; r < rows; r++ {
+			if v, zero, ok := stored(r); ok {
+				want := v.I
+				if zero {
+					want = 0
+				}
+				if cs.Ints[r] != want {
+					return bad("row %d payload slot is %d, want %d", r, cs.Ints[r], want)
+				}
+			}
+		}
+	case TFloat:
+		for r := 0; r < rows; r++ {
+			if v, zero, ok := stored(r); ok {
+				want := math.Float64bits(v.F)
+				if zero {
+					want = 0
+				}
+				if math.Float64bits(cs.Floats[r]) != want {
+					return bad("row %d payload slot is %v, want bits %x", r, cs.Floats[r], want)
+				}
+			}
+		}
+	case TString:
+		seen := make(map[string]bool, len(cs.Dict))
+		for _, ds := range cs.Dict {
+			if seen[ds] {
+				return bad("dictionary entry %q duplicated", ds)
+			}
+			seen[ds] = true
+		}
+		next := uint32(0) // next first-appearance code expected
+		for r := 0; r < rows; r++ {
+			v, zero, constrained := stored(r)
+			if constrained && zero {
+				if cs.Codes[r] != 0 {
+					return bad("row %d is NULL or type-mismatched but code slot is %d, want 0", r, cs.Codes[r])
+				}
+				continue
+			}
+			// Plain rows and string-typed exception rows both intern
+			// their string, so both participate in dictionary order.
+			c := cs.Codes[r]
+			if c > next || int(c) >= len(cs.Dict) {
+				return bad("row %d has code %d out of first-appearance order (next new code %d, dict size %d)",
+					r, c, next, len(cs.Dict))
+			}
+			if c == next {
+				next++
+			}
+			if constrained && cs.Dict[c] != v.S {
+				return bad("row %d exception string %q disagrees with dictionary entry %q", r, v.S, cs.Dict[c])
+			}
+		}
+		if int(next) != len(cs.Dict) {
+			return bad("dictionary has %d entries but only %d are referenced", len(cs.Dict), next)
+		}
+	}
+
+	cv := colVec{typ: cs.Col.Typ, nulls: nulls, ints: cs.Ints, floats: cs.Floats, codes: cs.Codes}
+	if cs.Col.Typ == TString {
+		d := &Dict{strs: cs.Dict}
+		if len(cs.Dict) > 0 {
+			d.idx = make(map[string]uint32, len(cs.Dict))
+			for i, ds := range cs.Dict {
+				d.idx[ds] = uint32(i)
+			}
+		}
+		cv.dict = d
+	}
+	if len(excAt) > 0 {
+		cv.exc = excAt
+	}
+	// Faithfulness: an exception value must differ from what the
+	// vectors materialize (checked after cv exists so materialize can
+	// run). A round-tripping "exception" would re-encode differently
+	// than the append path produces.
+	for row, v := range excAt {
+		if v.BitEqual(cv.materialize(row)) {
+			return bad("exception at row %d is bit-equal to the vector value %v; append would not have recorded it", row, v)
+		}
+	}
+	return cv, nil
+}

@@ -1,0 +1,83 @@
+package storage
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/physical"
+	"repro/internal/rel"
+)
+
+// benchDB builds a database big enough for the reopen path to have a
+// measurable columnar decode cost (one wide mixed-type table).
+func benchDB() *rel.Database {
+	t := rel.NewTable("fact", []rel.Column{
+		{Name: rel.IDColumn, Typ: rel.TInt},
+		{Name: rel.PIDColumn, Typ: rel.TInt, Nullable: true},
+		{Name: "k", Typ: rel.TString},
+		{Name: "v", Typ: rel.TFloat, Nullable: true},
+		{Name: "n", Typ: rel.TInt, Nullable: true},
+	})
+	row := make([]rel.Value, 5)
+	for i := 0; i < 20000; i++ {
+		row[0] = rel.Int(int64(i))
+		row[1] = rel.NullOf(rel.TInt)
+		row[2] = rel.Str(fmt.Sprintf("key-%d", i%500))
+		if i%7 == 0 {
+			row[3] = rel.NullOf(rel.TFloat)
+		} else {
+			row[3] = rel.Float(math.Sqrt(float64(i)))
+		}
+		row[4] = rel.Int(int64(i % 97))
+		t.AppendRow(row)
+	}
+	db := rel.NewDatabase()
+	db.Add(t)
+	return db
+}
+
+// BenchmarkSegmentDecode measures the pure columnar decode + validate
+// path; benchguard normalizes reopen latency against it.
+func BenchmarkSegmentDecode(b *testing.B) {
+	db := benchDB()
+	enc := EncodeSegment(db.Table("fact").Snapshot())
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap, err := DecodeSegment(enc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rel.TableFromSnapshot(snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreReopen measures the full restart-warm path: Open plus
+// loading every table (checksum, decode, validate, redo replay).
+func BenchmarkStoreReopen(b *testing.B) {
+	dir := b.TempDir()
+	cfg := &physical.Config{
+		Indexes: []*physical.Index{{Name: "ix_fact_k", Table: "fact", Key: []string{"k"}}},
+	}
+	built, err := engine.Build(benchDB(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := Save(dir, built, Options{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := Open(dir, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := st.Database(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"repro/internal/rel"
+)
+
+// The redo log records row appends made after Save, so a reopened
+// store replays them deterministically and generation counters land
+// exactly where they were before the restart. Layout:
+//
+//	"XRDO" | u32 version | record... | footer
+//	record := u32 body length | u32 CRC32-C of body | body
+//	body   := string table name | uvarint value count | value...
+//	footer := "XEND" | u32 record count | u32 CRC32-C of footer prefix
+//
+// Records are self-checksummed, and the footer pins the record count:
+// an append overwrites the old footer with the new record and writes a
+// fresh footer after it. Truncating the file anywhere — even exactly
+// at a record boundary — removes or damages the footer, so readRedo
+// reports an error instead of silently replaying a prefix. A crash
+// mid-append likewise leaves a damaged tail and the store refuses to
+// open (the append was never acknowledged, so no acknowledged write is
+// lost).
+
+// RedoVersion is the redo log format version.
+const RedoVersion = 1
+
+var (
+	redoMagic    = [4]byte{'X', 'R', 'D', 'O'}
+	redoEndMagic = [4]byte{'X', 'E', 'N', 'D'}
+)
+
+// redoHeaderSize is the fixed file header: magic + version.
+// redoFooterSize is the commit marker: magic + record count + CRC.
+const (
+	redoHeaderSize = 4 + 4
+	redoFooterSize = 4 + 4 + 4
+)
+
+// redoRecord is one replayable append.
+type redoRecord struct {
+	Table string
+	Row   []rel.Value
+}
+
+// encodeRedoHeader returns the 8-byte file header.
+func encodeRedoHeader() []byte {
+	out := make([]byte, 0, redoHeaderSize)
+	out = append(out, redoMagic[:]...)
+	return binary.LittleEndian.AppendUint32(out, RedoVersion)
+}
+
+// encodeRedoFooter returns the commit marker for a log holding count
+// records.
+func encodeRedoFooter(count uint32) []byte {
+	out := make([]byte, 0, redoFooterSize)
+	out = append(out, redoEndMagic[:]...)
+	out = binary.LittleEndian.AppendUint32(out, count)
+	return binary.LittleEndian.AppendUint32(out, crc32.Checksum(out, crcTable))
+}
+
+// emptyRedoLog is the initial file Save writes: header plus a
+// zero-record footer.
+func emptyRedoLog() []byte {
+	return append(encodeRedoHeader(), encodeRedoFooter(0)...)
+}
+
+// encodeRedoRecord frames one append as a checksummed record.
+func encodeRedoRecord(table string, row []rel.Value) []byte {
+	var body []byte
+	body = appendString(body, table)
+	body = binary.AppendUvarint(body, uint64(len(row)))
+	for _, v := range row {
+		body = appendValue(body, v)
+	}
+	out := make([]byte, 0, 8+len(body))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(body)))
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(body, crcTable))
+	return append(out, body...)
+}
+
+// readRedo parses a redo log file's full contents. Any structural
+// damage — bad magic, wrong version, truncated record, checksum
+// mismatch, missing or disagreeing footer, garbage body — is an error;
+// the caller treats the store as unopenable rather than replaying a
+// prefix silently.
+func readRedo(data []byte) ([]redoRecord, error) {
+	if len(data) < redoHeaderSize+redoFooterSize {
+		return nil, fmt.Errorf("storage: redo log truncated: %d bytes, need at least %d", len(data), redoHeaderSize+redoFooterSize)
+	}
+	if [4]byte(data[:4]) != redoMagic {
+		return nil, fmt.Errorf("storage: not a redo log (magic %q)", data[:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != RedoVersion {
+		return nil, fmt.Errorf("storage: unsupported redo log format version %d (this build reads version %d)", v, RedoVersion)
+	}
+	foot := data[len(data)-redoFooterSize:]
+	if [4]byte(foot[:4]) != redoEndMagic {
+		return nil, fmt.Errorf("storage: redo log has no commit footer (truncated or crashed mid-append)")
+	}
+	if got, want := crc32.Checksum(foot[:8], crcTable), binary.LittleEndian.Uint32(foot[8:]); got != want {
+		return nil, fmt.Errorf("storage: redo log footer checksum mismatch: footer says %08x, hashes to %08x", want, got)
+	}
+	count := binary.LittleEndian.Uint32(foot[4:8])
+	var recs []redoRecord
+	off := redoHeaderSize
+	end := len(data) - redoFooterSize
+	for off < end {
+		if end-off < 8 {
+			return nil, fmt.Errorf("storage: redo log truncated at offset %d: partial record header", off)
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		want := binary.LittleEndian.Uint32(data[off+4:])
+		off += 8
+		if n > end-off {
+			return nil, fmt.Errorf("storage: redo log truncated at offset %d: record body of %d bytes exceeds file", off, n)
+		}
+		body := data[off : off+n]
+		if got := crc32.Checksum(body, crcTable); got != want {
+			return nil, fmt.Errorf("storage: redo record at offset %d checksum mismatch: record says %08x, body hashes to %08x", off, want, got)
+		}
+		rec, err := decodeRedoBody(body)
+		if err != nil {
+			return nil, fmt.Errorf("storage: redo record at offset %d: %w", off, err)
+		}
+		recs = append(recs, rec)
+		off += n
+	}
+	if uint32(len(recs)) != count {
+		return nil, fmt.Errorf("storage: redo log holds %d records, footer says %d", len(recs), count)
+	}
+	return recs, nil
+}
+
+// decodeRedoBody parses one checksum-verified record body.
+func decodeRedoBody(body []byte) (redoRecord, error) {
+	r := &reader{buf: body, kind: "redo record"}
+	var rec redoRecord
+	rec.Table = r.str("table name")
+	if r.err == nil && rec.Table == "" {
+		r.failf("empty table name")
+	}
+	nvals := r.uvarint("value count")
+	if r.err == nil && nvals > uint64(r.remaining()) {
+		// Each value costs at least 11 body bytes; cheap sanity bound
+		// before allocating.
+		r.failf("value count %d exceeds remaining body %d", nvals, r.remaining())
+	}
+	if r.err != nil {
+		return redoRecord{}, r.err
+	}
+	rec.Row = make([]rel.Value, nvals)
+	for i := range rec.Row {
+		rec.Row[i] = r.value()
+	}
+	if r.err != nil {
+		return redoRecord{}, r.err
+	}
+	if r.remaining() != 0 {
+		return redoRecord{}, r.failf("%d trailing bytes after row values", r.remaining())
+	}
+	return rec, nil
+}
+
+// appendRedoRecord writes one record over the old footer at footOff,
+// follows it with the footer for count records, and fsyncs. The footer
+// write is the commit: a crash before it leaves a footer-less tail
+// that readRedo rejects.
+func appendRedoRecord(path string, table string, row []rel.Value, footOff int64, count uint32) (newFootOff int64, err error) {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("storage: opening redo log: %w", err)
+	}
+	defer f.Close()
+	rec := encodeRedoRecord(table, row)
+	buf := append(rec, encodeRedoFooter(count)...)
+	if _, err := f.WriteAt(buf, footOff); err != nil {
+		return 0, fmt.Errorf("storage: appending redo record: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return 0, fmt.Errorf("storage: syncing redo log: %w", err)
+	}
+	return footOff + int64(len(rec)), nil
+}

@@ -1,0 +1,387 @@
+// Package storage is the durable layer under internal/rel: it
+// serializes each table's columnar state (typed vectors, null bitmaps,
+// string dictionaries, bit-faithfulness exceptions) into versioned,
+// checksummed binary segment files, records the schema and the chosen
+// physical design in a manifest, and reopens the whole store with lazy
+// per-table segment loading plus a redo log so generation counters
+// replay deterministically across restarts.
+//
+// Durability model: Save writes every segment, then the redo log, then
+// the manifest last (via rename). A crash mid-save leaves no readable
+// manifest, so Open fails cleanly rather than serving a partial store.
+// Every file carries a CRC32-C checksum; Open and segment loads verify
+// checksums, sizes, and structural invariants before any data is
+// served — corruption is an error at open/load time, never a wrong
+// query answer.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/rel"
+)
+
+// SegmentVersion is the current binary segment format version. Readers
+// accept exactly this version; older binaries reject newer segments
+// with a descriptive error instead of misparsing them.
+const SegmentVersion = 1
+
+// segMagic brands segment files. The envelope shared by all storage
+// files is: magic (4 bytes) | u32 version | u64 payload length |
+// u32 CRC32-C of payload | payload.
+var segMagic = [4]byte{'X', 'S', 'E', 'G'}
+
+// envelopeSize is the fixed byte cost of the file envelope.
+const envelopeSize = 4 + 4 + 8 + 4
+
+// crcTable is the Castagnoli polynomial table shared by every
+// checksum in the store.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// wrapEnvelope frames a payload with magic, version, length, and
+// checksum.
+func wrapEnvelope(magic [4]byte, version uint32, payload []byte) []byte {
+	out := make([]byte, 0, envelopeSize+len(payload))
+	out = append(out, magic[:]...)
+	out = binary.LittleEndian.AppendUint32(out, version)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(payload)))
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(payload, crcTable))
+	return append(out, payload...)
+}
+
+// openEnvelope verifies the frame and returns the payload. kind names
+// the file type in errors ("segment", "manifest").
+func openEnvelope(kind string, magic [4]byte, version uint32, data []byte) ([]byte, error) {
+	if len(data) < envelopeSize {
+		return nil, fmt.Errorf("storage: %s file truncated: %d bytes, need at least %d", kind, len(data), envelopeSize)
+	}
+	if [4]byte(data[:4]) != magic {
+		return nil, fmt.Errorf("storage: not a %s file (magic %q)", kind, data[:4])
+	}
+	v := binary.LittleEndian.Uint32(data[4:8])
+	if v != version {
+		return nil, fmt.Errorf("storage: unsupported %s format version %d (this build reads version %d)", kind, v, version)
+	}
+	n := binary.LittleEndian.Uint64(data[8:16])
+	payload := data[envelopeSize:]
+	if n != uint64(len(payload)) {
+		return nil, fmt.Errorf("storage: %s payload length %d disagrees with file size (%d bytes after header)", kind, n, len(payload))
+	}
+	want := binary.LittleEndian.Uint32(data[16:20])
+	if got := crc32.Checksum(payload, crcTable); got != want {
+		return nil, fmt.Errorf("storage: %s checksum mismatch: file says %08x, payload hashes to %08x", kind, want, got)
+	}
+	return payload, nil
+}
+
+// EncodeSegment serializes a table snapshot into a self-contained,
+// checksummed segment. The encoding is deterministic: the same
+// snapshot always yields the same bytes (exceptions are sorted,
+// dictionaries are in first-appearance order), which the golden-format
+// tests pin.
+func EncodeSegment(s *rel.TableSnapshot) []byte {
+	var p []byte
+	p = appendString(p, s.Name)
+	p = appendString(p, s.Parent)
+	p = binary.AppendUvarint(p, uint64(s.Generation))
+	p = binary.AppendUvarint(p, uint64(s.RowCount))
+	p = binary.AppendUvarint(p, uint64(len(s.Columns)))
+	for i := range s.Columns {
+		cs := &s.Columns[i]
+		p = appendString(p, cs.Col.Name)
+		p = append(p, byte(cs.Col.Typ), boolByte(cs.Col.Nullable))
+		p = binary.AppendVarint(p, int64(cs.Col.LeafID))
+		p = binary.AppendUvarint(p, uint64(cs.Col.Occurrence))
+		p = binary.AppendUvarint(p, uint64(len(cs.NullWords)))
+		for _, w := range cs.NullWords {
+			p = binary.LittleEndian.AppendUint64(p, w)
+		}
+		switch cs.Col.Typ {
+		case rel.TInt:
+			for _, v := range cs.Ints {
+				p = binary.LittleEndian.AppendUint64(p, uint64(v))
+			}
+		case rel.TFloat:
+			for _, v := range cs.Floats {
+				p = binary.LittleEndian.AppendUint64(p, math.Float64bits(v))
+			}
+		case rel.TString:
+			p = binary.AppendUvarint(p, uint64(len(cs.Dict)))
+			for _, ds := range cs.Dict {
+				p = appendString(p, ds)
+			}
+			for _, c := range cs.Codes {
+				p = binary.AppendUvarint(p, uint64(c))
+			}
+		}
+		p = binary.AppendUvarint(p, uint64(len(cs.Exc)))
+		for _, e := range cs.Exc {
+			p = binary.AppendUvarint(p, uint64(e.Row))
+			p = appendValue(p, e.Val)
+		}
+	}
+	return wrapEnvelope(segMagic, SegmentVersion, p)
+}
+
+// DecodeSegment parses a segment file back into a snapshot. It
+// tolerates arbitrary input: every read is bounds-checked, allocation
+// sizes are capped by the remaining payload, and all failures are
+// errors (the native fuzz target FuzzSegmentDecode hammers this).
+// Structural validation beyond the wire shape — bitmap/vector length
+// agreement, dictionary canonicality, exception faithfulness — happens
+// in rel.TableFromSnapshot; callers must run the snapshot through it
+// before using the data.
+func DecodeSegment(data []byte) (*rel.TableSnapshot, error) {
+	payload, err := openEnvelope("segment", segMagic, SegmentVersion, data)
+	if err != nil {
+		return nil, err
+	}
+	r := &reader{buf: payload, kind: "segment"}
+	s := &rel.TableSnapshot{}
+	s.Name = r.str("table name")
+	s.Parent = r.str("parent name")
+	s.Generation = int64(r.uvarint("generation"))
+	rows := r.uvarint("row count")
+	// Each row costs at least one payload byte in the narrowest
+	// encoding (a one-byte varint code), so a row count exceeding the
+	// payload size is garbage; reject before sizing any allocation.
+	if rows > uint64(len(payload)) {
+		return nil, r.failf("row count %d exceeds payload size %d", rows, len(payload))
+	}
+	s.RowCount = int(rows)
+	ncols := r.uvarint("column count")
+	if ncols > uint64(r.remaining()) {
+		return nil, r.failf("column count %d exceeds remaining payload %d", ncols, r.remaining())
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	s.Columns = make([]rel.ColumnSnapshot, 0, ncols)
+	for i := uint64(0); i < ncols && r.err == nil; i++ {
+		var cs rel.ColumnSnapshot
+		cs.Col.Name = r.str("column name")
+		typ := r.byte("column type")
+		nullable := r.byte("nullable flag")
+		if r.err != nil {
+			return nil, r.err
+		}
+		cs.Col.Typ = rel.Type(typ)
+		if nullable > 1 {
+			return nil, r.failf("nullable flag %d is not a boolean", nullable)
+		}
+		cs.Col.Nullable = nullable == 1
+		cs.Col.LeafID = int(r.varint("leaf id"))
+		cs.Col.Occurrence = int(r.uvarint("occurrence"))
+		nwords := r.uvarint("bitmap word count")
+		if nwords > uint64(r.remaining())/8 {
+			return nil, r.failf("bitmap of %d words exceeds remaining payload %d", nwords, r.remaining())
+		}
+		if r.err == nil && nwords > 0 {
+			cs.NullWords = make([]uint64, nwords)
+			for w := range cs.NullWords {
+				cs.NullWords[w] = r.u64("bitmap word")
+			}
+		}
+		switch cs.Col.Typ {
+		case rel.TInt:
+			if rows*8 > uint64(r.remaining()) {
+				return nil, r.failf("int vector of %d rows exceeds remaining payload %d", rows, r.remaining())
+			}
+			cs.Ints = make([]int64, rows)
+			for ri := range cs.Ints {
+				cs.Ints[ri] = int64(r.u64("int value"))
+			}
+		case rel.TFloat:
+			if rows*8 > uint64(r.remaining()) {
+				return nil, r.failf("float vector of %d rows exceeds remaining payload %d", rows, r.remaining())
+			}
+			cs.Floats = make([]float64, rows)
+			for ri := range cs.Floats {
+				cs.Floats[ri] = math.Float64frombits(r.u64("float value"))
+			}
+		case rel.TString:
+			dn := r.uvarint("dictionary size")
+			if dn > uint64(r.remaining()) {
+				return nil, r.failf("dictionary of %d entries exceeds remaining payload %d", dn, r.remaining())
+			}
+			if r.err == nil && dn > 0 {
+				cs.Dict = make([]string, dn)
+				for di := range cs.Dict {
+					cs.Dict[di] = r.str("dictionary entry")
+				}
+			}
+			cs.Codes = make([]uint32, rows)
+			for ri := range cs.Codes {
+				c := r.uvarint("string code")
+				if c > math.MaxUint32 {
+					return nil, r.failf("string code %d overflows uint32", c)
+				}
+				cs.Codes[ri] = uint32(c)
+			}
+		default:
+			return nil, r.failf("unknown column type %d", typ)
+		}
+		nexc := r.uvarint("exception count")
+		if nexc > rows {
+			return nil, r.failf("exception count %d exceeds row count %d", nexc, rows)
+		}
+		if r.err == nil && nexc > 0 {
+			cs.Exc = make([]rel.ExcEntry, nexc)
+			for ei := range cs.Exc {
+				cs.Exc[ei].Row = int(r.uvarint("exception row"))
+				cs.Exc[ei].Val = r.value()
+			}
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		s.Columns = append(s.Columns, cs)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.remaining() != 0 {
+		return nil, r.failf("%d trailing bytes after table data", r.remaining())
+	}
+	return s, nil
+}
+
+// appendString writes a uvarint-length-prefixed string.
+func appendString(p []byte, s string) []byte {
+	p = binary.AppendUvarint(p, uint64(len(s)))
+	return append(p, s...)
+}
+
+// appendValue writes a full rel.Value: null flag, type, and all three
+// payload fields. Exceptions and redo records may carry values whose
+// payload fields are populated beyond the declared type (e.g. after
+// Coerce), so all of I, F, and S are preserved bit-for-bit.
+func appendValue(p []byte, v rel.Value) []byte {
+	p = append(p, boolByte(v.Null), byte(v.Typ))
+	p = binary.AppendVarint(p, v.I)
+	p = binary.LittleEndian.AppendUint64(p, math.Float64bits(v.F))
+	return appendString(p, v.S)
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// reader is a bounds-checked cursor over a payload. The first failure
+// sticks in err and every later read returns zero values, so decode
+// loops stay simple and can check err at their joins.
+type reader struct {
+	buf  []byte
+	off  int
+	kind string
+	err  error
+}
+
+func (r *reader) remaining() int { return len(r.buf) - r.off }
+
+func (r *reader) failf(format string, a ...any) error {
+	if r.err == nil {
+		r.err = fmt.Errorf("storage: corrupt %s at offset %d: %s", r.kind, r.off, fmt.Sprintf(format, a...))
+	}
+	return r.err
+}
+
+func (r *reader) byte(what string) byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.remaining() < 1 {
+		r.failf("truncated reading %s", what)
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+func (r *reader) u64(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.remaining() < 8 {
+		r.failf("truncated reading %s", what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) uvarint(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.failf("bad varint reading %s", what)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) varint(what string) int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.failf("bad varint reading %s", what)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) str(what string) string {
+	if r.err != nil {
+		return ""
+	}
+	n := r.uvarint(what + " length")
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(r.remaining()) {
+		r.failf("%s length %d exceeds remaining payload %d", what, n, r.remaining())
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+func (r *reader) value() rel.Value {
+	var v rel.Value
+	null := r.byte("value null flag")
+	typ := r.byte("value type")
+	v.I = r.varint("value int payload")
+	v.F = math.Float64frombits(r.u64("value float payload"))
+	v.S = r.str("value string payload")
+	if r.err != nil {
+		return rel.Value{}
+	}
+	if null > 1 {
+		r.failf("value null flag %d is not a boolean", null)
+		return rel.Value{}
+	}
+	switch rel.Type(typ) {
+	case rel.TInt, rel.TFloat, rel.TString:
+	default:
+		r.failf("value has unknown type %d", typ)
+		return rel.Value{}
+	}
+	v.Null = null == 1
+	v.Typ = rel.Type(typ)
+	return v
+}

@@ -1,0 +1,306 @@
+package storage
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/rel"
+)
+
+// Options configures Save and Open.
+type Options struct {
+	// Registry receives storage metrics (segment loads, bytes, latency,
+	// checksum failures). Nil disables metrics.
+	Registry *obs.Registry
+	// MappingSQL is the CREATE TABLE rendering of the logical design,
+	// recorded in the manifest at Save time for operators. Ignored by
+	// Open.
+	MappingSQL string
+}
+
+// Store is an opened on-disk store: the verified manifest plus lazily
+// loaded table segments. Segments are read, checksum-verified, and
+// structurally validated on first touch; redo records replay onto the
+// freshly loaded table before it is served.
+type Store struct {
+	dir string
+	man *Manifest
+	reg *obs.Registry
+
+	mu     sync.Mutex
+	tables map[string]*rel.Table
+	redo   map[string][]redoRecord
+	// redoFootOff is the file offset of the redo log's commit footer
+	// (where the next record goes); redoCount the committed record
+	// count. Both advance under mu as Append commits.
+	redoFootOff int64
+	redoCount   uint32
+}
+
+// Save writes the built database's base tables, an empty redo log, and
+// the manifest into dir (created if needed). The manifest is written
+// last via rename: a crash mid-save leaves no readable manifest, so a
+// later Open fails cleanly instead of serving a partial store.
+func Save(dir string, b *engine.Built, opts Options) (*Manifest, error) {
+	if b == nil || b.DB == nil {
+		return nil, fmt.Errorf("storage: nothing to save (nil build)")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: creating store directory: %w", err)
+	}
+	written := opts.Registry.Counter("storage.save.bytes_written")
+	man := &Manifest{
+		FormatVersion: SegmentVersion,
+		Design:        b.Config,
+		MappingSQL:    opts.MappingSQL,
+		RedoFile:      RedoName,
+	}
+	for i, t := range b.DB.Tables() {
+		seg := EncodeSegment(t.Snapshot())
+		name := fmt.Sprintf("t%04d.seg", i)
+		if err := writeFileSync(filepath.Join(dir, name), seg); err != nil {
+			return nil, err
+		}
+		written.Add(int64(len(seg)))
+		man.Tables = append(man.Tables, TableEntry{
+			Name:       t.Name,
+			Parent:     t.Parent,
+			File:       name,
+			Size:       int64(len(seg)),
+			CRC:        crc32.Checksum(seg, crcTable),
+			Rows:       t.RowCount(),
+			Generation: t.Generation(),
+			Bytes:      t.Bytes(),
+		})
+	}
+	redo := emptyRedoLog()
+	if err := writeFileSync(filepath.Join(dir, RedoName), redo); err != nil {
+		return nil, err
+	}
+	written.Add(int64(len(redo)))
+	mb, err := encodeManifest(man)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFileRename(dir, ManifestName, mb); err != nil {
+		return nil, err
+	}
+	written.Add(int64(len(mb)))
+	return man, nil
+}
+
+// Open reads and verifies the manifest and the redo log. Table
+// segments are not read yet — Table, Database, and Built load them on
+// first touch.
+func Open(dir string, opts Options) (*Store, error) {
+	start := time.Now()
+	mb, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("storage: opening store %s: %w", dir, err)
+	}
+	man, err := decodeManifest(mb)
+	if err != nil {
+		opts.Registry.Counter("storage.checksum.failures").Inc()
+		return nil, err
+	}
+	s := &Store{
+		dir:    dir,
+		man:    man,
+		reg:    opts.Registry,
+		tables: make(map[string]*rel.Table, len(man.Tables)),
+		redo:   make(map[string][]redoRecord),
+	}
+	if man.RedoFile != "" {
+		rb, err := os.ReadFile(filepath.Join(dir, man.RedoFile))
+		if err != nil {
+			return nil, fmt.Errorf("storage: opening redo log: %w", err)
+		}
+		recs, err := readRedo(rb)
+		if err != nil {
+			opts.Registry.Counter("storage.checksum.failures").Inc()
+			return nil, err
+		}
+		for _, rec := range recs {
+			if man.Table(rec.Table) == nil {
+				return nil, fmt.Errorf("storage: redo log references unknown table %q", rec.Table)
+			}
+			s.redo[rec.Table] = append(s.redo[rec.Table], rec)
+		}
+		s.redoFootOff = int64(len(rb)) - redoFooterSize
+		s.redoCount = uint32(len(recs))
+	}
+	opts.Registry.Gauge("storage.open.ms").Set(float64(time.Since(start).Nanoseconds()) / 1e6)
+	return s, nil
+}
+
+// Manifest returns the verified manifest.
+func (s *Store) Manifest() *Manifest { return s.man }
+
+// Table returns the named table, loading and verifying its segment on
+// first touch and replaying any redo records onto it. The returned
+// table is shared: every caller sees the same *rel.Table.
+func (s *Store) Table(name string) (*rel.Table, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tableLocked(name)
+}
+
+func (s *Store) tableLocked(name string) (*rel.Table, error) {
+	if t, ok := s.tables[name]; ok {
+		return t, nil
+	}
+	e := s.man.Table(name)
+	if e == nil {
+		return nil, fmt.Errorf("storage: no table %q in store %s", name, s.dir)
+	}
+	start := time.Now()
+	data, err := os.ReadFile(filepath.Join(s.dir, e.File))
+	if err != nil {
+		return nil, fmt.Errorf("storage: reading segment for table %q: %w", name, err)
+	}
+	if int64(len(data)) != e.Size {
+		s.reg.Counter("storage.checksum.failures").Inc()
+		return nil, fmt.Errorf("storage: segment %s is %d bytes, manifest says %d", e.File, len(data), e.Size)
+	}
+	if got := crc32.Checksum(data, crcTable); got != e.CRC {
+		s.reg.Counter("storage.checksum.failures").Inc()
+		return nil, fmt.Errorf("storage: segment %s checksum mismatch: manifest says %08x, file hashes to %08x", e.File, e.CRC, got)
+	}
+	snap, err := DecodeSegment(data)
+	if err != nil {
+		s.reg.Counter("storage.checksum.failures").Inc()
+		return nil, err
+	}
+	if snap.Name != e.Name {
+		return nil, fmt.Errorf("storage: segment %s holds table %q, manifest says %q", e.File, snap.Name, e.Name)
+	}
+	t, err := rel.TableFromSnapshot(snap)
+	if err != nil {
+		return nil, fmt.Errorf("storage: segment %s: %w", e.File, err)
+	}
+	if t.RowCount() != e.Rows || t.Generation() != e.Generation || t.Bytes() != e.Bytes {
+		return nil, fmt.Errorf("storage: segment %s decodes to %d rows / generation %d / %d bytes, manifest says %d / %d / %d",
+			e.File, t.RowCount(), t.Generation(), t.Bytes(), e.Rows, e.Generation, e.Bytes)
+	}
+	for _, rec := range s.redo[name] {
+		if len(rec.Row) != len(t.Columns) {
+			return nil, fmt.Errorf("storage: redo record for table %q has %d values, table has %d columns", name, len(rec.Row), len(t.Columns))
+		}
+		t.AppendRow(rec.Row)
+	}
+	s.tables[name] = t
+	s.reg.Counter("storage.segment.loads").Inc()
+	s.reg.Counter("storage.segment.load_ns").Add(time.Since(start).Nanoseconds())
+	s.reg.Counter("storage.segment.bytes_read").Add(int64(len(data)))
+	return t, nil
+}
+
+// Database loads every table in manifest order and returns them as a
+// database.
+func (s *Store) Database() (*rel.Database, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	db := rel.NewDatabase()
+	for i := range s.man.Tables {
+		t, err := s.tableLocked(s.man.Tables[i].Name)
+		if err != nil {
+			return nil, err
+		}
+		db.Add(t)
+	}
+	return db, nil
+}
+
+// Built loads the full database and rebuilds the physical design the
+// store was saved with — indexes, materialized views, and vertical
+// partitions are reconstructed from the base tables, restoring warm
+// serving after a restart.
+func (s *Store) Built() (*engine.Built, error) {
+	start := time.Now()
+	db, err := s.Database()
+	if err != nil {
+		return nil, err
+	}
+	b, err := engine.Build(db, s.man.Design)
+	if err != nil {
+		return nil, fmt.Errorf("storage: rebuilding physical design: %w", err)
+	}
+	s.reg.Gauge("storage.built.ms").Set(float64(time.Since(start).Nanoseconds()) / 1e6)
+	return b, nil
+}
+
+// Append durably logs one row append and applies it to the (loaded)
+// table, so a later Open of the same directory replays it and lands on
+// the same row count and generation.
+func (s *Store) Append(table string, row []rel.Value) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.man.RedoFile == "" {
+		return fmt.Errorf("storage: store has no redo log")
+	}
+	t, err := s.tableLocked(table)
+	if err != nil {
+		return err
+	}
+	if len(row) != len(t.Columns) {
+		return fmt.Errorf("storage: append to %q has %d values, table has %d columns", table, len(row), len(t.Columns))
+	}
+	foot, err := appendRedoRecord(filepath.Join(s.dir, s.man.RedoFile), table, row, s.redoFootOff, s.redoCount+1)
+	if err != nil {
+		return err
+	}
+	s.redoFootOff = foot
+	s.redoCount++
+	t.AppendRow(row)
+	s.redo[table] = append(s.redo[table], redoRecord{Table: table, Row: append([]rel.Value(nil), row...)})
+	return nil
+}
+
+// writeFileSync writes a file and fsyncs it before close.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: creating %s: %w", path, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: writing %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: syncing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// writeFileRename writes data to a temp file in dir, syncs it, and
+// renames it over name — the atomic-publish step that makes the
+// manifest the commit point of Save.
+func writeFileRename(dir, name string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, name+".tmp*")
+	if err != nil {
+		return fmt.Errorf("storage: creating temp manifest: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("storage: writing temp manifest: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("storage: syncing temp manifest: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("storage: closing temp manifest: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+		return fmt.Errorf("storage: publishing manifest: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,330 @@
+package storage
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/physical"
+	"repro/internal/rel"
+)
+
+// fixtureDB builds a two-table parent/child database exercising every
+// storage shape: all three types, NULLs, duplicate strings, non-finite
+// floats, and bit-faithfulness exceptions (wrong-typed appends).
+func fixtureDB() *rel.Database {
+	book := rel.NewTable("book", []rel.Column{
+		{Name: rel.IDColumn, Typ: rel.TInt},
+		{Name: rel.PIDColumn, Typ: rel.TInt, Nullable: true},
+		{Name: "title", Typ: rel.TString, Nullable: true, LeafID: 3},
+		{Name: "price", Typ: rel.TFloat, Nullable: true, LeafID: 4},
+	})
+	bookRows := [][]rel.Value{
+		{rel.Int(1), rel.NullOf(rel.TInt), rel.Str("TCP/IP Illustrated"), rel.Float(65.95)},
+		{rel.Int(2), rel.NullOf(rel.TInt), rel.Str("Data on the Web"), rel.Float(math.NaN())},
+		{rel.Int(3), rel.NullOf(rel.TInt), rel.Str("TCP/IP Illustrated"), rel.Float(math.Copysign(0, -1))},
+		{rel.Int(4), rel.NullOf(rel.TInt), rel.NullOf(rel.TString), rel.Float(math.Inf(1))},
+		// Wrong-typed appends: exception-slot rows.
+		{rel.Int(5), rel.NullOf(rel.TInt), rel.Int(1998), rel.Str("39.95")},
+	}
+	for _, r := range bookRows {
+		book.AppendRow(r)
+	}
+	author := rel.NewTable("author", []rel.Column{
+		{Name: rel.IDColumn, Typ: rel.TInt},
+		{Name: rel.PIDColumn, Typ: rel.TInt},
+		{Name: "last", Typ: rel.TString, LeafID: 7},
+		{Name: "born", Typ: rel.TInt, Nullable: true, LeafID: 8, Occurrence: 1},
+	})
+	authorRows := [][]rel.Value{
+		{rel.Int(1), rel.Int(1), rel.Str("Stevens"), rel.Int(1951)},
+		{rel.Int(2), rel.Int(2), rel.Str("Abiteboul"), rel.NullOf(rel.TInt)},
+		{rel.Int(3), rel.Int(2), rel.Str("Buneman"), rel.Int(1943)},
+		{rel.Int(4), rel.Int(2), rel.Str("Suciu"), rel.Int(1959)},
+		{rel.Int(5), rel.Int(3), rel.Str("Stevens"), rel.Int(1951)},
+	}
+	author.Parent = "book"
+	for _, r := range authorRows {
+		author.AppendRow(r)
+	}
+	db := rel.NewDatabase()
+	db.Add(book)
+	db.Add(author)
+	return db
+}
+
+// fixtureConfig is a physical design using all three structure kinds,
+// so Built() reconstruction is exercised end to end.
+func fixtureConfig() *physical.Config {
+	return &physical.Config{
+		Indexes: []*physical.Index{
+			{Name: "ix_author_last", Table: "author", Key: []string{"last"}, Include: []string{"born"}},
+		},
+		Views: []*physical.View{
+			{Name: "v_book_author", Outer: "book", Inner: "author",
+				OuterCols: []string{"title"}, InnerCols: []string{"last"}},
+		},
+		Partitions: []*physical.VPartition{
+			{Table: "author", Groups: [][]string{{"last"}, {"born"}}},
+		},
+	}
+}
+
+func fixtureBuilt(t *testing.T) *engine.Built {
+	t.Helper()
+	b, err := engine.Build(fixtureDB(), fixtureConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// tablesBitEqual compares two tables through the public API down to the
+// bit level: schema, row count, generation, byte accounting, and every
+// value under Value.BitEqual.
+func tablesBitEqual(t *testing.T, a, b *rel.Table) {
+	t.Helper()
+	if a.Name != b.Name || a.Parent != b.Parent {
+		t.Fatalf("identity differs: %q/%q vs %q/%q", a.Name, a.Parent, b.Name, b.Parent)
+	}
+	if len(a.Columns) != len(b.Columns) {
+		t.Fatalf("column count %d vs %d", len(a.Columns), len(b.Columns))
+	}
+	for i := range a.Columns {
+		if a.Columns[i] != b.Columns[i] {
+			t.Fatalf("column %d differs: %+v vs %+v", i, a.Columns[i], b.Columns[i])
+		}
+	}
+	if a.RowCount() != b.RowCount() {
+		t.Fatalf("row count %d vs %d", a.RowCount(), b.RowCount())
+	}
+	if a.Generation() != b.Generation() {
+		t.Fatalf("generation %d vs %d", a.Generation(), b.Generation())
+	}
+	if a.Bytes() != b.Bytes() || a.Pages() != b.Pages() {
+		t.Fatalf("accounting %d bytes/%d pages vs %d/%d", a.Bytes(), a.Pages(), b.Bytes(), b.Pages())
+	}
+	for r := 0; r < a.RowCount(); r++ {
+		for c := range a.Columns {
+			if av, bv := a.ValueAt(r, c), b.ValueAt(r, c); !av.BitEqual(bv) {
+				t.Fatalf("value (%d,%d): %v vs %v", r, c, av, bv)
+			}
+			if a.IsNullAt(r, c) != b.IsNullAt(r, c) {
+				t.Fatalf("nullness (%d,%d) differs", r, c)
+			}
+		}
+	}
+}
+
+func TestSaveOpenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	built := fixtureBuilt(t)
+	man, err := Save(dir, built, Options{MappingSQL: "CREATE TABLE book (...)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.FormatVersion != SegmentVersion || man.Design == nil || man.MappingSQL == "" {
+		t.Fatalf("manifest incomplete: %+v", man)
+	}
+	if len(man.Tables) != 2 || man.Tables[0].Name != "book" || man.Tables[1].Name != "author" {
+		t.Fatalf("manifest table order wrong: %+v", man.Tables)
+	}
+	if man.Tables[1].Parent != "book" {
+		t.Fatalf("parent not recorded: %+v", man.Tables[1])
+	}
+
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := st.Built()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, orig := range built.DB.Tables() {
+		got := reopened.DB.Table(orig.Name)
+		if got == nil {
+			t.Fatalf("table %q missing after reopen", orig.Name)
+		}
+		tablesBitEqual(t, orig, got)
+	}
+	// The rebuilt physical structures must account to the same size —
+	// indexes, views, and partitions are derived deterministically from
+	// bit-identical base tables.
+	if reopened.StructBytes != built.StructBytes {
+		t.Fatalf("StructBytes %d after reopen, want %d", reopened.StructBytes, built.StructBytes)
+	}
+	if reopened.ViewTable("v_book_author") == nil {
+		t.Fatal("materialized view not rebuilt")
+	}
+	if reopened.PartGroup("author", 1) == nil {
+		t.Fatal("partition groups not rebuilt")
+	}
+}
+
+func TestLazyLoadingAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	if _, err := Save(dir, fixtureBuilt(t), Options{Registry: reg}); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Counter("storage.save.bytes_written").Value() <= 0 {
+		t.Fatal("save wrote no accounted bytes")
+	}
+	st, err := Open(dir, Options{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := reg.Counter("storage.segment.loads")
+	if loads.Value() != 0 {
+		t.Fatalf("Open eagerly loaded %d segments", loads.Value())
+	}
+	if _, err := st.Table("book"); err != nil {
+		t.Fatal(err)
+	}
+	if loads.Value() != 1 {
+		t.Fatalf("after one Table call: %d loads, want 1", loads.Value())
+	}
+	// Second touch serves the cached table.
+	if _, err := st.Table("book"); err != nil {
+		t.Fatal(err)
+	}
+	if loads.Value() != 1 {
+		t.Fatalf("cached table reloaded: %d loads", loads.Value())
+	}
+	if _, err := st.Database(); err != nil {
+		t.Fatal(err)
+	}
+	if loads.Value() != 2 {
+		t.Fatalf("after Database: %d loads, want 2", loads.Value())
+	}
+	if reg.Counter("storage.segment.bytes_read").Value() <= 0 {
+		t.Fatal("no segment bytes accounted")
+	}
+	if _, err := st.Table("nope"); err == nil {
+		t.Fatal("unknown table served")
+	}
+}
+
+func TestRedoReplay(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Save(dir, fixtureBuilt(t), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Appends cover the exception path too: a wrong-typed value must
+	// survive the redo log bit-for-bit.
+	appends := [][]rel.Value{
+		{rel.Int(6), rel.NullOf(rel.TInt), rel.Str("New Book"), rel.Float(12.5)},
+		{rel.Int(7), rel.NullOf(rel.TInt), rel.Int(-1), rel.Float(math.NaN())},
+	}
+	for _, row := range appends {
+		if err := st.Append("book", row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	live, err := st.Table("book")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.RowCount() != 7 {
+		t.Fatalf("live table has %d rows after appends, want 7", live.RowCount())
+	}
+
+	again, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := again.Table("book")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tablesBitEqual(t, live, replayed)
+
+	// Width mismatches are refused before touching the table.
+	if err := st.Append("book", []rel.Value{rel.Int(99)}); err == nil {
+		t.Fatal("short row accepted")
+	}
+	if err := st.Append("ghost", appends[0]); err == nil {
+		t.Fatal("append to unknown table accepted")
+	}
+}
+
+func TestManifestIsCommitPoint(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Save(dir, fixtureBuilt(t), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash before the manifest rename: segments exist but
+	// no manifest — the store must be unopenable.
+	if err := os.Remove(filepath.Join(dir, ManifestName)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("store without manifest opened")
+	}
+}
+
+func TestOpenRejectsEscapingFileNames(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Save(dir, fixtureBuilt(t), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	mb, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, err := decodeManifest(mb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man.Tables[0].File = "../outside.seg"
+	evil, err := encodeManifest(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), evil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(dir, Options{})
+	if err == nil || !strings.Contains(err.Error(), "not a bare name") {
+		t.Fatalf("path-escaping manifest accepted: %v", err)
+	}
+}
+
+func TestOpenRejectsGenerationDrift(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Save(dir, fixtureBuilt(t), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	mb, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, err := decodeManifest(mb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man.Tables[0].Generation++
+	drifted, err := encodeManifest(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), drifted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Table(man.Tables[0].Name); err == nil {
+		t.Fatal("segment disagreeing with manifest generation served")
+	}
+}

@@ -49,6 +49,13 @@ const (
 	maxDisabledDrift   = 1.05
 	maxEnabledOverhead = 1.25
 	maxWorkersOverhead = 1.50
+	// maxReopenDrift bounds the -mode reopen check: StoreReopen /
+	// SegmentDecode measured now against the same ratio in
+	// BENCH_PR7.json. The reopen path adds file reads, whole-file CRCs,
+	// manifest checks, and redo replay on top of the codec, so the
+	// ratio is what the bound pins — a reopen-latency regression that
+	// is not just "the codec got slower everywhere" fails.
+	maxReopenDrift = 1.50
 )
 
 type baseline struct {
@@ -79,9 +86,8 @@ func loadBaseline(path string) map[string]float64 {
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_PR3.json", "baseline benchmark JSON")
 	columnarPath := flag.String("columnar", "", "columnar baseline JSON (BENCH_PR6.json); empty skips the columnar bound")
+	mode := flag.String("mode", "executor", `guard mode: "executor" (the PR 3/6 executor bounds) or "reopen" (store reopen latency vs the PR 7 baseline)`)
 	flag.Parse()
-
-	baseNs := loadBaseline(*baselinePath)
 
 	measured := map[string]float64{}
 	sc := bufio.NewScanner(os.Stdin)
@@ -112,6 +118,32 @@ func main() {
 		}
 		return v
 	}
+
+	if *mode == "reopen" {
+		// Store-reopen drift: BenchmarkStoreReopen covers Open + every
+		// segment load (checksum, decode, validate); BenchmarkSegmentDecode
+		// is the pure codec, which normalizes out machine speed the same
+		// way the reference executor does for the executor bounds.
+		baseNs := loadBaseline(*baselinePath)
+		decBase := need(baseNs, "BenchmarkSegmentDecode", *baselinePath)
+		reopenBase := need(baseNs, "BenchmarkStoreReopen", *baselinePath)
+		decNow := need(measured, "BenchmarkSegmentDecode", "bench output")
+		reopenNow := need(measured, "BenchmarkStoreReopen", "bench output")
+		drift := (reopenNow / decNow) / (reopenBase / decBase)
+		fmt.Printf("benchguard: reopen drift %.3f (bound %.2f)\n", drift, maxReopenDrift)
+		if drift > maxReopenDrift {
+			fmt.Printf("benchguard: FAIL: store reopen regressed %.1f%% vs %s (normalized by the segment codec)\n",
+				(drift-1)*100, *baselinePath)
+			os.Exit(1)
+		}
+		fmt.Println("benchguard: OK")
+		return
+	}
+	if *mode != "executor" {
+		fatal("unknown -mode %q", *mode)
+	}
+
+	baseNs := loadBaseline(*baselinePath)
 	refBase := need(baseNs, "BenchmarkExecuteReference", *baselinePath)
 	prepBase := need(baseNs, "BenchmarkExecutePrepared", *baselinePath)
 	refNow := need(measured, "BenchmarkExecuteReference", "bench output")
