@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -47,6 +48,9 @@ func main() {
 	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve /debug/vars, /debug/metrics, and /debug/pprof on this address while running")
 	flag.StringVar(&cfg.saveDir, "save-dir", "", "persist the loaded data and recommended design as a durable store in this directory")
 	flag.StringVar(&cfg.openDir, "open-dir", "", "reopen a store saved with -save-dir, verify it, and print its summary (no advisor run)")
+	flag.Int64Var(&cfg.memBudgetMB, "mem-budget", 0, "memory budget in MB for -open-dir: column chunks beyond the budget are paged in on demand and evicted (0 = unlimited, everything stays resident)")
+	flag.IntVar(&cfg.chunkRows, "chunk-rows", 0, "rows per column chunk for segments written by -save-dir (0 = default 4096, -1 = legacy whole-table segments, else a positive multiple of 64)")
+	flag.IntVar(&cfg.compactThreshold, "compact-threshold", 0, "redo-log rows that trigger background compaction on an opened store (0 = compact only on demand)")
 	flag.Parse()
 	if *trace {
 		traceWriter = os.Stderr
@@ -69,6 +73,8 @@ type cliConfig struct {
 	execute, showSQL                                bool
 	traceJSON, debugAddr                            string
 	saveDir, openDir                                string
+	memBudgetMB                                     int64
+	chunkRows, compactThreshold                     int
 }
 
 func run(c cliConfig) error {
@@ -190,6 +196,7 @@ func run(c cliConfig) error {
 		man, err := storage.Save(c.saveDir, built, storage.Options{
 			Registry:   reg,
 			MappingSQL: res.Mapping.SQLSchema(),
+			ChunkRows:  c.chunkRows,
 		})
 		if err != nil {
 			return err
@@ -212,23 +219,44 @@ func run(c cliConfig) error {
 
 // openStore reopens a saved store: it verifies the manifest, loads and
 // validates every segment, rebuilds the physical design, and prints a
-// summary with the cold reopen latency.
+// summary with the cold reopen latency, the redo-log tail, and what the
+// pager kept resident under the memory budget.
 func openStore(c cliConfig) error {
 	reg := obs.NewRegistry()
-	st, err := storage.Open(c.openDir, storage.Options{Registry: reg})
+	st, err := storage.Open(c.openDir, storage.Options{
+		Registry:       reg,
+		MemBudgetBytes: c.memBudgetMB << 20,
+		CompactRecords: c.compactThreshold,
+	})
 	if err != nil {
 		return err
 	}
+	defer st.Close()
 	man := st.Manifest()
-	fmt.Printf("store %s (segment format v%d)\n", c.openDir, man.FormatVersion)
+	fmt.Printf("store %s (segment format v%d, epoch %d)\n", c.openDir, man.FormatVersion, man.Epoch)
 	built, err := st.Built()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-20s %10s %12s %12s  %s\n", "table", "rows", "generation", "bytes", "segment")
+	fmt.Printf("%-20s %10s %12s %12s %10s  %s\n", "table", "rows", "generation", "bytes", "chunk", "segment")
 	for _, e := range man.Tables {
-		fmt.Printf("%-20s %10d %12d %12d  %s\n", e.Name, e.Rows, e.Generation, e.Bytes, e.File)
+		chunk := "whole"
+		if e.ChunkRows > 0 {
+			chunk = fmt.Sprintf("%d", e.ChunkRows)
+		}
+		fmt.Printf("%-20s %10d %12d %12d %10s  %s\n", e.Name, e.Rows, e.Generation, e.Bytes, chunk, e.File)
 	}
+	var redoBytes int64
+	if man.RedoFile != "" {
+		if fi, err := os.Stat(filepath.Join(c.openDir, man.RedoFile)); err == nil {
+			redoBytes = fi.Size()
+		}
+	}
+	fmt.Printf("redo %s: %d rows, %d KB (generation %d)", man.RedoFile, st.RedoRows(), redoBytes>>10, man.Epoch)
+	if c.compactThreshold > 0 && st.RedoRows() >= c.compactThreshold {
+		fmt.Printf("  [compaction due: tail >= %d rows]", c.compactThreshold)
+	}
+	fmt.Println()
 	if man.Design != nil {
 		if s := man.Design.String(); s != "" {
 			fmt.Printf("\n-- physical design --\n%s", s)
@@ -238,10 +266,17 @@ func openStore(c cliConfig) error {
 		fmt.Printf("\n-- logical design (SQL schema) --\n%s\n", man.MappingSQL)
 	}
 	snap := reg.Snapshot()
+	tableRes, chunkRes := st.ResidentBytes()
 	fmt.Printf("\nreopened warm: %d tables, data %d KB, structures %d KB, segments read %.0f KB, open+rebuild %.1f ms\n",
 		len(man.Tables), built.DB.Bytes()>>10, built.StructBytes>>10,
 		snap["storage.segment.bytes_read"]/1024,
 		snap["storage.open.ms"]+snap["storage.built.ms"])
+	fmt.Printf("resident: tables %d KB, chunk cache %d KB", tableRes>>10, chunkRes>>10)
+	if c.memBudgetMB > 0 {
+		fmt.Printf(" (budget %d MB, faults %.0f, evictions %.0f)",
+			c.memBudgetMB, snap["storage.pager.faults"], snap["storage.pager.evictions"])
+	}
+	fmt.Println()
 	return nil
 }
 

@@ -152,10 +152,19 @@ func TestRunSaveOpen(t *testing.T) {
 	out = captureStdout(t, func() error {
 		return run(cliConfig{openDir: store})
 	})
-	for _, want := range []string{"segment format v", "reopened warm", "logical design (SQL schema)", "CREATE TABLE"} {
+	for _, want := range []string{"segment format v2, epoch 0", "reopened warm",
+		"logical design (SQL schema)", "CREATE TABLE", "redo redo.log: 0 rows", "resident: tables"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("open summary missing %q:\n%s", want, out)
 		}
+	}
+
+	// A budgeted reopen reports the pager traffic alongside residency.
+	out = captureStdout(t, func() error {
+		return run(cliConfig{openDir: store, memBudgetMB: 1})
+	})
+	if !strings.Contains(out, "budget 1 MB") || !strings.Contains(out, "faults") {
+		t.Errorf("budgeted open summary missing pager stats:\n%s", out)
 	}
 
 	// A corrupted store must reopen as an error, not a summary.

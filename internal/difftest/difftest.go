@@ -47,6 +47,11 @@ type Case struct {
 	// return bit-identical results at identical plan costs from the
 	// reopened store.
 	Persist bool
+	// PersistBudget is the memory budget (bytes) the reopened store runs
+	// under. Zero derives a deliberately tiny budget from the database
+	// size, so the round trip exercises chunk paging and table eviction;
+	// a value > 1 pins an explicit budget (as recorded in replay specs).
+	PersistBudget int64
 }
 
 // DefaultCase is the standard trial shape for a seed.
@@ -55,16 +60,19 @@ func DefaultCase(seed int64) Case {
 }
 
 // ReplaySpec renders the case in the format DIFFTEST_REPLAY accepts.
+// The persist field is three-valued: 0 disables the round trip, 1
+// enables it with the auto-derived tiny budget, and a value > 1 pins
+// the exact budget bytes a failing trial ran under.
 func (c Case) ReplaySpec() string {
-	return fmt.Sprintf("seed=%d,roots=%d,steps=%d,queries=%d,only=%d,persist=%d",
-		c.Seed, c.RootInstances, c.Steps, c.Queries, c.Only, boolInt(c.Persist))
-}
-
-func boolInt(b bool) int {
-	if b {
-		return 1
+	persist := 0
+	if c.Persist {
+		persist = 1
+		if c.PersistBudget > 1 {
+			persist = int(c.PersistBudget)
+		}
 	}
-	return 0
+	return fmt.Sprintf("seed=%d,roots=%d,steps=%d,queries=%d,only=%d,persist=%d",
+		c.Seed, c.RootInstances, c.Steps, c.Queries, c.Only, persist)
 }
 
 // ParseReplay parses a ReplaySpec back into a Case.
@@ -96,6 +104,11 @@ func ParseReplay(s string) (Case, error) {
 			c.Only = int(v)
 		case "persist":
 			c.Persist = v != 0
+			if v > 1 {
+				c.PersistBudget = v
+			} else {
+				c.PersistBudget = 0
+			}
 		default:
 			return c, fmt.Errorf("difftest: unknown replay key %q", parts[0])
 		}
@@ -290,15 +303,26 @@ func Run(c Case) (RunStats, *Mismatch) {
 	var reopened *engine.Built
 	var reopenedOpt *optimizer.Optimizer
 	if c.Persist {
+		// The reopened store runs under a deliberately tiny memory
+		// budget (unless the replay spec pins one), with small chunks so
+		// even modest trial databases page: the round trip then covers
+		// chunk faulting, CLOCK eviction, and table reassembly, and the
+		// budget lands in the replay spec of any failure.
+		if c.PersistBudget <= 1 {
+			c.PersistBudget = db.Bytes() / 3
+			if c.PersistBudget < 4096 {
+				c.PersistBudget = 4096
+			}
+		}
 		dir, derr := os.MkdirTemp("", "difftest-store-")
 		if derr != nil {
 			return st, fail("persistence-round-trip", -1, "", "scratch dir: %v", derr)
 		}
 		defer os.RemoveAll(dir)
-		if _, serr := storage.Save(dir, built, storage.Options{}); serr != nil {
+		if _, serr := storage.Save(dir, built, storage.Options{ChunkRows: 64}); serr != nil {
 			return st, fail("persistence-round-trip", -1, "", "save: %v (config %v)", serr, cfg)
 		}
-		store, oerr := storage.Open(dir, storage.Options{})
+		store, oerr := storage.Open(dir, storage.Options{MemBudgetBytes: c.PersistBudget, ChunkRows: 64})
 		if oerr != nil {
 			return st, fail("persistence-round-trip", -1, "", "open: %v", oerr)
 		}

@@ -92,6 +92,10 @@ func TestReplaySpecRoundTrip(t *testing.T) {
 		DefaultCase(7),
 		{Seed: -3, RootInstances: 1, Steps: 0, Queries: 2, Only: 1, CheckCosts: true},
 		{Seed: 1 << 40, RootInstances: 12, Steps: 9, Queries: 8, Only: -1, CheckCosts: true},
+		// persist is three-valued: an explicit memory budget survives the
+		// round trip (persist=65536), auto stays auto (persist=1).
+		{Seed: 5, RootInstances: 2, Steps: 1, Queries: 1, Only: -1, CheckCosts: true, Persist: true, PersistBudget: 65536},
+		{Seed: 5, RootInstances: 2, Steps: 1, Queries: 1, Only: -1, CheckCosts: true, Persist: true},
 	}
 	for _, c := range cases {
 		got, err := ParseReplay(c.ReplaySpec())

@@ -54,6 +54,22 @@ func (g *Gauge) Value() float64 {
 	return math.Float64frombits(g.bits.Load())
 }
 
+// Add atomically adjusts the gauge by d (CAS loop). Level-style gauges
+// — resident bytes, queue depths — are maintained by concurrent
+// holders adding and subtracting; Set would lose updates.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Registry is a named set of counters and gauges. Metrics are created
 // on first use and live for the registry's lifetime; reads are atomic
 // and never block writers. A nil *Registry hands out nil metrics,

@@ -56,9 +56,9 @@ func BenchmarkSegmentDecode(b *testing.B) {
 	}
 }
 
-// BenchmarkStoreReopen measures the full restart-warm path: Open plus
-// loading every table (checksum, decode, validate, redo replay).
-func BenchmarkStoreReopen(b *testing.B) {
+// benchStore saves the bench database once and returns the store dir.
+func benchStore(b *testing.B, saveOpts Options) string {
+	b.Helper()
 	dir := b.TempDir()
 	cfg := &physical.Config{
 		Indexes: []*physical.Index{{Name: "ix_fact_k", Table: "fact", Key: []string{"k"}}},
@@ -67,12 +67,19 @@ func BenchmarkStoreReopen(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, err := Save(dir, built, Options{}); err != nil {
+	if _, err := Save(dir, built, saveOpts); err != nil {
 		b.Fatal(err)
 	}
+	return dir
+}
+
+// benchReopen measures the full restart-warm path: Open plus loading
+// every table (checksum, decode, validate, redo replay).
+func benchReopen(b *testing.B, dir string, openOpts Options) {
+	b.Helper()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		st, err := Open(dir, Options{})
+		st, err := Open(dir, openOpts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -80,4 +87,113 @@ func BenchmarkStoreReopen(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkStoreReopen is the default (chunked) format with no memory
+// budget: every chunk is read, verified, and merged once.
+func BenchmarkStoreReopen(b *testing.B) {
+	benchReopen(b, benchStore(b, Options{}), Options{})
+}
+
+// BenchmarkStoreReopenV1 pins the legacy whole-table format — the
+// fully resident path earlier baselines recorded; benchguard holds it
+// within noise of the PR 7 numbers.
+func BenchmarkStoreReopenV1(b *testing.B) {
+	benchReopen(b, benchStore(b, Options{ChunkRows: -1}), Options{ChunkRows: -1})
+}
+
+// BenchmarkStoreReopenBudgeted is the cold-chunk scan: a budget a
+// quarter of the table forces the pager to fault and evict its way
+// through every chunk on each reopen.
+func BenchmarkStoreReopenBudgeted(b *testing.B) {
+	budget := benchDB().Table("fact").Bytes() / 4
+	benchReopen(b, benchStore(b, Options{}), Options{MemBudgetBytes: budget})
+}
+
+// BenchmarkScanResident is the warm counterpart: the assembled table
+// is served from the store cache with no chunk traffic.
+func BenchmarkScanResident(b *testing.B) {
+	dir := benchStore(b, Options{})
+	st, err := Open(dir, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := st.Table("fact"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Table("fact"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchAppendRow(i int) []rel.Value {
+	return []rel.Value{
+		rel.Int(int64(1 << 30)), rel.NullOf(rel.TInt),
+		rel.Str(fmt.Sprintf("key-%d", i%500)), rel.Float(float64(i)), rel.Int(int64(i % 97)),
+	}
+}
+
+// BenchmarkAppendSingle is one durable row per op: each append pays a
+// full redo fsync.
+func BenchmarkAppendSingle(b *testing.B) {
+	st, err := Open(benchStore(b, Options{}), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := st.Table("fact"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Append("fact", benchAppendRow(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAppendBatch100 is 100 durable rows per op under one group
+// commit; benchguard divides by 100 and requires the per-row cost to
+// beat the single-append path.
+func BenchmarkAppendBatch100(b *testing.B) {
+	st, err := Open(benchStore(b, Options{}), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := st.Table("fact"); err != nil {
+		b.Fatal(err)
+	}
+	rows := make([][]rel.Value, 100)
+	for i := range rows {
+		rows[i] = benchAppendRow(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.AppendBatch("fact", rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReopenAfterCompaction: a grown redo log folded back into
+// fresh segments must reopen at segment speed, not replay speed.
+func BenchmarkReopenAfterCompaction(b *testing.B) {
+	dir := benchStore(b, Options{})
+	st, err := Open(dir, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := make([][]rel.Value, 500)
+	for i := range rows {
+		rows[i] = benchAppendRow(i)
+	}
+	if err := st.AppendBatch("fact", rows); err != nil {
+		b.Fatal(err)
+	}
+	if err := st.Compact(); err != nil {
+		b.Fatal(err)
+	}
+	benchReopen(b, dir, Options{})
 }

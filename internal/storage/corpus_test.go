@@ -1,0 +1,90 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"repro/internal/rel"
+)
+
+// corpusEntry renders one seed in the Go fuzzing corpus file format.
+func corpusEntry(data []byte) []byte {
+	return []byte("go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n")
+}
+
+// TestFuzzCorpusChecked pins the checked-in fuzz corpora under
+// testdata/fuzz/: the interesting wire-format shapes are committed so
+// CI fuzz-smoke starts from real coverage instead of an empty corpus.
+// Regenerate with -update after a (version-bumped) format change.
+func TestFuzzCorpusChecked(t *testing.T) {
+	chunked := func(tb *rel.Table, rows int) []byte {
+		enc, err := EncodeChunkedSegment(tb.Snapshot(), rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return enc
+	}
+	book := fixtureDB().Table("book")
+	multi := multiChunkDB(200).Table("fact")
+	empty := rel.NewTable("e", []rel.Column{{Name: rel.IDColumn, Typ: rel.TInt}})
+
+	batched := emptyRedoLog(RedoBatchVersion)[:redoHeaderSize]
+	batched = append(batched, encodeRedoBatchRecord("book", [][]rel.Value{
+		{rel.Int(1), rel.Str("x")},
+		{rel.Int(2), rel.Str("y")},
+		{rel.NullOf(rel.TInt), rel.Str("z")},
+	})...)
+	batched = append(batched, encodeRedoFooter(3)...)
+	single := emptyRedoLog(RedoVersion)[:redoHeaderSize]
+	single = append(single, encodeRedoRecord("book", []rel.Value{rel.Int(1), rel.Str("x")})...)
+	single = append(single, encodeRedoFooter(1)...)
+
+	corpora := map[string]map[string][]byte{
+		"FuzzChunkDecode": {
+			"book-64":        chunked(book, 64),
+			"multichunk-64":  chunked(multi, 64),
+			"empty-default":  chunked(empty, DefaultChunkRows),
+			"dir-garbage":    wrapEnvelope(chunkDirMagic, ChunkSegmentVersion, []byte{0x01, 0x61, 0x00, 0xff, 0xff, 0xff, 0xff}),
+			"truncated-book": chunked(book, 64)[:envelopeSize+9],
+		},
+		"FuzzRedoDecode": {
+			"empty-v1":   emptyRedoLog(RedoVersion),
+			"empty-v2":   emptyRedoLog(RedoBatchVersion),
+			"single-v1":  single,
+			"batched-v2": batched,
+		},
+		"FuzzSegmentDecode": {
+			"book":  EncodeSegment(book.Snapshot()),
+			"empty": EncodeSegment(empty.Snapshot()),
+		},
+	}
+	for fuzzName, entries := range corpora {
+		for name, data := range entries {
+			path := filepath.Join("testdata", "fuzz", fuzzName, name)
+			want := corpusEntry(data)
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, want, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			got, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("corpus entry missing (regenerate with -update): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("corpus entry %s drifted from the current encoder (regenerate with -update)", path)
+			}
+		}
+	}
+	if t.Failed() {
+		t.Fatal(fmt.Sprintf("checked-in corpora under %s are stale", filepath.Join("testdata", "fuzz")))
+	}
+}

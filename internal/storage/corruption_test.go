@@ -6,15 +6,16 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/rel"
 )
 
 // saveFixtureWithRedo saves the fixture and appends a couple of redo
 // records, so corruption trials cover segments, manifest, and a
 // non-empty redo log.
-func saveFixtureWithRedo(t *testing.T, dir string) {
+func saveFixtureWithRedo(t *testing.T, dir string, opts Options) {
 	t.Helper()
-	if _, err := Save(dir, fixtureBuilt(t), Options{MappingSQL: "CREATE ..."}); err != nil {
+	if _, err := Save(dir, fixtureBuilt(t), Options{MappingSQL: "CREATE ...", ChunkRows: opts.ChunkRows}); err != nil {
 		t.Fatal(err)
 	}
 	st, err := Open(dir, Options{})
@@ -27,6 +28,40 @@ func saveFixtureWithRedo(t *testing.T, dir string) {
 	}
 	for _, r := range rows {
 		if err := st.Append("book", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// saveCompactedMultiChunk builds a store exercising the other half of
+// the format surface: multi-chunk segments, a completed compaction
+// (epoch 1 file names), and a fresh redo tail on the new epoch.
+func saveCompactedMultiChunk(t *testing.T, dir string) {
+	t.Helper()
+	built, err := engine.Build(multiChunkDB(200), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Save(dir, built, Options{ChunkRows: 64}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir, Options{ChunkRows: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	factRow := func(id int) []rel.Value {
+		return []rel.Value{rel.Int(int64(id)), rel.NullOf(rel.TInt), rel.Str("appended"), rel.Float(float64(id))}
+	}
+	for i := 0; i < 3; i++ {
+		if err := st.Append("fact", factRow(1000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := st.Append("fact", factRow(2000+i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -49,9 +84,11 @@ func storeFiles(t *testing.T, dir string) []string {
 }
 
 // openAll fully opens a store: Open, every table, and the physical
-// rebuild. Any of these may fail; none may panic.
+// rebuild. Any of these may fail; none may panic. A tiny memory budget
+// forces the chunk pager and table LRU through eviction on corrupted
+// inputs too.
 func openAll(dir string) (map[string]*rel.Table, error) {
-	st, err := Open(dir, Options{})
+	st, err := Open(dir, Options{MemBudgetBytes: 8 << 10})
 	if err != nil {
 		return nil, err
 	}
@@ -69,22 +106,13 @@ func openAll(dir string) (map[string]*rel.Table, error) {
 	return out, nil
 }
 
-// TestCorruptionNeverLies is the crash-recovery property test: flip or
-// truncate bytes at seeded random offsets across every store file, and
-// require that Open/load either fails cleanly or serves data that is
-// still bit-identical to the original. A panic, a partial table, or a
-// wrong row count is a test failure.
-func TestCorruptionNeverLies(t *testing.T) {
-	base := t.TempDir()
-	saveFixtureWithRedo(t, base)
-	want, err := openAll(base)
-	if err != nil {
-		t.Fatal(err)
-	}
-	files := storeFiles(t, base)
-	rng := rand.New(rand.NewSource(23))
-
-	trial := func(name string, corrupt func(dir string)) {
+// corruptionTrial returns a trial runner over a pristine base store:
+// each call clones the store, applies one corruption, and requires the
+// clone to either fail cleanly or serve data bit-identical to the
+// original. A panic, a partial table, or a wrong row count is a test
+// failure.
+func corruptionTrial(t *testing.T, base string, files []string, want map[string]*rel.Table) func(name string, corrupt func(dir string)) {
+	return func(name string, corrupt func(dir string)) {
 		dir := t.TempDir()
 		for _, f := range files {
 			data, err := os.ReadFile(filepath.Join(base, f))
@@ -116,8 +144,19 @@ func TestCorruptionNeverLies(t *testing.T) {
 			tablesBitEqual(t, w, g)
 		}
 	}
+}
 
-	for i := 0; i < 120; i++ {
+// corruptionSweep runs the seeded flip/truncate battery over every
+// file of the base store.
+func corruptionSweep(t *testing.T, base string, trials int, seed int64) {
+	want, err := openAll(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := storeFiles(t, base)
+	rng := rand.New(rand.NewSource(seed))
+	trial := corruptionTrial(t, base, files, want)
+	for i := 0; i < trials; i++ {
 		f := files[rng.Intn(len(files))]
 		data, err := os.ReadFile(filepath.Join(base, f))
 		if err != nil {
@@ -142,8 +181,21 @@ func TestCorruptionNeverLies(t *testing.T) {
 			})
 		}
 	}
+}
 
-	// Deterministic worst cases on top of the random sweep.
+// TestCorruptionNeverLies is the crash-recovery property test over the
+// default (chunked) format, with deterministic worst cases on top of
+// the random sweep.
+func TestCorruptionNeverLies(t *testing.T) {
+	base := t.TempDir()
+	saveFixtureWithRedo(t, base, Options{})
+	corruptionSweep(t, base, 120, 23)
+
+	want, err := openAll(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trial := corruptionTrial(t, base, storeFiles(t, base), want)
 	trial("empty manifest", func(dir string) {
 		if err := os.WriteFile(filepath.Join(dir, ManifestName), nil, 0o644); err != nil {
 			t.Fatal(err)
@@ -196,27 +248,102 @@ func TestCorruptionNeverLies(t *testing.T) {
 	})
 }
 
-// TestTruncatedSegmentWrongRowCount pins the specific disaster the
-// issue calls out: a truncated segment must never open as a table with
-// fewer rows than the manifest promises.
-func TestTruncatedSegmentWrongRowCount(t *testing.T) {
+// TestCorruptionNeverLiesV1 keeps the legacy whole-table format under
+// the same battery now that Save defaults to chunked segments.
+func TestCorruptionNeverLiesV1(t *testing.T) {
 	base := t.TempDir()
-	saveFixtureWithRedo(t, base)
-	seg := filepath.Join(base, "t0000.seg")
-	data, err := os.ReadFile(seg)
+	saveFixtureWithRedo(t, base, Options{ChunkRows: -1})
+	corruptionSweep(t, base, 120, 29)
+}
+
+// TestCorruptionNeverLiesCompacted runs the battery over a compacted
+// multi-chunk store (epoch-1 file names, per-chunk checksums, fresh
+// redo tail), plus the compaction-specific worst cases: stray files
+// from an unfinished epoch must be ignored, and a missing current-epoch
+// redo log must fail cleanly, never serve a wrong row count.
+func TestCorruptionNeverLiesCompacted(t *testing.T) {
+	base := t.TempDir()
+	saveCompactedMultiChunk(t, base)
+	corruptionSweep(t, base, 120, 31)
+
+	want, err := openAll(base)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for cut := 0; cut < len(data); cut += 7 {
-		if err := os.WriteFile(seg, data[:cut], 0o644); err != nil {
+	trial := corruptionTrial(t, base, storeFiles(t, base), want)
+	trial("stray next-epoch files", func(dir string) {
+		// A crash mid-compaction leaves half-written epoch-2 files
+		// behind; Open reads only what the manifest lists.
+		for _, stray := range []string{"t0000.e0002.seg", "redo.e0002.log"} {
+			if err := os.WriteFile(filepath.Join(dir, stray), []byte("partial garbage"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	trial("stray old-epoch segment", func(dir string) {
+		seg, err := os.ReadFile(filepath.Join(dir, "t0000.e0001.seg"))
+		if err != nil {
 			t.Fatal(err)
 		}
-		st, err := Open(base, Options{})
+		if err := os.WriteFile(filepath.Join(dir, "t0000.seg"), seg[:len(seg)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+	trial("current redo log deleted", func(dir string) {
+		if err := os.Remove(filepath.Join(dir, "redo.e0001.log")); err != nil {
+			t.Fatal(err)
+		}
+	})
+	trial("chunk bytes swapped within segment", func(dir string) {
+		// Swap two chunk-sized spans past the directory: the per-chunk
+		// CRCs must catch it even though the directory checksum passes.
+		path := filepath.Join(dir, "t0000.e0001.seg")
+		data, err := os.ReadFile(path)
 		if err != nil {
-			continue
+			t.Fatal(err)
 		}
-		if tb, err := st.Table("book"); err == nil {
-			t.Fatalf("truncation at %d served table with %d rows", cut, tb.RowCount())
+		dirLen := int(chunkedDirLen(data))
+		if len(data) < dirLen+128 {
+			t.Fatalf("fixture segment too small: %d bytes, directory %d", len(data), dirLen)
 		}
+		d := append([]byte(nil), data...)
+		for i := 0; i < 64; i++ {
+			d[dirLen+i], d[dirLen+64+i] = d[dirLen+64+i], d[dirLen+i]
+		}
+		if err := os.WriteFile(path, d, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestTruncatedSegmentWrongRowCount pins the specific disaster the
+// issue calls out: a truncated segment must never open as a table with
+// fewer rows than the manifest promises — in either format.
+func TestTruncatedSegmentWrongRowCount(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		chunkRows int
+	}{{"chunked", 64}, {"v1", -1}} {
+		t.Run(tc.name, func(t *testing.T) {
+			base := t.TempDir()
+			saveFixtureWithRedo(t, base, Options{ChunkRows: tc.chunkRows})
+			seg := filepath.Join(base, "t0000.seg")
+			data, err := os.ReadFile(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for cut := 0; cut < len(data); cut += 7 {
+				if err := os.WriteFile(seg, data[:cut], 0o644); err != nil {
+					t.Fatal(err)
+				}
+				st, err := Open(base, Options{})
+				if err != nil {
+					continue
+				}
+				if tb, err := st.Table("book"); err == nil {
+					t.Fatalf("truncation at %d served table with %d rows", cut, tb.RowCount())
+				}
+			}
+		})
 	}
 }

@@ -33,9 +33,18 @@ type TableEntry struct {
 	// File is the segment file name within the store directory
 	// (always a bare name, never a path).
 	File string `json:"file"`
-	// Size and CRC are the segment file's full length and CRC32-C.
+	// Size is the segment file's full length. CRC is the CRC32-C of
+	// the whole file for a version-1 segment, or of just the framed
+	// directory for a chunked segment (chunk bodies carry their own
+	// checksums in the directory, so lazy loads never hash the whole
+	// file).
 	Size int64  `json:"size"`
 	CRC  uint32 `json:"crc"`
+	// ChunkRows and Dir describe a chunked (format version 2) segment:
+	// rows per chunk and the framed directory length. Both zero for a
+	// version-1 whole-table segment.
+	ChunkRows int   `json:"chunkRows,omitempty"`
+	Dir       int64 `json:"dir,omitempty"`
 	// Rows, Generation, and Bytes pin the decoded table's shape: a
 	// segment that decodes to anything else is rejected. Generation
 	// is the save-time mutation counter, so PR4's stale-Built guard
@@ -49,8 +58,14 @@ type TableEntry struct {
 // creation order), the chosen physical design, and a rendering of the
 // logical design (the mapping's SQL schema) for operators.
 type Manifest struct {
-	// FormatVersion is SegmentVersion at save time.
+	// FormatVersion is the segment format the store was written with:
+	// SegmentVersion (whole-table blobs) or ChunkSegmentVersion
+	// (chunked segments).
 	FormatVersion int `json:"formatVersion"`
+	// Epoch counts compactions: each redo-log fold writes a new
+	// generation of segment files named for the epoch and bumps it.
+	// The manifest rename is the atomic switch between epochs.
+	Epoch int `json:"epoch,omitempty"`
 	// Tables lists every saved base table in creation order.
 	Tables []TableEntry `json:"tables"`
 	// Design is the physical configuration (indexes, views, vertical
@@ -95,8 +110,11 @@ func decodeManifest(data []byte) (*Manifest, error) {
 	if err := json.Unmarshal(payload, m); err != nil {
 		return nil, fmt.Errorf("storage: corrupt manifest: %w", err)
 	}
-	if m.FormatVersion != SegmentVersion {
-		return nil, fmt.Errorf("storage: manifest says segment format %d, this build reads %d", m.FormatVersion, SegmentVersion)
+	if m.FormatVersion != SegmentVersion && m.FormatVersion != ChunkSegmentVersion {
+		return nil, fmt.Errorf("storage: manifest says segment format %d, this build reads %d and %d", m.FormatVersion, SegmentVersion, ChunkSegmentVersion)
+	}
+	if m.Epoch < 0 {
+		return nil, fmt.Errorf("storage: corrupt manifest: negative epoch %d", m.Epoch)
 	}
 	seen := make(map[string]bool, len(m.Tables))
 	files := make(map[string]bool, len(m.Tables))
@@ -119,6 +137,15 @@ func decodeManifest(data []byte) (*Manifest, error) {
 		if e.Rows < 0 || e.Size < envelopeSize || e.Bytes < 0 || e.Generation < 0 {
 			return nil, fmt.Errorf("storage: corrupt manifest: table %q has impossible shape (rows %d, size %d, bytes %d, generation %d)",
 				e.Name, e.Rows, e.Size, e.Bytes, e.Generation)
+		}
+		if e.ChunkRows < 0 || (e.ChunkRows > 0 && e.ChunkRows%64 != 0) {
+			return nil, fmt.Errorf("storage: corrupt manifest: table %q chunk size %d is not a positive multiple of 64", e.Name, e.ChunkRows)
+		}
+		if e.ChunkRows > 0 && (e.Dir < envelopeSize || e.Dir > e.Size) {
+			return nil, fmt.Errorf("storage: corrupt manifest: table %q directory length %d is impossible for a %d-byte segment", e.Name, e.Dir, e.Size)
+		}
+		if e.ChunkRows == 0 && e.Dir != 0 {
+			return nil, fmt.Errorf("storage: corrupt manifest: table %q has a directory length %d but no chunk size", e.Name, e.Dir)
 		}
 	}
 	if m.RedoFile != "" {

@@ -1,0 +1,190 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/rel"
+)
+
+// pager is a memory-budgeted cache of decoded, validated chunk
+// snapshots. Residency is accounted in on-disk framed chunk bytes (a
+// stable, deterministic proxy for heap cost), and eviction is CLOCK
+// (second-chance): a hit sets the entry's reference bit, the clock
+// hand clears bits until it finds an unreferenced victim. A budget of
+// zero or less means unlimited — nothing is ever evicted, matching the
+// fully-resident behavior of earlier formats.
+//
+// The budget is a cache target, not a hard ceiling: a chunk currently
+// being loaded is not yet evictable, so resident + in-flight bytes can
+// exceed the budget by one chunk per concurrent loader (the peak field
+// tracks the high-water mark so tests can pin exactly that bound).
+type pager struct {
+	dir    string
+	budget int64
+	reg    *obs.Registry
+
+	mu       sync.Mutex
+	entries  map[chunkKey]*pageEntry
+	ring     []*pageEntry // clock order
+	hand     int
+	resident int64
+	inflight int64 // bytes of chunks being loaded right now
+	peak     int64 // high-water mark of resident + inflight
+}
+
+// chunkKey identifies one chunk of one table.
+type chunkKey struct {
+	table string
+	idx   int
+}
+
+// pageEntry is one cached chunk.
+type pageEntry struct {
+	key  chunkKey
+	snap *rel.TableSnapshot
+	size int64
+	ref  bool // CLOCK reference bit
+}
+
+func newPager(dir string, budget int64, reg *obs.Registry) *pager {
+	return &pager{
+		dir:     dir,
+		budget:  budget,
+		reg:     reg,
+		entries: make(map[chunkKey]*pageEntry),
+	}
+}
+
+// chunk returns chunk k of the table described by d, loading it
+// through the verification chain (chunk CRC → bounds-checked decode →
+// TableFromSnapshot structural validation) on a miss and evicting
+// under the budget before admitting it.
+func (p *pager) chunk(file string, d *chunkedDir, k int) (*rel.TableSnapshot, error) {
+	key := chunkKey{table: d.Name, idx: k}
+	ref := &d.Chunks[k]
+	p.mu.Lock()
+	if e, ok := p.entries[key]; ok {
+		e.ref = true
+		p.mu.Unlock()
+		p.reg.Counter("storage.pager.hits").Inc()
+		return e.snap, nil
+	}
+	p.inflight += ref.Size
+	if hw := p.resident + p.inflight; hw > p.peak {
+		p.peak = hw
+	}
+	p.mu.Unlock()
+
+	snap, err := p.load(file, d, k)
+
+	p.mu.Lock()
+	p.inflight -= ref.Size
+	if err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	if e, ok := p.entries[key]; ok {
+		// Another loader admitted the same chunk while we read it;
+		// serve the cached copy.
+		e.ref = true
+		p.mu.Unlock()
+		return e.snap, nil
+	}
+	p.evictFor(ref.Size)
+	e := &pageEntry{key: key, snap: snap, size: ref.Size, ref: true}
+	p.entries[key] = e
+	p.ring = append(p.ring, e)
+	p.resident += e.size
+	if hw := p.resident + p.inflight; hw > p.peak {
+		p.peak = hw
+	}
+	p.reg.Gauge("storage.pager.resident_bytes").Set(float64(p.resident))
+	p.mu.Unlock()
+	p.reg.Counter("storage.pager.faults").Inc()
+	return snap, nil
+}
+
+// load reads and validates one chunk from disk (no cache interaction).
+func (p *pager) load(file string, d *chunkedDir, k int) (*rel.TableSnapshot, error) {
+	ref := &d.Chunks[k]
+	f, err := os.Open(filepath.Join(p.dir, file))
+	if err != nil {
+		return nil, fmt.Errorf("storage: reading chunk %d of %s: %w", k, d.Name, err)
+	}
+	defer f.Close()
+	blob := make([]byte, ref.Size)
+	if _, err := f.ReadAt(blob, ref.Off); err != nil {
+		p.reg.Counter("storage.checksum.failures").Inc()
+		return nil, fmt.Errorf("storage: reading chunk %d of %s at offset %d: %w", k, d.Name, ref.Off, err)
+	}
+	snap, err := d.decodeChunk(k, blob)
+	if err != nil {
+		p.reg.Counter("storage.checksum.failures").Inc()
+		return nil, err
+	}
+	p.reg.Counter("storage.segment.bytes_read").Add(ref.Size)
+	return snap, nil
+}
+
+// evictFor makes room for need bytes under the budget. Caller holds
+// p.mu. The scan is bounded: one full sweep clears every reference
+// bit, a second finds a victim, so 2·len+1 steps always suffice.
+func (p *pager) evictFor(need int64) {
+	if p.budget <= 0 {
+		return
+	}
+	evictions := p.reg.Counter("storage.pager.evictions")
+	for steps := 2*len(p.ring) + 1; steps > 0 && p.resident+need > p.budget && len(p.ring) > 0; steps-- {
+		if p.hand >= len(p.ring) {
+			p.hand = 0
+		}
+		e := p.ring[p.hand]
+		if e.ref {
+			e.ref = false
+			p.hand++
+			continue
+		}
+		p.ring = append(p.ring[:p.hand], p.ring[p.hand+1:]...)
+		delete(p.entries, e.key)
+		p.resident -= e.size
+		evictions.Inc()
+	}
+}
+
+// invalidate drops every cached chunk of a table (compaction rewrote
+// its segment, so cached chunks describe a dead file).
+func (p *pager) invalidate(table string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	keep := p.ring[:0]
+	for _, e := range p.ring {
+		if e.key.table == table {
+			delete(p.entries, e.key)
+			p.resident -= e.size
+			continue
+		}
+		keep = append(keep, e)
+	}
+	p.ring = keep
+	p.hand = 0
+	p.reg.Gauge("storage.pager.resident_bytes").Set(float64(p.resident))
+}
+
+// residentBytes reports the current cache residency (for summaries).
+func (p *pager) residentBytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.resident
+}
+
+// peakBytes reports the high-water mark of resident + in-flight bytes;
+// tests pin it to budget + one chunk per concurrent loader.
+func (p *pager) peakBytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.peak
+}

@@ -1,0 +1,211 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// pagerFixture writes a multi-chunk segment file and returns a pager
+// over it plus the decoded directory and the largest chunk size.
+func pagerFixture(t *testing.T, rows int, budget int64, reg *obs.Registry) (*pager, *chunkedDir, int64) {
+	t.Helper()
+	dir := t.TempDir()
+	tb := multiChunkDB(rows).Table("fact")
+	enc, err := EncodeChunkedSegment(tb.Snapshot(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFileSync(filepath.Join(dir, "fact.seg"), enc); err != nil {
+		t.Fatal(err)
+	}
+	d, err := decodeChunkedDir(enc[:chunkedDirLen(enc)])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxChunk int64
+	for _, c := range d.Chunks {
+		if c.Size > maxChunk {
+			maxChunk = c.Size
+		}
+	}
+	return newPager(dir, budget, reg), d, maxChunk
+}
+
+// chunkedDirLen reads the directory envelope length out of a chunked
+// segment's framing (envelope header + payload length).
+func chunkedDirLen(enc []byte) int64 {
+	return int64(envelopeSize) + int64(uint64(enc[8])|uint64(enc[9])<<8|uint64(enc[10])<<16|uint64(enc[11])<<24|
+		uint64(enc[12])<<32|uint64(enc[13])<<40|uint64(enc[14])<<48|uint64(enc[15])<<56)
+}
+
+// TestPagerBudgetNeverExceeded pins the acceptance property: resident
+// bytes (the storage.pager.resident_bytes gauge) never exceed the
+// budget, and the high-water mark of resident + in-flight bytes never
+// exceeds budget + one chunk per concurrent loader (one, here).
+func TestPagerBudgetNeverExceeded(t *testing.T) {
+	reg := obs.NewRegistry()
+	p, d, maxChunk := pagerFixture(t, 640, 0, reg)
+	var total int64
+	for _, c := range d.Chunks {
+		total += c.Size
+	}
+	budget := total / 3
+	p.budget = budget
+	if int64(len(d.Chunks)) < 4 {
+		t.Fatalf("fixture too small: %d chunks", len(d.Chunks))
+	}
+	gauge := reg.Gauge("storage.pager.resident_bytes")
+	for pass := 0; pass < 3; pass++ {
+		for k := range d.Chunks {
+			if _, err := p.chunk("fact.seg", d, k); err != nil {
+				t.Fatal(err)
+			}
+			if g := int64(gauge.Value()); g > budget {
+				t.Fatalf("resident gauge %d exceeds budget %d", g, budget)
+			}
+		}
+	}
+	if r := p.residentBytes(); r > budget {
+		t.Fatalf("resident %d exceeds budget %d", r, budget)
+	}
+	if pk := p.peakBytes(); pk > budget+maxChunk {
+		t.Fatalf("peak %d exceeds budget %d + one chunk %d", pk, budget, maxChunk)
+	}
+	if reg.Counter("storage.pager.evictions").Value() == 0 {
+		t.Fatal("a cache a third of the data size never evicted")
+	}
+	if reg.Counter("storage.pager.faults").Value() <= int64(len(d.Chunks)) {
+		t.Fatal("three passes over a too-small cache should refault")
+	}
+}
+
+// TestPagerUnlimitedKeepsEverything: with no budget, every chunk stays
+// resident and repeat touches are pure hits.
+func TestPagerUnlimitedKeepsEverything(t *testing.T) {
+	reg := obs.NewRegistry()
+	p, d, _ := pagerFixture(t, 320, 0, reg)
+	var total int64
+	for _, c := range d.Chunks {
+		total += c.Size
+	}
+	for pass := 0; pass < 2; pass++ {
+		for k := range d.Chunks {
+			if _, err := p.chunk("fact.seg", d, k); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if p.residentBytes() != total {
+		t.Fatalf("resident %d, want all %d", p.residentBytes(), total)
+	}
+	if v := reg.Counter("storage.pager.evictions").Value(); v != 0 {
+		t.Fatalf("unlimited pager evicted %d chunks", v)
+	}
+	if f := reg.Counter("storage.pager.faults").Value(); f != int64(len(d.Chunks)) {
+		t.Fatalf("%d faults, want exactly %d", f, len(d.Chunks))
+	}
+	if h := reg.Counter("storage.pager.hits").Value(); h != int64(len(d.Chunks)) {
+		t.Fatalf("%d hits on second pass, want %d", h, len(d.Chunks))
+	}
+}
+
+// TestPagerClockPrefersCold: under pressure the clock hand gives
+// recently referenced chunks a second chance, so a hot chunk touched
+// between every miss stays resident.
+func TestPagerClockPrefersCold(t *testing.T) {
+	reg := obs.NewRegistry()
+	p, d, maxChunk := pagerFixture(t, 640, 0, reg)
+	p.budget = 3 * maxChunk
+	if _, err := p.chunk("fact.seg", d, 0); err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k < len(d.Chunks); k++ {
+		if _, err := p.chunk("fact.seg", d, k); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.chunk("fact.seg", d, 0); err != nil { // keep chunk 0 hot
+			t.Fatal(err)
+		}
+	}
+	// A recency-blind policy (FIFO) would refault the hot chunk on
+	// nearly every miss (~2n faults); the reference bit must keep the
+	// refault count near the compulsory n.
+	faults := reg.Counter("storage.pager.faults").Value()
+	if limit := int64(len(d.Chunks)) + 3; faults > limit {
+		t.Fatalf("hot chunk kept getting evicted: %d faults for %d chunks (limit %d)", faults, len(d.Chunks), limit)
+	}
+}
+
+// TestPagerConcurrentLoads drives the pager from many goroutines under
+// -race: correctness of served data, and the documented overshoot bound
+// of one chunk per concurrent loader.
+func TestPagerConcurrentLoads(t *testing.T) {
+	reg := obs.NewRegistry()
+	p, d, maxChunk := pagerFixture(t, 640, 0, reg)
+	p.budget = 3 * maxChunk
+	const loaders = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, loaders)
+	for g := 0; g < loaders; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 50; i++ {
+				k := rng.Intn(len(d.Chunks))
+				snap, err := p.chunk("fact.seg", d, k)
+				if err != nil {
+					errs <- err
+					return
+				}
+				want := d.ChunkRows
+				if k == len(d.Chunks)-1 {
+					want = d.RowCount - k*d.ChunkRows
+				}
+				if snap.RowCount != want {
+					errs <- fmt.Errorf("chunk %d served %d rows, want %d", k, snap.RowCount, want)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if r := p.residentBytes(); r > p.budget {
+		t.Fatalf("resident %d exceeds budget %d", r, p.budget)
+	}
+	if pk := p.peakBytes(); pk > p.budget+loaders*maxChunk {
+		t.Fatalf("peak %d exceeds budget %d + %d loaders × chunk %d", pk, p.budget, loaders, maxChunk)
+	}
+}
+
+// TestPagerInvalidate drops a table's chunks and serves fresh bytes on
+// the next touch.
+func TestPagerInvalidate(t *testing.T) {
+	reg := obs.NewRegistry()
+	p, d, _ := pagerFixture(t, 320, 0, reg)
+	for k := range d.Chunks {
+		if _, err := p.chunk("fact.seg", d, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.invalidate("fact")
+	if p.residentBytes() != 0 {
+		t.Fatalf("resident %d after invalidate", p.residentBytes())
+	}
+	before := reg.Counter("storage.pager.faults").Value()
+	if _, err := p.chunk("fact.seg", d, 0); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Counter("storage.pager.faults").Value() != before+1 {
+		t.Fatal("invalidated chunk served from cache")
+	}
+}

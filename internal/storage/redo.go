@@ -14,12 +14,19 @@ import (
 // exactly where they were before the restart. Layout:
 //
 //	"XRDO" | u32 version | record... | footer
+//	v1 record body := string table name | uvarint value count | value...
+//	v2 record body := string table name | uvarint row count |
+//	                  (uvarint value count | value...)...
 //	record := u32 body length | u32 CRC32-C of body | body
-//	body   := string table name | uvarint value count | value...
-//	footer := "XEND" | u32 record count | u32 CRC32-C of footer prefix
+//	footer := "XEND" | u32 row count | u32 CRC32-C of footer prefix
 //
-// Records are self-checksummed, and the footer pins the record count:
-// an append overwrites the old footer with the new record and writes a
+// Version 1 frames one row per record; version 2 (the group-commit
+// format) frames one record per batch of rows appended to the same
+// table under a single fsync. The footer always counts rows, so the
+// bounded-replay guarantee is framing-independent.
+//
+// Records are self-checksummed, and the footer pins the row count: an
+// append overwrites the old footer with the new record and writes a
 // fresh footer after it. Truncating the file anywhere — even exactly
 // at a record boundary — removes or damages the footer, so readRedo
 // reports an error instead of silently replaying a prefix. A crash
@@ -27,8 +34,13 @@ import (
 // open (the append was never acknowledged, so no acknowledged write is
 // lost).
 
-// RedoVersion is the redo log format version.
-const RedoVersion = 1
+// RedoVersion is the original one-row-per-record redo format.
+// RedoBatchVersion frames one record per group-committed batch; new
+// stores write it, and readRedo accepts both.
+const (
+	RedoVersion      = 1
+	RedoBatchVersion = 2
+)
 
 var (
 	redoMagic    = [4]byte{'X', 'R', 'D', 'O'}
@@ -48,11 +60,12 @@ type redoRecord struct {
 	Row   []rel.Value
 }
 
-// encodeRedoHeader returns the 8-byte file header.
-func encodeRedoHeader() []byte {
+// encodeRedoHeader returns the 8-byte file header for the given format
+// version.
+func encodeRedoHeader(version uint32) []byte {
 	out := make([]byte, 0, redoHeaderSize)
 	out = append(out, redoMagic[:]...)
-	return binary.LittleEndian.AppendUint32(out, RedoVersion)
+	return binary.LittleEndian.AppendUint32(out, version)
 }
 
 // encodeRedoFooter returns the commit marker for a log holding count
@@ -64,13 +77,21 @@ func encodeRedoFooter(count uint32) []byte {
 	return binary.LittleEndian.AppendUint32(out, crc32.Checksum(out, crcTable))
 }
 
-// emptyRedoLog is the initial file Save writes: header plus a
-// zero-record footer.
-func emptyRedoLog() []byte {
-	return append(encodeRedoHeader(), encodeRedoFooter(0)...)
+// emptyRedoLog is the initial file Save and compaction write: header
+// plus a zero-record footer.
+func emptyRedoLog(version uint32) []byte {
+	return append(encodeRedoHeader(version), encodeRedoFooter(0)...)
 }
 
-// encodeRedoRecord frames one append as a checksummed record.
+// frameRedoBody wraps a record body with its length and checksum.
+func frameRedoBody(body []byte) []byte {
+	out := make([]byte, 0, 8+len(body))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(body)))
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(body, crcTable))
+	return append(out, body...)
+}
+
+// encodeRedoRecord frames one append as a checksummed v1 record.
 func encodeRedoRecord(table string, row []rel.Value) []byte {
 	var body []byte
 	body = appendString(body, table)
@@ -78,33 +99,48 @@ func encodeRedoRecord(table string, row []rel.Value) []byte {
 	for _, v := range row {
 		body = appendValue(body, v)
 	}
-	out := make([]byte, 0, 8+len(body))
-	out = binary.LittleEndian.AppendUint32(out, uint32(len(body)))
-	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(body, crcTable))
-	return append(out, body...)
+	return frameRedoBody(body)
 }
 
-// readRedo parses a redo log file's full contents. Any structural
-// damage — bad magic, wrong version, truncated record, checksum
-// mismatch, missing or disagreeing footer, garbage body — is an error;
-// the caller treats the store as unopenable rather than replaying a
-// prefix silently.
-func readRedo(data []byte) ([]redoRecord, error) {
+// encodeRedoBatchRecord frames a batch of rows appended to one table
+// as a single checksummed v2 record.
+func encodeRedoBatchRecord(table string, rows [][]rel.Value) []byte {
+	var body []byte
+	body = appendString(body, table)
+	body = binary.AppendUvarint(body, uint64(len(rows)))
+	for _, row := range rows {
+		body = binary.AppendUvarint(body, uint64(len(row)))
+		for _, v := range row {
+			body = appendValue(body, v)
+		}
+	}
+	return frameRedoBody(body)
+}
+
+// readRedo parses a redo log file's full contents and reports the
+// file's format version (so later appends keep the framing). Any
+// structural damage — bad magic, wrong version, truncated record,
+// checksum mismatch, missing or disagreeing footer, garbage body — is
+// an error; the caller treats the store as unopenable rather than
+// replaying a prefix silently. Batched v2 records are flattened to one
+// redoRecord per row, in order.
+func readRedo(data []byte) ([]redoRecord, uint32, error) {
 	if len(data) < redoHeaderSize+redoFooterSize {
-		return nil, fmt.Errorf("storage: redo log truncated: %d bytes, need at least %d", len(data), redoHeaderSize+redoFooterSize)
+		return nil, 0, fmt.Errorf("storage: redo log truncated: %d bytes, need at least %d", len(data), redoHeaderSize+redoFooterSize)
 	}
 	if [4]byte(data[:4]) != redoMagic {
-		return nil, fmt.Errorf("storage: not a redo log (magic %q)", data[:4])
+		return nil, 0, fmt.Errorf("storage: not a redo log (magic %q)", data[:4])
 	}
-	if v := binary.LittleEndian.Uint32(data[4:8]); v != RedoVersion {
-		return nil, fmt.Errorf("storage: unsupported redo log format version %d (this build reads version %d)", v, RedoVersion)
+	version := binary.LittleEndian.Uint32(data[4:8])
+	if version != RedoVersion && version != RedoBatchVersion {
+		return nil, 0, fmt.Errorf("storage: unsupported redo log format version %d (this build reads versions %d and %d)", version, RedoVersion, RedoBatchVersion)
 	}
 	foot := data[len(data)-redoFooterSize:]
 	if [4]byte(foot[:4]) != redoEndMagic {
-		return nil, fmt.Errorf("storage: redo log has no commit footer (truncated or crashed mid-append)")
+		return nil, 0, fmt.Errorf("storage: redo log has no commit footer (truncated or crashed mid-append)")
 	}
 	if got, want := crc32.Checksum(foot[:8], crcTable), binary.LittleEndian.Uint32(foot[8:]); got != want {
-		return nil, fmt.Errorf("storage: redo log footer checksum mismatch: footer says %08x, hashes to %08x", want, got)
+		return nil, 0, fmt.Errorf("storage: redo log footer checksum mismatch: footer says %08x, hashes to %08x", want, got)
 	}
 	count := binary.LittleEndian.Uint32(foot[4:8])
 	var recs []redoRecord
@@ -112,29 +148,37 @@ func readRedo(data []byte) ([]redoRecord, error) {
 	end := len(data) - redoFooterSize
 	for off < end {
 		if end-off < 8 {
-			return nil, fmt.Errorf("storage: redo log truncated at offset %d: partial record header", off)
+			return nil, 0, fmt.Errorf("storage: redo log truncated at offset %d: partial record header", off)
 		}
 		n := int(binary.LittleEndian.Uint32(data[off:]))
 		want := binary.LittleEndian.Uint32(data[off+4:])
 		off += 8
-		if n > end-off {
-			return nil, fmt.Errorf("storage: redo log truncated at offset %d: record body of %d bytes exceeds file", off, n)
+		if n < 0 || n > end-off {
+			return nil, 0, fmt.Errorf("storage: redo log truncated at offset %d: record body of %d bytes exceeds file", off, n)
 		}
 		body := data[off : off+n]
 		if got := crc32.Checksum(body, crcTable); got != want {
-			return nil, fmt.Errorf("storage: redo record at offset %d checksum mismatch: record says %08x, body hashes to %08x", off, want, got)
+			return nil, 0, fmt.Errorf("storage: redo record at offset %d checksum mismatch: record says %08x, body hashes to %08x", off, want, got)
 		}
-		rec, err := decodeRedoBody(body)
-		if err != nil {
-			return nil, fmt.Errorf("storage: redo record at offset %d: %w", off, err)
+		if version == RedoVersion {
+			rec, err := decodeRedoBody(body)
+			if err != nil {
+				return nil, 0, fmt.Errorf("storage: redo record at offset %d: %w", off, err)
+			}
+			recs = append(recs, rec)
+		} else {
+			batch, err := decodeRedoBatchBody(body)
+			if err != nil {
+				return nil, 0, fmt.Errorf("storage: redo record at offset %d: %w", off, err)
+			}
+			recs = append(recs, batch...)
 		}
-		recs = append(recs, rec)
 		off += n
 	}
 	if uint32(len(recs)) != count {
-		return nil, fmt.Errorf("storage: redo log holds %d records, footer says %d", len(recs), count)
+		return nil, 0, fmt.Errorf("storage: redo log holds %d rows, footer says %d", len(recs), count)
 	}
-	return recs, nil
+	return recs, version, nil
 }
 
 // decodeRedoBody parses one checksum-verified record body.
@@ -167,23 +211,90 @@ func decodeRedoBody(body []byte) (redoRecord, error) {
 	return rec, nil
 }
 
-// appendRedoRecord writes one record over the old footer at footOff,
-// follows it with the footer for count records, and fsyncs. The footer
-// write is the commit: a crash before it leaves a footer-less tail
-// that readRedo rejects.
-func appendRedoRecord(path string, table string, row []rel.Value, footOff int64, count uint32) (newFootOff int64, err error) {
+// decodeRedoBatchBody parses one checksum-verified v2 record body into
+// one redoRecord per row.
+func decodeRedoBatchBody(body []byte) ([]redoRecord, error) {
+	r := &reader{buf: body, kind: "redo record"}
+	table := r.str("table name")
+	if r.err == nil && table == "" {
+		r.failf("empty table name")
+	}
+	nrows := r.uvarint("row count")
+	if r.err == nil && nrows > uint64(r.remaining()) {
+		// Each row costs at least one body byte; cheap sanity bound
+		// before allocating.
+		r.failf("row count %d exceeds remaining body %d", nrows, r.remaining())
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	recs := make([]redoRecord, 0, nrows)
+	for i := uint64(0); i < nrows; i++ {
+		nvals := r.uvarint("value count")
+		if r.err == nil && nvals > uint64(r.remaining()) {
+			r.failf("value count %d exceeds remaining body %d", nvals, r.remaining())
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		row := make([]rel.Value, nvals)
+		for j := range row {
+			row[j] = r.value()
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		recs = append(recs, redoRecord{Table: table, Row: row})
+	}
+	if r.remaining() != 0 {
+		return nil, r.failf("%d trailing bytes after batch rows", r.remaining())
+	}
+	return recs, nil
+}
+
+// appendRedoBatch writes a batch of appends over the old footer at
+// footOff, follows it with the footer for count total rows, truncates
+// any stale bytes from an earlier failed write, and fsyncs once — the
+// group commit. In a v2 log, consecutive rows to the same table fold
+// into one batched record; in a v1 log each row gets its own record
+// (the framing matches the file's header version either way). The
+// footer write is the commit: a crash before it leaves a footer-less
+// tail that readRedo rejects.
+func appendRedoBatch(path string, version uint32, recs []redoRecord, footOff int64, count uint32) (newFootOff int64, err error) {
 	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
 	if err != nil {
 		return 0, fmt.Errorf("storage: opening redo log: %w", err)
 	}
 	defer f.Close()
-	rec := encodeRedoRecord(table, row)
-	buf := append(rec, encodeRedoFooter(count)...)
+	var buf []byte
+	if version == RedoVersion {
+		for i := range recs {
+			buf = append(buf, encodeRedoRecord(recs[i].Table, recs[i].Row)...)
+		}
+	} else {
+		for i := 0; i < len(recs); {
+			j := i + 1
+			for j < len(recs) && recs[j].Table == recs[i].Table {
+				j++
+			}
+			rows := make([][]rel.Value, 0, j-i)
+			for k := i; k < j; k++ {
+				rows = append(rows, recs[k].Row)
+			}
+			buf = append(buf, encodeRedoBatchRecord(recs[i].Table, rows)...)
+			i = j
+		}
+	}
+	recLen := int64(len(buf))
+	buf = append(buf, encodeRedoFooter(count)...)
 	if _, err := f.WriteAt(buf, footOff); err != nil {
-		return 0, fmt.Errorf("storage: appending redo record: %w", err)
+		return 0, fmt.Errorf("storage: appending redo batch: %w", err)
+	}
+	if err := f.Truncate(footOff + int64(len(buf))); err != nil {
+		return 0, fmt.Errorf("storage: truncating redo log: %w", err)
 	}
 	if err := f.Sync(); err != nil {
 		return 0, fmt.Errorf("storage: syncing redo log: %w", err)
 	}
-	return footOff + int64(len(rec)), nil
+	return footOff + recLen, nil
 }

@@ -305,6 +305,19 @@ func (r *reader) byte(what string) byte {
 	return b
 }
 
+func (r *reader) u32(what string) uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if r.remaining() < 4 {
+		r.failf("truncated reading %s", what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
 func (r *reader) u64(what string) uint64 {
 	if r.err != nil {
 		return 0

@@ -99,10 +99,18 @@ func TestSegmentVersionBump(t *testing.T) {
 	if _, err := decodeManifest(mb); err == nil || !strings.Contains(err.Error(), "unsupported manifest format version") {
 		t.Fatalf("future-version manifest: %v", err)
 	}
-	log := emptyRedoLog()
-	binary.LittleEndian.PutUint32(log[4:8], RedoVersion+1)
-	if _, err := readRedo(log); err == nil || !strings.Contains(err.Error(), "unsupported redo log format version") {
+	log := emptyRedoLog(RedoBatchVersion)
+	binary.LittleEndian.PutUint32(log[4:8], RedoBatchVersion+1)
+	if _, _, err := readRedo(log); err == nil || !strings.Contains(err.Error(), "unsupported redo log format version") {
 		t.Fatalf("future-version redo log: %v", err)
+	}
+	chunked, err := EncodeChunkedSegment(fixtureDB().Tables()[0].Snapshot(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint32(chunked[4:8], ChunkSegmentVersion+1)
+	if _, err := DecodeChunkedSegment(chunked); err == nil || !strings.Contains(err.Error(), "unsupported chunked segment directory format version") {
+		t.Fatalf("future-version chunked segment: %v", err)
 	}
 }
 

@@ -1,11 +1,13 @@
 package storage
 
 import (
+	"encoding/binary"
 	"fmt"
 	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
@@ -22,25 +24,114 @@ type Options struct {
 	// recorded in the manifest at Save time for operators. Ignored by
 	// Open.
 	MappingSQL string
+	// MemBudgetBytes caps how many bytes of columnar data the store
+	// keeps resident: the chunk cache and the assembled-table cache
+	// each evict down to it (chunk cache by CLOCK, tables by LRU,
+	// always retaining the most recently touched table). Zero or less
+	// means unlimited — everything stays resident once loaded.
+	MemBudgetBytes int64
+	// ChunkRows is the rows-per-chunk for segments written by Save and
+	// Compact. Zero means DefaultChunkRows; a negative value selects
+	// the version-1 whole-table format.
+	ChunkRows int
+	// CompactRecords, when positive, auto-compacts the store in the
+	// background once the redo log holds at least this many rows. Zero
+	// means compaction only runs when Compact is called.
+	CompactRecords int
+	// GroupCommitDelay is how long an appender waits before flushing
+	// the open commit batch, giving concurrent appenders time to join
+	// the same fsync. Zero flushes immediately (still batching
+	// whatever queued in the meantime).
+	GroupCommitDelay time.Duration
+}
+
+// chunkRowsOrDefault resolves the ChunkRows knob.
+func (o Options) chunkRowsOrDefault() int {
+	if o.ChunkRows == 0 {
+		return DefaultChunkRows
+	}
+	return o.ChunkRows
 }
 
 // Store is an opened on-disk store: the verified manifest plus lazily
 // loaded table segments. Segments are read, checksum-verified, and
-// structurally validated on first touch; redo records replay onto the
-// freshly loaded table before it is served.
+// structurally validated on first touch (chunk by chunk for chunked
+// segments); redo records replay onto the freshly loaded table before
+// it is served.
+//
+// Under a memory budget, tables the store has assembled may be evicted
+// and reassembled on the next touch, so Table may return a different
+// *rel.Table for the same name across calls; with no budget the
+// returned table is shared and stable.
 type Store struct {
-	dir string
-	man *Manifest
-	reg *obs.Registry
+	dir  string
+	reg  *obs.Registry
+	opts Options
+
+	// flushMu serializes redo flushes and compaction. Lock order is
+	// always flushMu before mu.
+	flushMu sync.Mutex
 
 	mu     sync.Mutex
+	man    *Manifest
 	tables map[string]*rel.Table
+	mru    []string // table names, least recently used first
+	dirs   map[string]*chunkedDir
+	pager  *pager
 	redo   map[string][]redoRecord
 	// redoFootOff is the file offset of the redo log's commit footer
-	// (where the next record goes); redoCount the committed record
-	// count. Both advance under mu as Append commits.
+	// (where the next record goes); redoCount the committed row count.
+	// Both advance under mu as batches commit.
 	redoFootOff int64
 	redoCount   uint32
+	redoVersion uint32
+	// gcCur is the open group-commit batch appenders join until a
+	// leader detaches and flushes it.
+	gcCur *commitBatch
+
+	compacting atomic.Bool
+	compactWG  sync.WaitGroup
+	// killCompact, when set by tests, is invoked before each compaction
+	// step; returning an error simulates a crash at that point.
+	killCompact func(step string) error
+}
+
+// commitBatch is one group-committed set of appends. Appenders enqueue
+// under mu; the first to reach flushMu flushes everyone. flushed and
+// err are written and read only under flushMu.
+type commitBatch struct {
+	recs    []redoRecord
+	flushed bool
+	err     error
+}
+
+// encodeTableFile serializes one table in the configured format and
+// returns the file bytes plus the manifest entry pinning its facts.
+func encodeTableFile(t *rel.Table, file string, chunkRows int) ([]byte, TableEntry, error) {
+	e := TableEntry{
+		Name:       t.Name,
+		Parent:     t.Parent,
+		File:       file,
+		Rows:       t.RowCount(),
+		Generation: t.Generation(),
+		Bytes:      t.Bytes(),
+	}
+	if chunkRows < 0 {
+		seg := EncodeSegment(t.Snapshot())
+		e.Size = int64(len(seg))
+		e.CRC = crc32.Checksum(seg, crcTable)
+		return seg, e, nil
+	}
+	seg, err := EncodeChunkedSegment(t.Snapshot(), chunkRows)
+	if err != nil {
+		return nil, e, err
+	}
+	dirLen := int64(envelopeSize) + int64(binary.LittleEndian.Uint64(seg[8:16]))
+	e.Size = int64(len(seg))
+	e.CRC = crc32.Checksum(seg[:dirLen], crcTable)
+	e.ChunkRows = chunkRows
+	e.Dir = dirLen
+	return seg, e, nil
 }
 
 // Save writes the built database's base tables, an empty redo log, and
@@ -55,31 +146,29 @@ func Save(dir string, b *engine.Built, opts Options) (*Manifest, error) {
 		return nil, fmt.Errorf("storage: creating store directory: %w", err)
 	}
 	written := opts.Registry.Counter("storage.save.bytes_written")
+	cr := opts.chunkRowsOrDefault()
+	format := ChunkSegmentVersion
+	if cr < 0 {
+		format = SegmentVersion
+	}
 	man := &Manifest{
-		FormatVersion: SegmentVersion,
+		FormatVersion: format,
 		Design:        b.Config,
 		MappingSQL:    opts.MappingSQL,
 		RedoFile:      RedoName,
 	}
 	for i, t := range b.DB.Tables() {
-		seg := EncodeSegment(t.Snapshot())
-		name := fmt.Sprintf("t%04d.seg", i)
-		if err := writeFileSync(filepath.Join(dir, name), seg); err != nil {
+		seg, entry, err := encodeTableFile(t, fmt.Sprintf("t%04d.seg", i), cr)
+		if err != nil {
+			return nil, err
+		}
+		if err := writeFileSync(filepath.Join(dir, entry.File), seg); err != nil {
 			return nil, err
 		}
 		written.Add(int64(len(seg)))
-		man.Tables = append(man.Tables, TableEntry{
-			Name:       t.Name,
-			Parent:     t.Parent,
-			File:       name,
-			Size:       int64(len(seg)),
-			CRC:        crc32.Checksum(seg, crcTable),
-			Rows:       t.RowCount(),
-			Generation: t.Generation(),
-			Bytes:      t.Bytes(),
-		})
+		man.Tables = append(man.Tables, entry)
 	}
-	redo := emptyRedoLog()
+	redo := emptyRedoLog(RedoBatchVersion)
 	if err := writeFileSync(filepath.Join(dir, RedoName), redo); err != nil {
 		return nil, err
 	}
@@ -97,7 +186,8 @@ func Save(dir string, b *engine.Built, opts Options) (*Manifest, error) {
 
 // Open reads and verifies the manifest and the redo log. Table
 // segments are not read yet — Table, Database, and Built load them on
-// first touch.
+// first touch, chunk by chunk under the memory budget for chunked
+// segments.
 func Open(dir string, opts Options) (*Store, error) {
 	start := time.Now()
 	mb, err := os.ReadFile(filepath.Join(dir, ManifestName))
@@ -110,18 +200,22 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{
-		dir:    dir,
-		man:    man,
-		reg:    opts.Registry,
-		tables: make(map[string]*rel.Table, len(man.Tables)),
-		redo:   make(map[string][]redoRecord),
+		dir:         dir,
+		man:         man,
+		reg:         opts.Registry,
+		opts:        opts,
+		tables:      make(map[string]*rel.Table, len(man.Tables)),
+		dirs:        make(map[string]*chunkedDir),
+		pager:       newPager(dir, opts.MemBudgetBytes, opts.Registry),
+		redo:        make(map[string][]redoRecord),
+		redoVersion: RedoBatchVersion,
 	}
 	if man.RedoFile != "" {
 		rb, err := os.ReadFile(filepath.Join(dir, man.RedoFile))
 		if err != nil {
 			return nil, fmt.Errorf("storage: opening redo log: %w", err)
 		}
-		recs, err := readRedo(rb)
+		recs, version, err := readRedo(rb)
 		if err != nil {
 			opts.Registry.Counter("storage.checksum.failures").Inc()
 			return nil, err
@@ -134,17 +228,49 @@ func Open(dir string, opts Options) (*Store, error) {
 		}
 		s.redoFootOff = int64(len(rb)) - redoFooterSize
 		s.redoCount = uint32(len(recs))
+		s.redoVersion = version
 	}
 	opts.Registry.Gauge("storage.open.ms").Set(float64(time.Since(start).Nanoseconds()) / 1e6)
 	return s, nil
 }
 
-// Manifest returns the verified manifest.
-func (s *Store) Manifest() *Manifest { return s.man }
+// Close waits for any background compaction to finish. The store holds
+// no open file handles between operations, so there is nothing else to
+// release.
+func (s *Store) Close() error {
+	s.compactWG.Wait()
+	return nil
+}
+
+// Manifest returns the verified manifest. After a compaction the store
+// serves the new epoch's manifest.
+func (s *Store) Manifest() *Manifest {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.man
+}
+
+// RedoRows returns the number of committed redo rows awaiting
+// compaction — the replay cost the next Open pays.
+func (s *Store) RedoRows() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int(s.redoCount)
+}
+
+// ResidentBytes reports the bytes of columnar data currently resident:
+// assembled tables plus the chunk cache.
+func (s *Store) ResidentBytes() (tables, chunks int64) {
+	s.mu.Lock()
+	for _, t := range s.tables {
+		tables += t.Bytes()
+	}
+	s.mu.Unlock()
+	return tables, s.pager.residentBytes()
+}
 
 // Table returns the named table, loading and verifying its segment on
-// first touch and replaying any redo records onto it. The returned
-// table is shared: every caller sees the same *rel.Table.
+// first touch and replaying any redo records onto it.
 func (s *Store) Table(name string) (*rel.Table, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -153,6 +279,7 @@ func (s *Store) Table(name string) (*rel.Table, error) {
 
 func (s *Store) tableLocked(name string) (*rel.Table, error) {
 	if t, ok := s.tables[name]; ok {
+		s.touchLocked(name)
 		return t, nil
 	}
 	e := s.man.Table(name)
@@ -160,9 +287,41 @@ func (s *Store) tableLocked(name string) (*rel.Table, error) {
 		return nil, fmt.Errorf("storage: no table %q in store %s", name, s.dir)
 	}
 	start := time.Now()
+	var t *rel.Table
+	var err error
+	if e.ChunkRows > 0 {
+		t, err = s.loadChunkedLocked(e)
+	} else {
+		t, err = s.loadSegmentLocked(e)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if t.RowCount() != e.Rows || t.Generation() != e.Generation || t.Bytes() != e.Bytes {
+		return nil, fmt.Errorf("storage: segment %s decodes to %d rows / generation %d / %d bytes, manifest says %d / %d / %d",
+			e.File, t.RowCount(), t.Generation(), t.Bytes(), e.Rows, e.Generation, e.Bytes)
+	}
+	for _, rec := range s.redo[name] {
+		if len(rec.Row) != len(t.Columns) {
+			return nil, fmt.Errorf("storage: redo record for table %q has %d values, table has %d columns", name, len(rec.Row), len(t.Columns))
+		}
+		t.AppendRow(rec.Row)
+	}
+	s.tables[name] = t
+	s.touchLocked(name)
+	s.evictTablesLocked()
+	s.reg.Counter("storage.segment.loads").Inc()
+	s.reg.Counter("storage.segment.load_ns").Add(time.Since(start).Nanoseconds())
+	return t, nil
+}
+
+// loadSegmentLocked loads a version-1 whole-table segment through the
+// verification chain: size, CRC, bounds-checked decode, structural
+// validation.
+func (s *Store) loadSegmentLocked(e *TableEntry) (*rel.Table, error) {
 	data, err := os.ReadFile(filepath.Join(s.dir, e.File))
 	if err != nil {
-		return nil, fmt.Errorf("storage: reading segment for table %q: %w", name, err)
+		return nil, fmt.Errorf("storage: reading segment for table %q: %w", e.Name, err)
 	}
 	if int64(len(data)) != e.Size {
 		s.reg.Counter("storage.checksum.failures").Inc()
@@ -184,21 +343,116 @@ func (s *Store) tableLocked(name string) (*rel.Table, error) {
 	if err != nil {
 		return nil, fmt.Errorf("storage: segment %s: %w", e.File, err)
 	}
-	if t.RowCount() != e.Rows || t.Generation() != e.Generation || t.Bytes() != e.Bytes {
-		return nil, fmt.Errorf("storage: segment %s decodes to %d rows / generation %d / %d bytes, manifest says %d / %d / %d",
-			e.File, t.RowCount(), t.Generation(), t.Bytes(), e.Rows, e.Generation, e.Bytes)
-	}
-	for _, rec := range s.redo[name] {
-		if len(rec.Row) != len(t.Columns) {
-			return nil, fmt.Errorf("storage: redo record for table %q has %d values, table has %d columns", name, len(rec.Row), len(t.Columns))
-		}
-		t.AppendRow(rec.Row)
-	}
-	s.tables[name] = t
-	s.reg.Counter("storage.segment.loads").Inc()
-	s.reg.Counter("storage.segment.load_ns").Add(time.Since(start).Nanoseconds())
 	s.reg.Counter("storage.segment.bytes_read").Add(int64(len(data)))
 	return t, nil
+}
+
+// loadChunkedLocked assembles a table from its chunked segment: the
+// directory is read and verified once (then cached), each chunk loads
+// through the pager's verification chain under the memory budget, and
+// the merged snapshot passes full structural validation.
+func (s *Store) loadChunkedLocked(e *TableEntry) (*rel.Table, error) {
+	d, err := s.chunkedDirLocked(e)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([]*rel.TableSnapshot, len(d.Chunks))
+	for k := range d.Chunks {
+		parts[k], err = s.pager.chunk(e.File, d, k)
+		if err != nil {
+			return nil, err
+		}
+	}
+	merged, err := d.mergeChunks(parts)
+	if err != nil {
+		s.reg.Counter("storage.checksum.failures").Inc()
+		return nil, err
+	}
+	t, err := rel.TableFromSnapshot(merged)
+	if err != nil {
+		return nil, fmt.Errorf("storage: segment %s: %w", e.File, err)
+	}
+	return t, nil
+}
+
+// chunkedDirLocked returns the verified directory of a chunked
+// segment, reading only the directory region of the file.
+func (s *Store) chunkedDirLocked(e *TableEntry) (*chunkedDir, error) {
+	if d, ok := s.dirs[e.Name]; ok {
+		return d, nil
+	}
+	f, err := os.Open(filepath.Join(s.dir, e.File))
+	if err != nil {
+		return nil, fmt.Errorf("storage: reading segment for table %q: %w", e.Name, err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("storage: reading segment for table %q: %w", e.Name, err)
+	}
+	if st.Size() != e.Size {
+		s.reg.Counter("storage.checksum.failures").Inc()
+		return nil, fmt.Errorf("storage: segment %s is %d bytes, manifest says %d", e.File, st.Size(), e.Size)
+	}
+	hdr := make([]byte, e.Dir)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		s.reg.Counter("storage.checksum.failures").Inc()
+		return nil, fmt.Errorf("storage: reading segment directory of %s: %w", e.File, err)
+	}
+	if got := crc32.Checksum(hdr, crcTable); got != e.CRC {
+		s.reg.Counter("storage.checksum.failures").Inc()
+		return nil, fmt.Errorf("storage: segment %s directory checksum mismatch: manifest says %08x, file hashes to %08x", e.File, e.CRC, got)
+	}
+	d, err := decodeChunkedDir(hdr)
+	if err != nil {
+		s.reg.Counter("storage.checksum.failures").Inc()
+		return nil, err
+	}
+	if d.Name != e.Name {
+		return nil, fmt.Errorf("storage: segment %s holds table %q, manifest says %q", e.File, d.Name, e.Name)
+	}
+	if d.ChunkRows != e.ChunkRows || d.DirLen != e.Dir || d.fileSize() != e.Size {
+		return nil, fmt.Errorf("storage: segment %s directory (chunk size %d, directory %d, file %d bytes) disagrees with manifest (%d, %d, %d)",
+			e.File, d.ChunkRows, d.DirLen, d.fileSize(), e.ChunkRows, e.Dir, e.Size)
+	}
+	s.reg.Counter("storage.segment.bytes_read").Add(int64(len(hdr)))
+	s.dirs[e.Name] = d
+	return d, nil
+}
+
+// touchLocked marks a table most recently used.
+func (s *Store) touchLocked(name string) {
+	for i, n := range s.mru {
+		if n == name {
+			s.mru = append(append(s.mru[:i], s.mru[i+1:]...), name)
+			return
+		}
+	}
+	s.mru = append(s.mru, name)
+}
+
+// evictTablesLocked drops least-recently-used assembled tables until
+// their total bytes fit the budget, always retaining the most recently
+// touched one. Evicted tables reassemble through the chunk cache (and
+// re-replay their redo tail) on the next touch.
+func (s *Store) evictTablesLocked() {
+	var total int64
+	for _, t := range s.tables {
+		total += t.Bytes()
+	}
+	if s.opts.MemBudgetBytes > 0 {
+		evictions := s.reg.Counter("storage.table.evictions")
+		for total > s.opts.MemBudgetBytes && len(s.mru) > 1 {
+			victim := s.mru[0]
+			s.mru = s.mru[1:]
+			if t, ok := s.tables[victim]; ok {
+				total -= t.Bytes()
+				delete(s.tables, victim)
+				evictions.Inc()
+			}
+		}
+	}
+	s.reg.Gauge("storage.resident.table_bytes").Set(float64(total))
 }
 
 // Database loads every table in manifest order and returns them as a
@@ -227,7 +481,10 @@ func (s *Store) Built() (*engine.Built, error) {
 	if err != nil {
 		return nil, err
 	}
-	b, err := engine.Build(db, s.man.Design)
+	s.mu.Lock()
+	design := s.man.Design
+	s.mu.Unlock()
+	b, err := engine.Build(db, design)
 	if err != nil {
 		return nil, fmt.Errorf("storage: rebuilding physical design: %w", err)
 	}
@@ -237,28 +494,230 @@ func (s *Store) Built() (*engine.Built, error) {
 
 // Append durably logs one row append and applies it to the (loaded)
 // table, so a later Open of the same directory replays it and lands on
-// the same row count and generation.
+// the same row count and generation. Concurrent appenders share one
+// fsync (group commit).
 func (s *Store) Append(table string, row []rel.Value) error {
+	return s.AppendBatch(table, [][]rel.Value{row})
+}
+
+// AppendBatch durably logs a batch of row appends under a single fsync
+// and applies them to the (loaded) table. Batches from concurrent
+// appenders that queue while a flush is in progress coalesce into the
+// next fsync.
+func (s *Store) AppendBatch(table string, rows [][]rel.Value) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	if s.man.RedoFile == "" {
+		s.mu.Unlock()
+		return fmt.Errorf("storage: store has no redo log")
+	}
+	t, err := s.tableLocked(table)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	for _, row := range rows {
+		if len(row) != len(t.Columns) {
+			s.mu.Unlock()
+			return fmt.Errorf("storage: append to %q has %d values, table has %d columns", table, len(row), len(t.Columns))
+		}
+	}
+	if s.gcCur == nil {
+		s.gcCur = &commitBatch{}
+	}
+	b := s.gcCur
+	for _, row := range rows {
+		b.recs = append(b.recs, redoRecord{Table: table, Row: append([]rel.Value(nil), row...)})
+	}
+	s.mu.Unlock()
+
+	if d := s.opts.GroupCommitDelay; d > 0 {
+		time.Sleep(d)
+	}
+
+	s.flushMu.Lock()
+	if !b.flushed {
+		s.flushBatchLocked(b)
+	}
+	err = b.err
+	s.flushMu.Unlock()
+
+	s.maybeCompactAsync()
+	return err
+}
+
+// flushBatchLocked detaches and durably writes the open commit batch.
+// Caller holds flushMu; b is the batch the caller joined, which is
+// still the open batch (batches are only flushed under flushMu).
+func (s *Store) flushBatchLocked(b *commitBatch) {
+	s.mu.Lock()
+	if s.gcCur == b {
+		s.gcCur = nil
+	}
+	footOff, count, version := s.redoFootOff, s.redoCount, s.redoVersion
+	path := filepath.Join(s.dir, s.man.RedoFile)
+	s.mu.Unlock()
+
+	nrows := uint32(len(b.recs))
+	newFoot, err := appendRedoBatch(path, version, b.recs, footOff, count+nrows)
+	b.flushed = true
+	b.err = err
+	if err != nil {
+		return
+	}
+	s.reg.Counter("storage.redo.group_commits").Inc()
+	s.reg.Counter("storage.redo.records_appended").Add(int64(nrows))
+
+	s.mu.Lock()
+	s.redoFootOff = newFoot
+	s.redoCount += nrows
+	for i := range b.recs {
+		rec := &b.recs[i]
+		if t, ok := s.tables[rec.Table]; ok {
+			t.AppendRow(rec.Row)
+		}
+		s.redo[rec.Table] = append(s.redo[rec.Table], *rec)
+	}
+	s.mu.Unlock()
+}
+
+// maybeCompactAsync starts a background compaction when the redo log
+// has crossed the configured threshold and none is running.
+func (s *Store) maybeCompactAsync() {
+	if s.opts.CompactRecords <= 0 {
+		return
+	}
+	s.mu.Lock()
+	due := int(s.redoCount) >= s.opts.CompactRecords
+	s.mu.Unlock()
+	if !due || !s.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	s.compactWG.Add(1)
+	go func() {
+		defer s.compactWG.Done()
+		defer s.compacting.Store(false)
+		if err := s.Compact(); err != nil {
+			s.reg.Counter("storage.compact.failures").Inc()
+		}
+	}()
+}
+
+// Compact folds the redo log back into fresh segments: every table
+// with a redo tail is rewritten (with its replayed rows) into a new
+// epoch's segment file, a fresh empty redo log is written, and the new
+// manifest is published via temp-file+rename — the atomic switch-over.
+// A crash anywhere before the rename leaves the old manifest pointing
+// at the old files, so the store reopens at the old generation; a
+// crash after it reopens at the new one with a bounded (empty) redo
+// tail. Stray files from an unfinished epoch are ignored by Open,
+// which only reads what the manifest lists.
+func (s *Store) Compact() error {
+	start := time.Now()
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.man.RedoFile == "" {
 		return fmt.Errorf("storage: store has no redo log")
 	}
-	t, err := s.tableLocked(table)
+	if s.redoCount == 0 {
+		return nil
+	}
+	step := func(name string) error {
+		if s.killCompact != nil {
+			return s.killCompact(name)
+		}
+		return nil
+	}
+	epoch := s.man.Epoch + 1
+	cr := s.opts.chunkRowsOrDefault()
+	format := ChunkSegmentVersion
+	if cr < 0 {
+		format = SegmentVersion
+	}
+	newMan := &Manifest{
+		FormatVersion: format,
+		Epoch:         epoch,
+		Design:        s.man.Design,
+		MappingSQL:    s.man.MappingSQL,
+		RedoFile:      fmt.Sprintf("redo.e%04d.log", epoch),
+	}
+	written := s.reg.Counter("storage.save.bytes_written")
+	var obsolete, rewritten []string
+	for i := range s.man.Tables {
+		e := s.man.Tables[i]
+		if len(s.redo[e.Name]) == 0 {
+			newMan.Tables = append(newMan.Tables, e)
+			continue
+		}
+		if err := step("segment:" + e.Name); err != nil {
+			return err
+		}
+		t, err := s.tableLocked(e.Name)
+		if err != nil {
+			return err
+		}
+		seg, entry, err := encodeTableFile(t, fmt.Sprintf("t%04d.e%04d.seg", i, epoch), cr)
+		if err != nil {
+			return err
+		}
+		if err := writeFileSync(filepath.Join(s.dir, entry.File), seg); err != nil {
+			return err
+		}
+		written.Add(int64(len(seg)))
+		obsolete = append(obsolete, e.File)
+		rewritten = append(rewritten, e.Name)
+		newMan.Tables = append(newMan.Tables, entry)
+	}
+	if err := step("redo"); err != nil {
+		return err
+	}
+	redo := emptyRedoLog(RedoBatchVersion)
+	if err := writeFileSync(filepath.Join(s.dir, newMan.RedoFile), redo); err != nil {
+		return err
+	}
+	written.Add(int64(len(redo)))
+	if err := step("manifest"); err != nil {
+		return err
+	}
+	mb, err := encodeManifest(newMan)
 	if err != nil {
 		return err
 	}
-	if len(row) != len(t.Columns) {
-		return fmt.Errorf("storage: append to %q has %d values, table has %d columns", table, len(row), len(t.Columns))
-	}
-	foot, err := appendRedoRecord(filepath.Join(s.dir, s.man.RedoFile), table, row, s.redoFootOff, s.redoCount+1)
-	if err != nil {
+	if err := writeFileRename(s.dir, ManifestName, mb); err != nil {
 		return err
 	}
-	s.redoFootOff = foot
-	s.redoCount++
-	t.AppendRow(row)
-	s.redo[table] = append(s.redo[table], redoRecord{Table: table, Row: append([]rel.Value(nil), row...)})
+	written.Add(int64(len(mb)))
+
+	// The rename committed the new epoch; bring the in-memory state to
+	// it before anything can fail, so a live store never straddles
+	// epochs.
+	obsolete = append(obsolete, s.man.RedoFile)
+	folded := s.redoCount
+	s.man = newMan
+	s.redo = make(map[string][]redoRecord)
+	s.redoCount = 0
+	s.redoFootOff = redoHeaderSize
+	s.redoVersion = RedoBatchVersion
+	for _, name := range rewritten {
+		delete(s.dirs, name)
+		s.pager.invalidate(name)
+	}
+	s.reg.Counter("storage.compact.runs").Inc()
+	s.reg.Counter("storage.compact.records_folded").Add(int64(folded))
+	s.reg.Gauge("storage.compact.ms").Set(float64(time.Since(start).Nanoseconds()) / 1e6)
+
+	// Old-epoch files are garbage now; removal is best-effort (a crash
+	// that leaves them behind costs disk, not correctness).
+	if err := step("cleanup"); err != nil {
+		return err
+	}
+	for _, f := range obsolete {
+		os.Remove(filepath.Join(s.dir, f))
+	}
 	return nil
 }
 
@@ -281,7 +740,7 @@ func writeFileSync(path string, data []byte) error {
 
 // writeFileRename writes data to a temp file in dir, syncs it, and
 // renames it over name — the atomic-publish step that makes the
-// manifest the commit point of Save.
+// manifest the commit point of Save and Compact.
 func writeFileRename(dir, name string, data []byte) error {
 	tmp, err := os.CreateTemp(dir, name+".tmp*")
 	if err != nil {

@@ -127,7 +127,7 @@ func TestSaveOpenRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if man.FormatVersion != SegmentVersion || man.Design == nil || man.MappingSQL == "" {
+	if man.FormatVersion != ChunkSegmentVersion || man.Design == nil || man.MappingSQL == "" {
 		t.Fatalf("manifest incomplete: %+v", man)
 	}
 	if len(man.Tables) != 2 || man.Tables[0].Name != "book" || man.Tables[1].Name != "author" {

@@ -20,10 +20,19 @@
 //     back toward the row-store ratio fails even though it would still
 //     clear the looser PR 3 bound.
 //
+// Two storage modes ride on the same normalization: -mode reopen pins
+// the StoreReopen/SegmentDecode ratio against BENCH_PR7.json, and
+// -mode paging pins the chunked, budgeted, and resident reopen paths
+// plus the group-commit amortization against BENCH_PR8.json (with
+// -resident BENCH_PR7.json holding the unbudgeted path to the PR 7
+// numbers).
+//
 // Usage:
 //
 //	go test -run '^$' -bench 'BenchmarkExecute...' -benchtime 2s | \
 //	    go run ./scripts/benchguard -baseline BENCH_PR3.json -columnar BENCH_PR6.json
+//	go test -run '^$' -bench 'SegmentDecode|StoreReopen|Append' ./internal/storage/ | \
+//	    go run ./scripts/benchguard -mode paging -baseline BENCH_PR8.json -resident BENCH_PR7.json
 package main
 
 import (
@@ -56,6 +65,16 @@ const (
 	// ratio is what the bound pins — a reopen-latency regression that
 	// is not just "the codec got slower everywhere" fails.
 	maxReopenDrift = 1.50
+	// -mode paging bounds. maxResidentDrift holds the fully resident
+	// (version-1, unbudgeted) reopen within noise of the PR 7 numbers —
+	// the paging machinery must cost nothing when it is not used.
+	// maxPagingDrift holds the chunked and budgeted reopens against the
+	// PR 8 baseline the same normalized way. maxBatchPerRowFraction is
+	// the group-commit contract from a single run: 100 rows under one
+	// fsync must beat 100 separate fsyncs per row by a wide margin.
+	maxResidentDrift       = 1.50
+	maxPagingDrift         = 1.50
+	maxBatchPerRowFraction = 0.80
 )
 
 type baseline struct {
@@ -86,7 +105,8 @@ func loadBaseline(path string) map[string]float64 {
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_PR3.json", "baseline benchmark JSON")
 	columnarPath := flag.String("columnar", "", "columnar baseline JSON (BENCH_PR6.json); empty skips the columnar bound")
-	mode := flag.String("mode", "executor", `guard mode: "executor" (the PR 3/6 executor bounds) or "reopen" (store reopen latency vs the PR 7 baseline)`)
+	mode := flag.String("mode", "executor", `guard mode: "executor" (the PR 3/6 executor bounds), "reopen" (store reopen latency vs the PR 7 baseline), or "paging" (memory-budgeted paging + group commit vs the PR 8 baseline)`)
+	residentPath := flag.String("resident", "", "resident-path baseline JSON (BENCH_PR7.json) for -mode paging; empty skips the resident bound")
 	flag.Parse()
 
 	measured := map[string]float64{}
@@ -128,12 +148,75 @@ func main() {
 		decBase := need(baseNs, "BenchmarkSegmentDecode", *baselinePath)
 		reopenBase := need(baseNs, "BenchmarkStoreReopen", *baselinePath)
 		decNow := need(measured, "BenchmarkSegmentDecode", "bench output")
-		reopenNow := need(measured, "BenchmarkStoreReopen", "bench output")
+		// BENCH_PR7.json recorded the whole-table format; since PR 8
+		// BenchmarkStoreReopen measures the chunked default and
+		// BenchmarkStoreReopenV1 is the like-for-like path — prefer it
+		// when the run includes it.
+		reopenNow, ok := measured["BenchmarkStoreReopenV1"]
+		if !ok {
+			reopenNow = need(measured, "BenchmarkStoreReopen", "bench output")
+		}
 		drift := (reopenNow / decNow) / (reopenBase / decBase)
 		fmt.Printf("benchguard: reopen drift %.3f (bound %.2f)\n", drift, maxReopenDrift)
 		if drift > maxReopenDrift {
 			fmt.Printf("benchguard: FAIL: store reopen regressed %.1f%% vs %s (normalized by the segment codec)\n",
 				(drift-1)*100, *baselinePath)
+			os.Exit(1)
+		}
+		fmt.Println("benchguard: OK")
+		return
+	}
+	if *mode == "paging" {
+		// All reopen-shaped bounds are normalized by the segment codec
+		// from the same run/baseline, cancelling machine speed.
+		baseNs := loadBaseline(*baselinePath)
+		decBase := need(baseNs, "BenchmarkSegmentDecode", *baselinePath)
+		decNow := need(measured, "BenchmarkSegmentDecode", "bench output")
+		failed := false
+
+		// Chunked + budgeted reopen vs the PR 8 baseline.
+		for _, name := range []string{"BenchmarkStoreReopen", "BenchmarkStoreReopenBudgeted"} {
+			base := need(baseNs, name, *baselinePath)
+			now := need(measured, name, "bench output")
+			drift := (now / decNow) / (base / decBase)
+			fmt.Printf("benchguard: %s drift %.3f (bound %.2f)\n", name, drift, maxPagingDrift)
+			if drift > maxPagingDrift {
+				fmt.Printf("benchguard: FAIL: %s regressed %.1f%% vs %s (normalized by the segment codec)\n",
+					name, (drift-1)*100, *baselinePath)
+				failed = true
+			}
+		}
+
+		// The fully resident path must stay within noise of PR 7: the
+		// old baseline's BenchmarkStoreReopen recorded the whole-table
+		// format, which BenchmarkStoreReopenV1 still exercises.
+		if *residentPath != "" {
+			resNs := loadBaseline(*residentPath)
+			decRes := need(resNs, "BenchmarkSegmentDecode", *residentPath)
+			reopenRes := need(resNs, "BenchmarkStoreReopen", *residentPath)
+			v1Now := need(measured, "BenchmarkStoreReopenV1", "bench output")
+			drift := (v1Now / decNow) / (reopenRes / decRes)
+			fmt.Printf("benchguard: resident (v1) drift %.3f vs %s (bound %.2f)\n", drift, *residentPath, maxResidentDrift)
+			if drift > maxResidentDrift {
+				fmt.Printf("benchguard: FAIL: resident reopen path regressed %.1f%% vs %s — paging must be free when unused\n",
+					(drift-1)*100, *residentPath)
+				failed = true
+			}
+		}
+
+		// Group commit: per-row cost of a 100-row batch vs one row per
+		// fsync, from this run alone (no baseline needed — the contract
+		// is the amortization itself).
+		single := need(measured, "BenchmarkAppendSingle", "bench output")
+		batch := need(measured, "BenchmarkAppendBatch100", "bench output")
+		perRow := batch / 100
+		frac := perRow / single
+		fmt.Printf("benchguard: group-commit per-row fraction %.3f (bound %.2f)\n", frac, maxBatchPerRowFraction)
+		if frac > maxBatchPerRowFraction {
+			fmt.Printf("benchguard: FAIL: batched appends cost %.0f%% of single appends per row — group commit is not amortizing the fsync\n", frac*100)
+			failed = true
+		}
+		if failed {
 			os.Exit(1)
 		}
 		fmt.Println("benchguard: OK")
