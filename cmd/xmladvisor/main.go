@@ -51,6 +51,7 @@ func main() {
 	flag.Int64Var(&cfg.memBudgetMB, "mem-budget", 0, "memory budget in MB for -open-dir: column chunks beyond the budget are paged in on demand and evicted (0 = unlimited, everything stays resident)")
 	flag.IntVar(&cfg.chunkRows, "chunk-rows", 0, "rows per column chunk for segments written by -save-dir (0 = default 4096, -1 = legacy whole-table segments, else a positive multiple of 64)")
 	flag.IntVar(&cfg.compactThreshold, "compact-threshold", 0, "redo-log rows that trigger background compaction on an opened store (0 = compact only on demand)")
+	flag.BoolVar(&cfg.paged, "paged", false, "with -open-dir: rebuild through the chunk-granular paged view (Store.PagedBuilt) — tables stay on disk as schema shells and scans fault chunks under -mem-budget instead of assembling tables up front")
 	flag.Parse()
 	if *trace {
 		traceWriter = os.Stderr
@@ -75,6 +76,7 @@ type cliConfig struct {
 	saveDir, openDir                                string
 	memBudgetMB                                     int64
 	chunkRows, compactThreshold                     int
+	paged                                           bool
 }
 
 func run(c cliConfig) error {
@@ -234,7 +236,11 @@ func openStore(c cliConfig) error {
 	defer st.Close()
 	man := st.Manifest()
 	fmt.Printf("store %s (segment format v%d, epoch %d)\n", c.openDir, man.FormatVersion, man.Epoch)
-	built, err := st.Built()
+	rebuild := st.Built
+	if c.paged {
+		rebuild = st.PagedBuilt
+	}
+	built, err := rebuild()
 	if err != nil {
 		return err
 	}
@@ -270,13 +276,23 @@ func openStore(c cliConfig) error {
 	fmt.Printf("\nreopened warm: %d tables, data %d KB, structures %d KB, segments read %.0f KB, open+rebuild %.1f ms\n",
 		len(man.Tables), built.DB.Bytes()>>10, built.StructBytes>>10,
 		snap["storage.segment.bytes_read"]/1024,
-		snap["storage.open.ms"]+snap["storage.built.ms"])
+		snap["storage.open.ms"]+snap["storage.built.ms"]+snap["storage.paged_built.ms"])
 	fmt.Printf("resident: tables %d KB, chunk cache %d KB", tableRes>>10, chunkRes>>10)
 	if c.memBudgetMB > 0 {
 		fmt.Printf(" (budget %d MB, faults %.0f, evictions %.0f)",
 			c.memBudgetMB, snap["storage.pager.faults"], snap["storage.pager.evictions"])
 	}
 	fmt.Println()
+	if c.paged {
+		srcs := 0
+		for _, e := range man.Tables {
+			if built.ScanSource(e.Name) != nil {
+				srcs++
+			}
+		}
+		fmt.Printf("paged view: %d of %d tables serve scans chunk-by-chunk through the pager; shells assemble only for index/view/partition builds and join build sides\n",
+			srcs, len(man.Tables))
+	}
 	return nil
 }
 

@@ -167,6 +167,14 @@ func TestRunSaveOpen(t *testing.T) {
 		t.Errorf("budgeted open summary missing pager stats:\n%s", out)
 	}
 
+	// A paged reopen rebuilds through chunk-scan shells and says so.
+	out = captureStdout(t, func() error {
+		return run(cliConfig{openDir: store, memBudgetMB: 1, paged: true})
+	})
+	if !strings.Contains(out, "paged view:") || !strings.Contains(out, "chunk-by-chunk") {
+		t.Errorf("paged open summary missing paged-view line:\n%s", out)
+	}
+
 	// A corrupted store must reopen as an error, not a summary.
 	seg := filepath.Join(store, "t0000.seg")
 	data, err := os.ReadFile(seg)

@@ -45,7 +45,8 @@ type Case struct {
 	// Persist enables the persistence round trip: the built store is
 	// saved to a scratch directory, reopened, and every query must
 	// return bit-identical results at identical plan costs from the
-	// reopened store.
+	// reopened store — both through assembled tables and through the
+	// chunk-granular paged scan path (Store.PagedBuilt).
 	Persist bool
 	// PersistBudget is the memory budget (bytes) the reopened store runs
 	// under. Zero derives a deliberately tiny budget from the database
@@ -300,7 +301,7 @@ func Run(c Case) (RunStats, *Mismatch) {
 	// the reopened copy to the same bar as the executors — bit-identical
 	// tables now, bit-identical results and identical plan costs per
 	// query below.
-	var reopened *engine.Built
+	var reopened, paged *engine.Built
 	var reopenedOpt *optimizer.Optimizer
 	if c.Persist {
 		// The reopened store runs under a deliberately tiny memory
@@ -340,6 +341,13 @@ func Run(c Case) (RunStats, *Mismatch) {
 			}
 		}
 		reopenedOpt = optimizer.New(stats.FromDatabase(reopened.DB))
+		// Paged view of the same store: driver-stage scans pull chunks
+		// through the pager under the trial's tiny budget instead of
+		// reading assembled tables. Executed differentially below.
+		paged, err = store.PagedBuilt()
+		if err != nil {
+			return st, fail("chunk-scan-equivalence", -1, "", "paged rebuild: %v (config %v)", err, cfg)
+		}
 	}
 	// Every trial also exercises the tracing layer: executor spans are
 	// recorded for each batch execution and the tree must stay
@@ -413,6 +421,33 @@ func Run(c Case) (RunStats, *Mismatch) {
 			if d := diffResults(rres, ref); d != "" {
 				return st, fail("persistence-round-trip", t.idx, t.q.String(),
 					"%s (applied %v)\nSQL:\n%s", d, applied, t.sql.SQL())
+			}
+			// Chunk-scan differential: the same plan through the paged
+			// Built — scans faulting, filtering, and releasing one pager
+			// chunk at a time — must be bit-identical to the reference,
+			// serially and at the seeded morsel worker count.
+			pres, pxerr := engine.Execute(paged, rplan)
+			if pxerr != nil {
+				return st, fail("chunk-scan-equivalence", t.idx, t.q.String(), "execute: %v\nSQL:\n%s", pxerr, t.sql.SQL())
+			}
+			if d := diffResults(pres, ref); d != "" {
+				return st, fail("chunk-scan-equivalence", t.idx, t.q.String(),
+					"%s (applied %v)\nSQL:\n%s", d, applied, t.sql.SQL())
+			}
+			ppaged, pperr := paged.Prepared(rplan)
+			if pperr != nil {
+				return st, fail("chunk-scan-equivalence", t.idx, t.q.String(), "prepare: %v\nSQL:\n%s", pperr, t.sql.SQL())
+			}
+			ppaged.Workers = wk
+			ppar, pxerr2 := ppaged.Execute()
+			ppaged.Workers = 0
+			if pxerr2 != nil {
+				return st, fail("chunk-scan-equivalence", t.idx, t.q.String(),
+					"workers=%d: %v\nSQL:\n%s", wk, pxerr2, t.sql.SQL())
+			}
+			if d := diffResults(ppar, ref); d != "" {
+				return st, fail("chunk-scan-equivalence", t.idx, t.q.String(),
+					"workers=%d: %s (applied %v)\nSQL:\n%s", wk, d, applied, t.sql.SQL())
 			}
 		}
 		gold, gerr := xmlgen.Evaluate(base, doc, t.q)

@@ -26,6 +26,7 @@ type Built struct {
 	views   map[string]*rel.Table
 	parts   map[string][]*rel.Table // base table -> group tables
 	caches  *builtCaches            // plan-lifetime execution structures
+	sources map[string]ScanSource   // driver-stage chunk sources by table
 
 	// gens snapshots every reachable table's mutation generation at
 	// Build time; the structure caches refuse to serve after any table
@@ -160,6 +161,9 @@ func buildIndex(db *rel.Database, idx *physical.Index) (*builtIndex, error) {
 	if t == nil {
 		return nil, fmt.Errorf("engine: index %s on unknown table %s", idx.Name, idx.Table)
 	}
+	if err := t.Hydrate(); err != nil {
+		return nil, err
+	}
 	bi := &builtIndex{idx: idx, table: t}
 	for _, k := range idx.Key {
 		ci := t.ColIndex(k)
@@ -270,6 +274,12 @@ func buildView(db *rel.Database, v *physical.View) (*rel.Table, error) {
 	if outer == nil || inner == nil {
 		return nil, fmt.Errorf("engine: view %s references unknown tables %s/%s", v.Name, v.Outer, v.Inner)
 	}
+	if err := outer.Hydrate(); err != nil {
+		return nil, err
+	}
+	if err := inner.Hydrate(); err != nil {
+		return nil, err
+	}
 	var cols []rel.Column
 	var outerIdx, innerIdx []int
 	for _, c := range v.OuterCols {
@@ -326,6 +336,9 @@ func buildPartition(db *rel.Database, vp *physical.VPartition) ([]*rel.Table, er
 	t := db.Table(vp.Table)
 	if t == nil {
 		return nil, fmt.Errorf("engine: partition of unknown table %s", vp.Table)
+	}
+	if err := t.Hydrate(); err != nil {
+		return nil, err
 	}
 	var out []*rel.Table
 	for gi, group := range vp.Groups {

@@ -328,6 +328,9 @@ func (b *Built) existsProbeSet(p *sqlast.Pred) (*existsSet, error) {
 		if t == nil {
 			return nil, fmt.Errorf("engine: EXISTS over unknown table %s", p.Table)
 		}
+		if err := t.Hydrate(); err != nil {
+			return nil, err
+		}
 		ji := t.ColIndex(p.JoinCol)
 		if ji < 0 {
 			return nil, fmt.Errorf("engine: EXISTS join column %s.%s missing", p.Table, p.JoinCol)

@@ -62,16 +62,16 @@ func (pp *PreparedPlan) executeMorsels(ctx context.Context, sp *obs.Span, reg *o
 		r.st.Branches++
 		pb.precharge(&r.st)
 		r.n, r.ids = pb.resolveDriver(&r.st)
-		nm := (r.n + morselRows - 1) / morselRows
+		ranges := pb.morselRanges(r.n)
+		nm := len(ranges)
 		r.out = make([]morselOut, nm)
 		r.span = sp.Child("executor.branch",
 			obs.Int("branch", int64(bi)),
 			obs.Int("operators", int64(len(pb.ops))),
 			obs.Int("morsels", int64(nm)))
 		runs[bi] = r
-		for m := 0; m < nm; m++ {
-			lo := m * morselRows
-			tasks = append(tasks, task{branch: bi, morsel: m, lo: lo, hi: min(lo+morselRows, r.n)})
+		for m, rg := range ranges {
+			tasks = append(tasks, task{branch: bi, morsel: m, lo: rg[0], hi: rg[1]})
 		}
 		totalMorsels += nm
 	}

@@ -208,6 +208,7 @@ const (
 	srcScan srcKind = iota
 	srcSeek
 	srcZip
+	srcChunks
 )
 
 // driverSrc is the compiled driving access of a branch.
@@ -218,10 +219,15 @@ type driverSrc struct {
 	seekOp  opKind
 	seekVal rel.Value
 	zip     *partZip
+	// chunks feeds a srcChunks driver: the scan pulls resident fragments
+	// from the source one chunk at a time instead of materializing the
+	// table, so peak scan memory follows the source's paging budget.
+	chunks ScanSource
 	// rows is the materialized row view the pipeline hands downstream
 	// operators by reference: the table's generation-cached Rows() for
 	// scans and seeks, the zip rows for partition drivers. Resolved at
 	// prepare time so execution never takes the materialization lock.
+	// srcChunks drivers leave it nil and resolve rows per chunk.
 	rows [][]rel.Value
 }
 
@@ -280,6 +286,19 @@ type preparedBranch struct {
 	ops        []pipeOp
 	projs      []proj
 	nJoinSlots int
+	// chunkPreds are the driver-stage predicates of a srcChunks driver,
+	// in WHERE order. They are validated once at Prepare (compiled
+	// against the table shell and discarded) and recompiled per chunk at
+	// run time — every kernel is bit-equivalent to matchCompare, so
+	// per-chunk recompilation cannot change results, and chunk-local
+	// structures (string dictionaries) get chunk-local kernels.
+	chunkPreds []*sqlast.Pred
+	// chunkScope is a driver-table-only scope snapshot for per-chunk
+	// kernel compilation (the branch scope keeps growing as joins land).
+	chunkScope *scope
+	// built backs per-chunk kernel compilation (EXISTS probe-set lookups
+	// go through its single-flighted cache).
+	built *Built
 	// pool recycles per-execution operator state (batch buffers) across
 	// executions of this branch.
 	pool sync.Pool
@@ -335,9 +354,24 @@ func prepareBranch(b *Built, br *optimizer.Branch) (*preparedBranch, error) {
 			if a.SeekPred == nil {
 				return nil, fmt.Errorf("engine: seek access without predicate on %s", a.Table)
 			}
+			if err := t.Hydrate(); err != nil {
+				return nil, err
+			}
 			pb.src = driverSrc{kind: srcSeek, table: t, bi: bi,
 				seekOp: opFromCmp(a.SeekPred.Op), seekVal: a.SeekPred.Value, rows: t.Rows()}
+		} else if src := b.ScanSource(a.Table); src != nil && b.ViewTable(a.Table) == nil {
+			if src.RowCount() != t.RowCount() {
+				return nil, fmt.Errorf("engine: scan source for %s covers %d rows, table declares %d",
+					a.Table, src.RowCount(), t.RowCount())
+			}
+			pb.built = b
+			pb.src = driverSrc{kind: srcChunks, table: t, chunks: src}
+			pb.chunkScope = newScope()
+			pb.chunkScope.add(a.Table, cols)
 		} else {
+			if err := t.Hydrate(); err != nil {
+				return nil, err
+			}
 			pb.src = driverSrc{kind: srcScan, table: t, rows: t.Rows()}
 		}
 	}
@@ -403,7 +437,14 @@ func (pb *preparedBranch) appendFilters(b *Built, br *optimizer.Branch, sc *scop
 				return err
 			}
 			if k != nil {
-				pb.kerns = append(pb.kerns, k)
+				if pb.src.kind == srcChunks {
+					// Validation compile only: the shell has no resident
+					// vectors, so the real kernels recompile against each
+					// resident chunk at run time (see chunkKernels).
+					pb.chunkPreds = append(pb.chunkPreds, p)
+				} else {
+					pb.kerns = append(pb.kerns, k)
+				}
 				applied[i] = true
 				continue
 			}
@@ -457,6 +498,9 @@ func (pb *preparedBranch) appendJoin(b *Built, br *optimizer.Branch, sc *scope, 
 		t := resolveTable(b, a.Table)
 		if t == nil {
 			return fmt.Errorf("engine: unknown table %s", a.Table)
+		}
+		if err := t.Hydrate(); err != nil {
+			return err
 		}
 		cols = colNames(t)
 		if a.Kind == optimizer.AccessSeek {
@@ -626,9 +670,65 @@ func (pb *preparedBranch) resolveDriver(st *ExecStats) (int, []int) {
 		return len(ids), ids
 	case srcZip:
 		return len(pb.src.zip.rows), nil
+	case srcChunks:
+		return pb.src.chunks.RowCount(), nil
 	default: // srcScan
 		return pb.src.table.RowCount(), nil
 	}
+}
+
+// chunkKernels compiles the driver-stage predicates of a srcChunks
+// branch against one resident chunk fragment. The compile is cheap
+// (scope positions resolve in a two-level map, EXISTS probe sets come
+// from the Built's single-flighted cache) and chunk-local: a string
+// range predicate precomputes its match table against the chunk's own
+// dictionary. Kernels operate on chunk-local row ids.
+func (pb *preparedBranch) chunkKernels(frag *rel.Table) ([]colKernel, error) {
+	if len(pb.chunkPreds) == 0 {
+		return nil, nil
+	}
+	ks := make([]colKernel, 0, len(pb.chunkPreds))
+	for _, p := range pb.chunkPreds {
+		k, err := compileColKernel(pb.built, p, frag, pb.chunkScope)
+		if err != nil {
+			return nil, err
+		}
+		ks = append(ks, k)
+	}
+	return ks, nil
+}
+
+// morselRanges splits the branch's n driver rows into morsel ranges.
+// srcChunks drivers align morsels to chunk boundaries — whole chunks
+// accumulate until a morsel reaches morselRows — so each worker faults
+// and holds exactly one chunk at a time and two morsels never fault the
+// same chunk; every other driver splits on the fixed morselRows stride.
+func (pb *preparedBranch) morselRanges(n int) [][2]int {
+	var out [][2]int
+	if pb.src.kind == srcChunks {
+		src := pb.src.chunks
+		nc := src.NumChunks()
+		lo := 0
+		for k := 0; k < nc; {
+			hi := lo
+			for k < nc && hi-lo < morselRows {
+				_, hi = src.ChunkSpan(k)
+				k++
+			}
+			if hi > n {
+				hi = n
+			}
+			if hi > lo {
+				out = append(out, [2]int{lo, hi})
+			}
+			lo = hi
+		}
+		return out
+	}
+	for lo := 0; lo < n; lo += morselRows {
+		out = append(out, [2]int{lo, min(lo+morselRows, n)})
+	}
+	return out
 }
 
 // runRange pushes driver rows [lo, hi) through the branch pipeline and
@@ -788,6 +888,66 @@ func (pb *preparedBranch) runRange(ctx context.Context, st *ExecStats, ids []int
 		process(0, bt)
 	}
 	switch pb.src.kind {
+	case srcChunks:
+		// Chunk-granular scan: fault each overlapping chunk through the
+		// source, filter it with chunk-compiled kernels, and release it
+		// before moving on — the fragment is resident only between Chunk
+		// and release, so peak scan memory follows the source's budget.
+		// Output is bit-identical to the assembled srcScan path: batch
+		// boundaries differ but every operator is per-row, touchTable
+		// charges the same per-cell work on the fragment's vectors, and
+		// RowsScanned sums to the same total.
+		src := pb.src.chunks
+		nc := src.NumChunks()
+		for k := 0; k < nc; k++ {
+			clo, chi := src.ChunkSpan(k)
+			if chi <= lo {
+				continue
+			}
+			if clo >= hi {
+				break
+			}
+			frag, release, err := src.Chunk(k)
+			if err != nil {
+				return out, err
+			}
+			kerns, err := pb.chunkKernels(frag)
+			if err != nil {
+				release()
+				return out, err
+			}
+			frows := frag.Rows()
+			s0, e0 := max(lo, clo), min(hi, chi)
+			for start := s0; start < e0; start += rel.BatchSize {
+				if cancelled() {
+					release()
+					return out, ctx.Err()
+				}
+				end := min(start+rel.BatchSize, e0)
+				touchTable(frag, start-clo, end-clo)
+				st.RowsScanned += int64(end - start)
+				sel := state.sel[:0]
+				for r := start - clo; r < end-clo; r++ {
+					sel = append(sel, int32(r))
+				}
+				for _, kn := range kerns {
+					sel = kn(sel)
+					if len(sel) == 0 {
+						break
+					}
+				}
+				if len(sel) == 0 {
+					continue
+				}
+				bt := state.in
+				bt.Reset()
+				for _, r := range sel {
+					bt.AppendRef(frows[r])
+				}
+				process(0, bt)
+			}
+			release()
+		}
 	case srcSeek:
 		for start := lo; start < hi; start += rel.BatchSize {
 			if cancelled() {

@@ -111,6 +111,9 @@ func fetchAccess(b *Built, s *sqlast.Select, a optimizer.Access, st *ExecStats) 
 	if t == nil {
 		return nil, nil, fmt.Errorf("engine: unknown table %s", a.Table)
 	}
+	if err := t.Hydrate(); err != nil {
+		return nil, nil, err
+	}
 	cols := make([]string, len(t.Columns))
 	for i, c := range t.Columns {
 		cols[i] = c.Name
@@ -280,6 +283,9 @@ func (e *existsCache) matcher(p *sqlast.Pred) (func(rel.Value) bool, error) {
 	t := e.b.DB.Table(p.Table)
 	if t == nil {
 		return nil, fmt.Errorf("engine: EXISTS over unknown table %s", p.Table)
+	}
+	if err := t.Hydrate(); err != nil {
+		return nil, err
 	}
 	key := p.String()
 	if ints, ok := e.ints[key]; ok {

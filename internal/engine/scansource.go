@@ -1,0 +1,51 @@
+package engine
+
+import "repro/internal/rel"
+
+// ScanSource feeds a driver-stage table scan chunk by chunk instead of
+// through a fully materialized rel.Table, so a scan's peak resident
+// memory is bounded by the source's paging policy (the storage layer
+// backs one with its CLOCK-budgeted pager) rather than by table size.
+//
+// A source describes a fixed point-in-time row set: RowCount and the
+// chunk spans never change after registration, and results must be
+// bit-identical to scanning the assembled table — the executor leans on
+// that to keep the assembled path as its equivalence oracle. Chunk
+// returns a resident fragment covering rows [lo, hi) of the table plus
+// a release callback; the fragment is only valid until release, which
+// lets the source unpin or evict it. Chunk must be safe for concurrent
+// calls (morsel workers pull chunks independently) and should return an
+// error — not stale data — when the backing store has moved on.
+type ScanSource interface {
+	// Columns returns the table's column descriptors, in table order.
+	Columns() []rel.Column
+	// RowCount returns the total number of rows the source covers.
+	RowCount() int
+	// NumChunks returns the number of chunks.
+	NumChunks() int
+	// ChunkSpan returns the global row range [lo, hi) chunk k covers.
+	// Chunks are contiguous and in row order: chunk 0 starts at 0, each
+	// chunk starts where the previous one ended, and the last ends at
+	// RowCount().
+	ChunkSpan(k int) (lo, hi int)
+	// Chunk returns chunk k as a resident read-only table fragment whose
+	// row r corresponds to global row ChunkSpan(k).lo + r, plus a release
+	// callback the caller must invoke when done with the fragment.
+	Chunk(k int) (*rel.Table, func(), error)
+}
+
+// SetScanSource registers a chunk source for driver-stage scans of the
+// named base table. Plain table scans (no partition groups, not a view)
+// then pull chunks from the source instead of materializing the table's
+// rows; every other access to the table — seeks, join build sides,
+// EXISTS probes, index/view/partition builds — still hydrates the full
+// table. Register sources after Build and before Prepare.
+func (b *Built) SetScanSource(table string, src ScanSource) {
+	if b.sources == nil {
+		b.sources = make(map[string]ScanSource)
+	}
+	b.sources[table] = src
+}
+
+// ScanSource returns the registered chunk source for a table, or nil.
+func (b *Built) ScanSource(table string) ScanSource { return b.sources[table] }

@@ -67,6 +67,7 @@ type TableSnapshot struct {
 // a sorted slice): the snapshot is valid as long as the table is not
 // mutated, and must not be written through.
 func (t *Table) Snapshot() *TableSnapshot {
+	t.requireResident()
 	s := &TableSnapshot{
 		Name:       t.Name,
 		Parent:     t.Parent,
@@ -241,6 +242,62 @@ func TableFromSnapshot(s *TableSnapshot) (*Table, error) {
 		}
 	}
 	return t, nil
+}
+
+// ViewFromSnapshot adopts an already-validated snapshot as a read-only
+// Table without re-running TableFromSnapshot's structural checks or its
+// O(rows×cols) byte re-accounting. It exists for snapshots whose
+// validity is established elsewhere — pager-cached chunks go through
+// the full verification chain (CRC → bounds-checked decode →
+// TableFromSnapshot) exactly once at fault time, and a budgeted scan
+// re-adopting the same cached chunk on every visit must not pay the
+// validation again. The returned table aliases the snapshot's vectors,
+// must not be appended to, and reports Bytes() == 0 (chunk residency is
+// accounted by the pager in on-disk bytes, not by the view).
+func ViewFromSnapshot(s *TableSnapshot) *Table {
+	t := &Table{
+		Name:   s.Name,
+		Parent: s.Parent,
+		nrows:  s.RowCount,
+		gen:    s.Generation,
+		colIdx: make(map[string]int, len(s.Columns)),
+	}
+	t.Columns = make([]Column, len(s.Columns))
+	t.cols = make([]colVec, len(s.Columns))
+	for i := range s.Columns {
+		cs := &s.Columns[i]
+		t.colIdx[cs.Col.Name] = i
+		t.Columns[i] = cs.Col
+		set := 0
+		for _, w := range cs.NullWords {
+			set += bits.OnesCount64(w)
+		}
+		cv := colVec{
+			typ:    cs.Col.Typ,
+			nulls:  Bitmap{words: cs.NullWords, n: s.RowCount, set: set},
+			ints:   cs.Ints,
+			floats: cs.Floats,
+			codes:  cs.Codes,
+		}
+		if cs.Col.Typ == TString {
+			d := &Dict{strs: cs.Dict}
+			if len(cs.Dict) > 0 {
+				d.idx = make(map[string]uint32, len(cs.Dict))
+				for c, ds := range cs.Dict {
+					d.idx[ds] = uint32(c)
+				}
+			}
+			cv.dict = d
+		}
+		if len(cs.Exc) > 0 {
+			cv.exc = make(map[int]Value, len(cs.Exc))
+			for _, e := range cs.Exc {
+				cv.exc[e.Row] = e.Val
+			}
+		}
+		t.cols[i] = cv
+	}
+	return t
 }
 
 // colVecFromSnapshot validates and adopts one column's vectors.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Well-known column names: every shredded relation carries an ID
@@ -63,6 +64,15 @@ type Table struct {
 	rowMu       sync.Mutex
 	rowCache    [][]Value
 	rowCacheGen int64
+
+	// virtual marks a schema-only shell (NewVirtualTable) whose data is
+	// not resident: metadata accessors work, data accessors do not until
+	// Hydrate resolves the rows through load. The flag is atomic so hot
+	// readers can check it without a lock; Hydrate publishes t.cols
+	// before clearing it, and the atomic load/store pair orders the two.
+	virtual   atomic.Bool
+	load      func() (*Table, error)
+	hydrateMu sync.Mutex
 }
 
 // NewTable creates an empty table.
@@ -77,6 +87,73 @@ func NewTable(name string, cols []Column) *Table {
 		t.cols[i] = newColVec(c.Typ)
 	}
 	return t
+}
+
+// NewVirtualTable creates a schema-only shell that reports the name,
+// columns, parent, row count, generation, and byte accounting of a real
+// table whose data is not resident. Metadata accessors (RowCount,
+// Generation, Bytes, ColIndex, ...) work immediately; data accessors
+// require a prior Hydrate call, which resolves the resident form
+// through load and must land on exactly the declared shape. Typed
+// kernel accessors (IntCol/FloatCol/StrCol) report ok=false while
+// unhydrated, matching their "no clean vector available" contract.
+func NewVirtualTable(name, parent string, cols []Column, rows int, gen, bytes int64, load func() (*Table, error)) *Table {
+	t := &Table{Name: name, Parent: parent, Columns: cols,
+		nrows: rows, gen: gen, bytes: bytes,
+		colIdx: make(map[string]int, len(cols)), load: load}
+	for i, c := range cols {
+		if _, dup := t.colIdx[c.Name]; dup {
+			panic(fmt.Sprintf("rel: duplicate column %s.%s", name, c.Name))
+		}
+		t.colIdx[c.Name] = i
+	}
+	t.virtual.Store(true)
+	return t
+}
+
+// Resident reports whether the table's data is readable: always true
+// for regular tables, true for a virtual shell only after Hydrate.
+func (t *Table) Resident() bool { return !t.virtual.Load() }
+
+// Hydrate resolves a virtual shell to its resident form; it is a no-op
+// on a resident table. The loaded table must match the shell's declared
+// schema, row count, generation, and byte accounting exactly — a
+// mismatch means the backing store moved on since the shell was created
+// and is reported as an error, never served.
+func (t *Table) Hydrate() error {
+	if !t.virtual.Load() {
+		return nil
+	}
+	t.hydrateMu.Lock()
+	defer t.hydrateMu.Unlock()
+	if !t.virtual.Load() {
+		return nil
+	}
+	src, err := t.load()
+	if err != nil {
+		return fmt.Errorf("rel: hydrating %s: %w", t.Name, err)
+	}
+	if src.nrows != t.nrows || src.gen != t.gen || src.bytes != t.bytes || len(src.Columns) != len(t.Columns) {
+		return fmt.Errorf("rel: hydrating %s: loaded %d rows / generation %d / %d bytes, shell declares %d / %d / %d",
+			t.Name, src.nrows, src.gen, src.bytes, t.nrows, t.gen, t.bytes)
+	}
+	for i := range t.Columns {
+		if src.Columns[i] != t.Columns[i] {
+			return fmt.Errorf("rel: hydrating %s: column %d is %+v, shell declares %+v", t.Name, i, src.Columns[i], t.Columns[i])
+		}
+	}
+	t.cols = src.cols
+	t.virtual.Store(false)
+	return nil
+}
+
+// requireResident panics when a data accessor touches an unhydrated
+// shell — a programming error (callers with an error path Hydrate
+// first), not a data error.
+func (t *Table) requireResident() {
+	if t.virtual.Load() {
+		panic(fmt.Sprintf("rel: table %s is a virtual shell; call Hydrate before reading rows", t.Name))
+	}
 }
 
 // ColIndex returns the index of the named column, or -1.
@@ -103,6 +180,7 @@ func (t *Table) HasColumn(name string) bool { return t.ColIndex(name) >= 0 }
 // values are decomposed into the column vectors — the slice is not
 // retained, so callers may reuse it.
 func (t *Table) AppendRow(row []Value) {
+	t.requireResident()
 	if len(row) != len(t.Columns) {
 		panic(fmt.Sprintf("rel: row width %d != %d columns in %s", len(row), len(t.Columns), t.Name))
 	}
@@ -139,10 +217,14 @@ func (t *Table) Pages() int64 {
 
 // ValueAt returns the value at (row, col), bit-identical to what
 // AppendRow stored.
-func (t *Table) ValueAt(row, col int) Value { return t.cols[col].value(row) }
+func (t *Table) ValueAt(row, col int) Value {
+	t.requireResident()
+	return t.cols[col].value(row)
+}
 
 // IsNullAt reports whether the value at (row, col) is NULL.
 func (t *Table) IsNullAt(row, col int) bool {
+	t.requireResident()
 	cv := &t.cols[col]
 	if cv.exc != nil {
 		if v, ok := cv.exc[row]; ok {
@@ -155,6 +237,7 @@ func (t *Table) IsNullAt(row, col int) bool {
 // ReadRowInto materializes row rid into dst, which must have exactly
 // one slot per column.
 func (t *Table) ReadRowInto(dst []Value, rid int) {
+	t.requireResident()
 	if len(dst) != len(t.Columns) {
 		panic(fmt.Sprintf("rel: dst width %d != %d columns in %s", len(dst), len(t.Columns), t.Name))
 	}
@@ -169,6 +252,9 @@ func (t *Table) ReadRowInto(dst []Value, rid int) {
 // precondition for the executor's typed kernels. The vector includes
 // rows whose bit is set in the bitmap (their payload slot is 0).
 func (t *Table) IntCol(ci int) (vals []int64, nulls *Bitmap, ok bool) {
+	if t.virtual.Load() {
+		return nil, nil, false
+	}
 	cv := &t.cols[ci]
 	if cv.typ != TInt || !cv.clean() {
 		return nil, nil, false
@@ -178,6 +264,9 @@ func (t *Table) IntCol(ci int) (vals []int64, nulls *Bitmap, ok bool) {
 
 // FloatCol is IntCol for TFloat columns.
 func (t *Table) FloatCol(ci int) (vals []float64, nulls *Bitmap, ok bool) {
+	if t.virtual.Load() {
+		return nil, nil, false
+	}
 	cv := &t.cols[ci]
 	if cv.typ != TFloat || !cv.clean() {
 		return nil, nil, false
@@ -188,6 +277,9 @@ func (t *Table) FloatCol(ci int) (vals []float64, nulls *Bitmap, ok bool) {
 // StrCol returns the dictionary codes, dictionary, and null bitmap of
 // a TString column under the same cleanliness precondition as IntCol.
 func (t *Table) StrCol(ci int) (codes []uint32, dict *Dict, nulls *Bitmap, ok bool) {
+	if t.virtual.Load() {
+		return nil, nil, nil, false
+	}
 	cv := &t.cols[ci]
 	if cv.typ != TString || !cv.clean() {
 		return nil, nil, nil, false
@@ -201,6 +293,7 @@ func (t *Table) StrCol(ci int) (codes []uint32, dict *Dict, nulls *Bitmap, ok bo
 // bit-identical to what AppendRow stored. Callers must not modify the
 // returned rows.
 func (t *Table) Rows() [][]Value {
+	t.requireResident()
 	t.rowMu.Lock()
 	defer t.rowMu.Unlock()
 	if t.rowCache != nil && t.rowCacheGen == t.gen {
@@ -228,6 +321,7 @@ func (t *Table) Rows() [][]Value {
 // SortByID sorts rows by the ID column; shredding emits rows in
 // document order so this is normally already true.
 func (t *Table) SortByID() {
+	t.requireResident()
 	id := t.ColIndex(IDColumn)
 	if id < 0 {
 		return

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/engine"
+	"repro/internal/optimizer"
 	"repro/internal/physical"
 	"repro/internal/rel"
 )
@@ -172,6 +173,108 @@ func BenchmarkAppendBatch100(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := st.AppendBatch("fact", rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchScanStore saves the scanDB fixture once and returns its dir plus
+// total data bytes from the manifest — the denominators of the
+// chunk-scan residency metrics.
+func benchScanStore(b *testing.B) (string, int64) {
+	b.Helper()
+	dir := b.TempDir()
+	built, err := engine.Build(scanDB(8192), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	man, err := Save(dir, built, Options{ChunkRows: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var data int64
+	for i := range man.Tables {
+		data += man.Tables[i].Bytes
+	}
+	return dir, data
+}
+
+// benchScanPlan plans the filtered-scan query from a throwaway
+// assembled open, so the measured store's pager stays untouched.
+func benchScanPlan(b *testing.B, dir string) *optimizer.Plan {
+	b.Helper()
+	oracle, err := Open(dir, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer oracle.Close()
+	db, err := oracle.Database()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return scanPlan(b, db, scanQueries()[0])
+}
+
+// BenchmarkChunkScanQuery executes a driver-stage scan query through
+// PagedBuilt under a budget a quarter of the data: every execution
+// faults, filters, and releases chunks through the pager. Beyond
+// ns/op it reports peak_over_bound — the pager's resident high-water
+// mark over the contract bound (budget + one chunk per concurrent
+// holder), which benchguard requires to stay at or below 1 — and
+// peak_over_data, how small the scan's footprint is relative to the
+// dataset.
+func BenchmarkChunkScanQuery(b *testing.B) {
+	dir, data := benchScanStore(b)
+	plan := benchScanPlan(b, dir)
+	budget := data / 4
+	s, err := Open(dir, Options{MemBudgetBytes: budget})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	paged, err := s.PagedBuilt()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pp, err := paged.Prepared(plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pp.Execute(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	bound := budget + 2*maxChunkBytes(b, s) // serial: one pin + one in-flight load
+	b.ReportMetric(float64(s.pager.peakBytes())/float64(bound), "peak_over_bound")
+	b.ReportMetric(float64(s.pager.peakBytes())/float64(data), "peak_over_data")
+}
+
+// BenchmarkAssembledScanQuery is the normalizer: the same plan over the
+// same store through fully assembled tables. benchguard pins the
+// ChunkScanQuery/AssembledScanQuery ratio so chunk faulting stays an
+// acceptable constant factor over resident execution.
+func BenchmarkAssembledScanQuery(b *testing.B) {
+	dir, _ := benchScanStore(b)
+	plan := benchScanPlan(b, dir)
+	s, err := Open(dir, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	built, err := s.Built()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pp, err := built.Prepared(plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pp.Execute(); err != nil {
 			b.Fatal(err)
 		}
 	}

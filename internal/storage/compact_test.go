@@ -231,9 +231,6 @@ func TestAutoCompactBoundsRedoTail(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := st.Close(); err != nil {
-		t.Fatal(err)
-	}
 	live, err := st.Table("book")
 	if err != nil {
 		t.Fatal(err)
@@ -243,6 +240,11 @@ func TestAutoCompactBoundsRedoTail(t *testing.T) {
 	}
 	liveBuilt, err := st.Built()
 	if err != nil {
+		t.Fatal(err)
+	}
+	// Close fences the store and waits out any background compaction,
+	// so the directory below is quiescent.
+	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}
 

@@ -48,6 +48,7 @@ type pageEntry struct {
 	snap *rel.TableSnapshot
 	size int64
 	ref  bool // CLOCK reference bit
+	pins int  // active chunkPinned readers; pinned entries are not evictable
 }
 
 func newPager(dir string, budget int64, reg *obs.Registry) *pager {
@@ -64,14 +65,38 @@ func newPager(dir string, budget int64, reg *obs.Registry) *pager {
 // TableFromSnapshot structural validation) on a miss and evicting
 // under the budget before admitting it.
 func (p *pager) chunk(file string, d *chunkedDir, k int) (*rel.TableSnapshot, error) {
+	snap, release, err := p.acquire(file, d, k, false)
+	if err != nil {
+		return nil, err
+	}
+	release()
+	return snap, nil
+}
+
+// chunkPinned is chunk with the entry pinned against eviction until the
+// returned release is called. Scans hold exactly one pin per worker, so
+// the budget overshoot stays bounded to one chunk per worker even when
+// every other entry is evictable.
+func (p *pager) chunkPinned(file string, d *chunkedDir, k int) (*rel.TableSnapshot, func(), error) {
+	return p.acquire(file, d, k, true)
+}
+
+// acquire serves one chunk, pinning its cache entry when pin is set.
+// Every call increments exactly one of storage.pager.hits or
+// storage.pager.faults: a fault is an admission; a load raced out by a
+// concurrent admission counts as a hit plus storage.pager.dup_loads
+// (the wasted read keeps bytes_read honest without double-counting
+// admissions).
+func (p *pager) acquire(file string, d *chunkedDir, k int, pin bool) (*rel.TableSnapshot, func(), error) {
 	key := chunkKey{table: d.Name, idx: k}
 	ref := &d.Chunks[k]
 	p.mu.Lock()
 	if e, ok := p.entries[key]; ok {
 		e.ref = true
+		unpin := p.pinLocked(e, pin)
 		p.mu.Unlock()
 		p.reg.Counter("storage.pager.hits").Inc()
-		return e.snap, nil
+		return e.snap, unpin, nil
 	}
 	p.inflight += ref.Size
 	if hw := p.resident + p.inflight; hw > p.peak {
@@ -85,14 +110,17 @@ func (p *pager) chunk(file string, d *chunkedDir, k int) (*rel.TableSnapshot, er
 	p.inflight -= ref.Size
 	if err != nil {
 		p.mu.Unlock()
-		return nil, err
+		return nil, nil, err
 	}
 	if e, ok := p.entries[key]; ok {
 		// Another loader admitted the same chunk while we read it;
 		// serve the cached copy.
 		e.ref = true
+		unpin := p.pinLocked(e, pin)
 		p.mu.Unlock()
-		return e.snap, nil
+		p.reg.Counter("storage.pager.hits").Inc()
+		p.reg.Counter("storage.pager.dup_loads").Inc()
+		return e.snap, unpin, nil
 	}
 	p.evictFor(ref.Size)
 	e := &pageEntry{key: key, snap: snap, size: ref.Size, ref: true}
@@ -102,10 +130,30 @@ func (p *pager) chunk(file string, d *chunkedDir, k int) (*rel.TableSnapshot, er
 	if hw := p.resident + p.inflight; hw > p.peak {
 		p.peak = hw
 	}
+	unpin := p.pinLocked(e, pin)
 	p.reg.Gauge("storage.pager.resident_bytes").Set(float64(p.resident))
 	p.mu.Unlock()
 	p.reg.Counter("storage.pager.faults").Inc()
-	return snap, nil
+	return snap, unpin, nil
+}
+
+// pinLocked takes a pin on e (when pin is set) and returns the matching
+// idempotent release. Caller holds p.mu.
+func (p *pager) pinLocked(e *pageEntry, pin bool) func() {
+	if !pin {
+		return func() {}
+	}
+	e.pins++
+	released := false
+	return func() {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if released {
+			return
+		}
+		released = true
+		e.pins--
+	}
 }
 
 // load reads and validates one chunk from disk (no cache interaction).
@@ -132,7 +180,9 @@ func (p *pager) load(file string, d *chunkedDir, k int) (*rel.TableSnapshot, err
 
 // evictFor makes room for need bytes under the budget. Caller holds
 // p.mu. The scan is bounded: one full sweep clears every reference
-// bit, a second finds a victim, so 2·len+1 steps always suffice.
+// bit, a second finds a victim, so 2·len+1 steps always suffice (a
+// ring of only pinned entries simply runs the bound out and admits
+// over budget — the peak tracking records exactly that overshoot).
 func (p *pager) evictFor(need int64) {
 	if p.budget <= 0 {
 		return
@@ -143,6 +193,10 @@ func (p *pager) evictFor(need int64) {
 			p.hand = 0
 		}
 		e := p.ring[p.hand]
+		if e.pins > 0 {
+			p.hand++
+			continue
+		}
 		if e.ref {
 			e.ref = false
 			p.hand++
@@ -156,13 +210,20 @@ func (p *pager) evictFor(need int64) {
 }
 
 // invalidate drops every cached chunk of a table (compaction rewrote
-// its segment, so cached chunks describe a dead file).
+// its segment, so cached chunks describe a dead file). The clock hand
+// is re-indexed against the surviving ring rather than reset: a reset
+// would hand every surviving early-ring entry a fresh second chance
+// after each compaction and skew eviction toward late-ring entries.
 func (p *pager) invalidate(table string) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	keep := p.ring[:0]
-	for _, e := range p.ring {
+	hand := p.hand
+	for i, e := range p.ring {
 		if e.key.table == table {
+			if i < p.hand {
+				hand--
+			}
 			delete(p.entries, e.key)
 			p.resident -= e.size
 			continue
@@ -170,7 +231,10 @@ func (p *pager) invalidate(table string) {
 		keep = append(keep, e)
 	}
 	p.ring = keep
-	p.hand = 0
+	if hand < 0 || hand > len(keep) {
+		hand = 0
+	}
+	p.hand = hand
 	p.reg.Gauge("storage.pager.resident_bytes").Set(float64(p.resident))
 }
 

@@ -209,3 +209,163 @@ func TestPagerInvalidate(t *testing.T) {
 		t.Fatal("invalidated chunk served from cache")
 	}
 }
+
+// TestPagerMetricsCompleteUnderRace pins the duplicate-admission
+// accounting: every chunk request increments exactly one of hits or
+// faults, even when concurrent loaders race to admit the same chunk
+// (the raced-out load shows up in storage.pager.dup_loads instead of
+// vanishing from both counters).
+func TestPagerMetricsCompleteUnderRace(t *testing.T) {
+	reg := obs.NewRegistry()
+	p, d, _ := pagerFixture(t, 640, 0, reg)
+	const loaders = 8
+	var total int64
+	for k := range d.Chunks {
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < loaders; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				if _, err := p.chunk("fact.seg", d, k); err != nil {
+					t.Error(err)
+				}
+			}()
+		}
+		close(start)
+		wg.Wait()
+		total += loaders
+	}
+	hits := reg.Counter("storage.pager.hits").Value()
+	faults := reg.Counter("storage.pager.faults").Value()
+	if hits+faults != total {
+		t.Fatalf("hits %d + faults %d = %d requests accounted, want %d", hits, faults, hits+faults, total)
+	}
+	// Unlimited budget: each chunk is admitted exactly once.
+	if faults != int64(len(d.Chunks)) {
+		t.Fatalf("faults %d, want one admission per chunk (%d)", faults, len(d.Chunks))
+	}
+}
+
+// TestPagerInvalidateKeepsClockOrder pins the hand clamp: dropping a
+// table's chunks must not reset the sweep, or a recently referenced
+// early-ring survivor loses its second chance to an unreferenced
+// late-ring one.
+func TestPagerInvalidateKeepsClockOrder(t *testing.T) {
+	reg := obs.NewRegistry()
+	p, d, _ := pagerFixture(t, 640, 0, reg)
+
+	// A second table ("dim") in the same pager directory.
+	dimTB := multiChunkDB(320).Table("fact")
+	enc, err := EncodeChunkedSegment(dimTB.Snapshot(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFileSync(filepath.Join(p.dir, "dim.seg"), enc); err != nil {
+		t.Fatal(err)
+	}
+	dd, err := decodeChunkedDir(enc[:chunkedDirLen(enc)])
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd.Name = "dim"
+
+	// Ring [f0 d0 f1]; hand parked on f1 after a sweep that cleared d0
+	// and re-referenced f0 (a hit after the hand passed it).
+	for _, ld := range []struct {
+		file string
+		dir  *chunkedDir
+		k    int
+	}{{"fact.seg", d, 0}, {"dim.seg", dd, 0}, {"fact.seg", d, 1}} {
+		if _, err := p.chunk(ld.file, ld.dir, ld.k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.mu.Lock()
+	p.entries[chunkKey{"fact", 0}].ref = true
+	p.entries[chunkKey{"dim", 0}].ref = false
+	p.entries[chunkKey{"fact", 1}].ref = true
+	p.hand = 2
+	p.mu.Unlock()
+
+	p.invalidate("dim")
+	if p.hand != 1 {
+		t.Fatalf("hand %d after invalidating one entry before it, want 1", p.hand)
+	}
+
+	// Force exactly one eviction by admitting f2 with one byte short of
+	// room. A clamped hand sweeps f1 → f0 → f1 and evicts f1; the old
+	// reset-to-zero bug swept f0 → f1 → f0 and evicted the recently
+	// referenced f0.
+	p.budget = p.residentBytes() + d.Chunks[2].Size - 1
+	if _, err := p.chunk("fact.seg", d, 2); err != nil {
+		t.Fatal(err)
+	}
+	p.mu.Lock()
+	_, f0 := p.entries[chunkKey{"fact", 0}]
+	_, f1 := p.entries[chunkKey{"fact", 1}]
+	p.mu.Unlock()
+	if !f0 || f1 {
+		t.Fatalf("clock order skewed: f0 resident=%v f1 resident=%v, want f1 evicted and f0 kept", f0, f1)
+	}
+
+	// Hand past every survivor clamps into range rather than indexing
+	// out of the ring.
+	p.mu.Lock()
+	p.hand = len(p.ring)
+	p.mu.Unlock()
+	p.invalidate("fact")
+	if p.hand != 0 || p.residentBytes() != 0 {
+		t.Fatalf("hand %d resident %d after invalidating everything", p.hand, p.residentBytes())
+	}
+}
+
+// TestPagerPinnedChunkSurvivesPressure: a pinned chunk is never chosen
+// as a victim; after release it is evictable again.
+func TestPagerPinnedChunkSurvivesPressure(t *testing.T) {
+	reg := obs.NewRegistry()
+	p, d, maxChunk := pagerFixture(t, 640, 0, reg)
+	p.budget = 2 * maxChunk
+	snap, release, err := p.chunkPinned("fact.seg", d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.RowCount != d.ChunkRows {
+		t.Fatalf("pinned chunk served %d rows, want %d", snap.RowCount, d.ChunkRows)
+	}
+	for pass := 0; pass < 2; pass++ {
+		for k := 1; k < len(d.Chunks); k++ {
+			if _, err := p.chunk("fact.seg", d, k); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	p.mu.Lock()
+	_, pinned := p.entries[chunkKey{"fact", 0}]
+	p.mu.Unlock()
+	if !pinned {
+		t.Fatal("pinned chunk was evicted under pressure")
+	}
+	release()
+	release() // idempotent
+	p.mu.Lock()
+	pins := p.entries[chunkKey{"fact", 0}].pins
+	p.mu.Unlock()
+	if pins != 0 {
+		t.Fatalf("pins %d after release, want 0", pins)
+	}
+	for pass := 0; pass < 3; pass++ {
+		for k := 1; k < len(d.Chunks); k++ {
+			if _, err := p.chunk("fact.seg", d, k); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	p.mu.Lock()
+	_, still := p.entries[chunkKey{"fact", 0}]
+	p.mu.Unlock()
+	if still {
+		t.Fatal("released chunk never evicted under sustained pressure")
+	}
+}

@@ -1,0 +1,520 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/optimizer"
+	"repro/internal/physical"
+	"repro/internal/rel"
+	"repro/internal/sqlast"
+	"repro/internal/stats"
+)
+
+// scanDB builds a parent/child database big enough to span many chunks
+// at 64 rows/chunk, with the value shapes that stress chunk-local
+// kernels: repeated strings, NULLs, non-finite floats, and wrong-typed
+// exception rows (which force the generic per-cell kernel fallback on
+// the chunks containing them while other chunks keep the typed paths).
+func scanDB(nrows int) *rel.Database {
+	db := rel.NewDatabase()
+	big := rel.NewTable("big", []rel.Column{
+		{Name: rel.IDColumn, Typ: rel.TInt},
+		{Name: rel.PIDColumn, Typ: rel.TInt, Nullable: true},
+		{Name: "tag", Typ: rel.TString, Nullable: true, LeafID: 3},
+		{Name: "val", Typ: rel.TFloat, Nullable: true, LeafID: 4},
+		{Name: "n", Typ: rel.TInt, Nullable: true, LeafID: 5},
+	})
+	for i := 0; i < nrows; i++ {
+		tag := rel.Str(fmt.Sprintf("tag-%02d", i%7))
+		switch {
+		case i%13 == 0:
+			tag = rel.NullOf(rel.TString)
+		case i%97 == 0:
+			tag = rel.Int(int64(i)) // exception: int in a string column
+		}
+		val := rel.Float(float64(i) / 3)
+		switch {
+		case i%31 == 0:
+			val = rel.Float(math.NaN())
+		case i%47 == 0:
+			val = rel.Float(math.Copysign(0, -1))
+		case i%11 == 0:
+			val = rel.NullOf(rel.TFloat)
+		}
+		n := rel.Int(int64(i % 100))
+		if i%17 == 0 {
+			n = rel.NullOf(rel.TInt)
+		}
+		big.AppendRow([]rel.Value{rel.Int(int64(i)), rel.NullOf(rel.TInt), tag, val, n})
+	}
+	kid := rel.NewTable("kid", []rel.Column{
+		{Name: rel.IDColumn, Typ: rel.TInt},
+		{Name: rel.PIDColumn, Typ: rel.TInt},
+		{Name: "word", Typ: rel.TString, LeafID: 7},
+	})
+	kid.Parent = "big"
+	for i := 0; i < nrows/2; i++ {
+		kid.AppendRow([]rel.Value{
+			rel.Int(int64(nrows + i)), rel.Int(int64((i * 5) % nrows)),
+			rel.Str(fmt.Sprintf("w%d", i%19)),
+		})
+	}
+	db.Add(big)
+	db.Add(kid)
+	return db
+}
+
+// scanQueries drive the chunk-scan path end to end: a filtered scan
+// with typed int + dictionary string kernels, a scan over the
+// exception-bearing float column (generic fallback), and a hash-join
+// whose probe side is a driver-stage chunk scan.
+func scanQueries() []*sqlast.Query {
+	return []*sqlast.Query{
+		{Branches: []*sqlast.Select{{
+			Items: []sqlast.SelectItem{
+				{Col: &sqlast.ColRef{Table: "big", Column: rel.IDColumn}, As: "ID"},
+				{Col: &sqlast.ColRef{Table: "big", Column: "tag"}, As: "tag"},
+			},
+			From: []string{"big"},
+			Where: []sqlast.Pred{
+				{Kind: sqlast.PredCompare, Op: sqlast.OpEq,
+					Col: sqlast.ColRef{Table: "big", Column: "tag"}, Value: rel.Str("tag-03")},
+				{Kind: sqlast.PredCompare, Op: sqlast.OpGe,
+					Col: sqlast.ColRef{Table: "big", Column: "n"}, Value: rel.Int(40)},
+			},
+		}}, OrderBy: "ID"},
+		{Branches: []*sqlast.Select{{
+			Items: []sqlast.SelectItem{
+				{Col: &sqlast.ColRef{Table: "big", Column: rel.IDColumn}, As: "ID"},
+				{Col: &sqlast.ColRef{Table: "big", Column: "val"}, As: "val"},
+			},
+			From: []string{"big"},
+			Where: []sqlast.Pred{
+				{Kind: sqlast.PredCompare, Op: sqlast.OpLt,
+					Col: sqlast.ColRef{Table: "big", Column: "val"}, Value: rel.Float(25)},
+			},
+		}}, OrderBy: "ID"},
+		{Branches: []*sqlast.Select{{
+			Items: []sqlast.SelectItem{
+				{Col: &sqlast.ColRef{Table: "big", Column: rel.IDColumn}, As: "ID"},
+				{Col: &sqlast.ColRef{Table: "kid", Column: "word"}, As: "word"},
+			},
+			From: []string{"big", "kid"},
+			Where: []sqlast.Pred{
+				{Kind: sqlast.PredJoin,
+					Left:  sqlast.ColRef{Table: "kid", Column: rel.PIDColumn},
+					Right: sqlast.ColRef{Table: "big", Column: rel.IDColumn}},
+				{Kind: sqlast.PredCompare, Op: sqlast.OpLt,
+					Col: sqlast.ColRef{Table: "big", Column: "n"}, Value: rel.Int(50)},
+			},
+		}}, OrderBy: "ID"},
+	}
+}
+
+// scanPlan plans a query from assembled-table statistics. Plans are
+// Built-independent, so one plan executes against both the assembled
+// oracle and the paged Built.
+func scanPlan(t testing.TB, db *rel.Database, q *sqlast.Query) *optimizer.Plan {
+	t.Helper()
+	plan, err := optimizer.New(stats.FromDatabase(db)).PlanQuery(q, &physical.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// requireSameResult compares two executions bit for bit: columns, row
+// order, every value under BitEqual, and the work counters.
+func requireSameResult(t *testing.T, label string, got, want *engine.Result) {
+	t.Helper()
+	if len(got.Cols) != len(want.Cols) {
+		t.Fatalf("%s: %d cols, want %d", label, len(got.Cols), len(want.Cols))
+	}
+	for i := range got.Cols {
+		if got.Cols[i] != want.Cols[i] {
+			t.Fatalf("%s: col %d = %q, want %q", label, i, got.Cols[i], want.Cols[i])
+		}
+	}
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("%s: %d rows, want %d", label, len(got.Rows), len(want.Rows))
+	}
+	for r := range got.Rows {
+		if len(got.Rows[r]) != len(want.Rows[r]) {
+			t.Fatalf("%s: row %d width %d, want %d", label, r, len(got.Rows[r]), len(want.Rows[r]))
+		}
+		for c := range got.Rows[r] {
+			if !got.Rows[r][c].BitEqual(want.Rows[r][c]) {
+				t.Fatalf("%s: row %d col %d = %v, want %v", label, r, c, got.Rows[r][c], want.Rows[r][c])
+			}
+		}
+	}
+	if got.Stats != want.Stats {
+		t.Fatalf("%s: stats %+v, want %+v", label, got.Stats, want.Stats)
+	}
+}
+
+// savedScanStore persists scanDB under a flat design with 64-row chunks
+// and returns the directory.
+func savedScanStore(t *testing.T, nrows int) string {
+	t.Helper()
+	dir := t.TempDir()
+	b, err := engine.Build(scanDB(nrows), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Save(dir, b, Options{ChunkRows: 64}); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// maxChunkBytes returns the largest on-disk chunk size across all
+// chunked tables — the pager's admission unit, and therefore the slack
+// term in the peak-residency bound.
+func maxChunkBytes(t testing.TB, s *Store) int64 {
+	t.Helper()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var max int64
+	for i := range s.man.Tables {
+		e := &s.man.Tables[i]
+		if e.ChunkRows <= 0 {
+			continue
+		}
+		d, err := s.chunkedDirLocked(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range d.Chunks {
+			if c.Size > max {
+				max = c.Size
+			}
+		}
+	}
+	return max
+}
+
+// TestPagedBuiltMatchesAssembledUnderBudget is the PR's acceptance
+// test: over a dataset at least 4x the memory budget, driver-stage
+// scan queries through PagedBuilt return results bit-identical to the
+// assembled oracle (and the row-at-a-time reference) at every tested
+// worker count, while the pager's resident high-water mark stays
+// within budget + one chunk per concurrent holder.
+func TestPagedBuiltMatchesAssembledUnderBudget(t *testing.T) {
+	const nrows = 4096
+	dir := savedScanStore(t, nrows)
+
+	oracleStore, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oracleStore.Close()
+	db, err := oracleStore.Database()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := oracleStore.Built()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var dataBytes int64
+	for i := range oracleStore.Manifest().Tables {
+		dataBytes += oracleStore.Manifest().Tables[i].Bytes
+	}
+	budget := dataBytes / 4
+	if budget <= 0 {
+		t.Fatalf("fixture too small: %d data bytes", dataBytes)
+	}
+	workerCounts := []int{1, 2, runtime.NumCPU()}
+	maxWorkers := workerCounts[len(workerCounts)-1]
+
+	for _, memBudget := range []int64{0, budget} {
+		name := "unlimited"
+		if memBudget > 0 {
+			name = fmt.Sprintf("budget_%dB_data_%dB", memBudget, dataBytes)
+		}
+		t.Run(name, func(t *testing.T) {
+			s, err := Open(dir, Options{MemBudgetBytes: memBudget, Registry: obs.NewRegistry()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			paged, err := s.PagedBuilt()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for qi, q := range scanQueries() {
+				plan := scanPlan(t, db, q)
+				want, err := engine.ExecuteReference(oracle, plan)
+				if err != nil {
+					t.Fatalf("query %d: reference: %v", qi, err)
+				}
+				asm, err := engine.Execute(oracle, plan)
+				if err != nil {
+					t.Fatalf("query %d: assembled: %v", qi, err)
+				}
+				requireSameResult(t, fmt.Sprintf("query %d assembled-vs-reference", qi), asm, want)
+
+				pp, err := paged.Prepared(plan)
+				if err != nil {
+					t.Fatalf("query %d: prepare paged: %v", qi, err)
+				}
+				for _, workers := range workerCounts {
+					pp.Workers = workers
+					for run := 0; run < 2; run++ {
+						got, err := pp.Execute()
+						if err != nil {
+							t.Fatalf("query %d workers %d: %v", qi, workers, err)
+						}
+						requireSameResult(t, fmt.Sprintf("query %d workers %d run %d", qi, workers, run), got, want)
+					}
+				}
+				pp.Workers = 0
+			}
+			if memBudget > 0 {
+				if dataBytes < 4*memBudget {
+					t.Fatalf("dataset %dB is under 4x budget %dB; fixture lost its point", dataBytes, memBudget)
+				}
+				slack := int64(maxWorkers+1) * maxChunkBytes(t, s)
+				if pk := s.pager.peakBytes(); pk > memBudget+slack {
+					t.Fatalf("pager peak %dB exceeds budget %dB + slack %dB", pk, memBudget, slack)
+				}
+				if pk := s.pager.peakBytes(); pk == 0 {
+					t.Fatal("pager never faulted a chunk; scans did not use the paged path")
+				}
+			}
+		})
+	}
+}
+
+// TestPagedBuiltIncludesRedoTail pins the overlay contract: rows
+// appended after Save (living only in the redo log) appear in paged
+// scan results exactly as they do in the assembled oracle.
+func TestPagedBuiltIncludesRedoTail(t *testing.T) {
+	const nrows = 640
+	dir := savedScanStore(t, nrows)
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Appended rows match query 0's predicates (tag-03, n >= 40), so
+	// the overlay chunk must contribute output rows, not just row count.
+	for i := 0; i < 23; i++ {
+		id := int64(100000 + i)
+		if err := s.Append("big", []rel.Value{
+			rel.Int(id), rel.NullOf(rel.TInt), rel.Str("tag-03"),
+			rel.Float(float64(i)), rel.Int(90),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Append("kid", []rel.Value{
+		rel.Int(200000), rel.Int(100005), rel.Str("tail-word"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if s.RedoRows() == 0 {
+		t.Fatal("appends did not land in the redo log")
+	}
+
+	db, err := s.Database()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := s.Built()
+	if err != nil {
+		t.Fatal(err)
+	}
+	paged, err := s.PagedBuilt()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cs, err := s.ChunkScan("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.RowCount() != nrows+23 {
+		t.Fatalf("scan covers %d rows, want %d", cs.RowCount(), nrows+23)
+	}
+	lo, hi := cs.ChunkSpan(cs.NumChunks() - 1)
+	if lo != nrows || hi != nrows+23 {
+		t.Fatalf("overlay span [%d,%d), want [%d,%d)", lo, hi, nrows, nrows+23)
+	}
+
+	for qi, q := range scanQueries() {
+		plan := scanPlan(t, db, q)
+		want, err := engine.Execute(oracle, plan)
+		if err != nil {
+			t.Fatalf("query %d: oracle: %v", qi, err)
+		}
+		got, err := engine.Execute(paged, plan)
+		if err != nil {
+			t.Fatalf("query %d: paged: %v", qi, err)
+		}
+		requireSameResult(t, fmt.Sprintf("query %d with redo tail", qi), got, want)
+	}
+
+	// The tail must actually be visible in output: query 0 selects
+	// tag-03 rows with n >= 40, which includes every appended big row.
+	plan := scanPlan(t, db, scanQueries()[0])
+	res, err := engine.Execute(paged, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for _, row := range res.Rows {
+		if v := row[0]; !v.Null && v.Typ == rel.TInt && v.I >= 100000 {
+			seen++
+		}
+	}
+	if seen != 23 {
+		t.Fatalf("paged scan surfaced %d appended rows, want 23", seen)
+	}
+}
+
+// TestChunkScanStaleness pins the point-in-time contract: a scan fails
+// — never serves stale rows — after an append to its table, after a
+// compaction, and after Close.
+func TestChunkScanStaleness(t *testing.T) {
+	dir := savedScanStore(t, 320)
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if _, err := s.ChunkScan("nope"); err == nil {
+		t.Fatal("scan of unknown table must fail")
+	}
+
+	cs, err := s.ChunkScan("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	frag, release, err := cs.Chunk(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo, hi := cs.ChunkSpan(0); frag.RowCount() != hi-lo {
+		t.Fatalf("chunk 0 has %d rows, span says %d", frag.RowCount(), hi-lo)
+	}
+	release()
+	release() // idempotent
+
+	// An append to an unrelated table must not invalidate this scan.
+	if err := s.Append("kid", []rel.Value{rel.Int(9000), rel.Int(1), rel.Str("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, rel2, err := cs.Chunk(0); err != nil {
+		t.Fatalf("append to other table staled the scan: %v", err)
+	} else {
+		rel2()
+	}
+
+	// An append to the scanned table makes it stale.
+	if err := s.Append("big", []rel.Value{
+		rel.Int(9001), rel.NullOf(rel.TInt), rel.Str("t"), rel.Float(1), rel.Int(1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cs.Chunk(0); err == nil || !strings.Contains(err.Error(), "stale") {
+		t.Fatalf("chunk after append: %v, want staleness error", err)
+	}
+
+	// A fresh scan sees the new row set; compaction stales it in turn.
+	cs2, err := s.ChunkScan("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs2.RowCount() != 321 {
+		t.Fatalf("fresh scan covers %d rows, want 321", cs2.RowCount())
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cs2.Chunk(0); err == nil || !strings.Contains(err.Error(), "stale") {
+		t.Fatalf("chunk after compaction: %v, want staleness error", err)
+	}
+
+	// Post-compaction scan folds the tail into segment chunks.
+	cs3, err := s.ChunkScan("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs3.RowCount() != 321 || cs3.overlay != nil {
+		t.Fatalf("post-compaction scan: %d rows, overlay %v; want 321 rows, no overlay",
+			cs3.RowCount(), cs3.overlay != nil)
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cs3.Chunk(0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("chunk after close: %v, want ErrClosed", err)
+	}
+	if _, err := s.ChunkScan("big"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("scan after close: %v, want ErrClosed", err)
+	}
+	if _, err := s.PagedBuilt(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("PagedBuilt after close: %v, want ErrClosed", err)
+	}
+}
+
+// TestChunkScanRejectsWholeTableSegments pins the format gate: version-1
+// whole-table segments cannot be chunk-scanned, and PagedBuilt falls
+// back to assembled loading for them.
+func TestChunkScanRejectsWholeTableSegments(t *testing.T) {
+	dir := t.TempDir()
+	b, err := engine.Build(scanDB(192), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Save(dir, b, Options{ChunkRows: -1}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if _, err := s.ChunkScan("big"); err == nil || !strings.Contains(err.Error(), "whole-table") {
+		t.Fatalf("v1 chunk scan: %v, want format error", err)
+	}
+	paged, err := s.PagedBuilt()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paged.ScanSource("big") != nil {
+		t.Fatal("PagedBuilt registered a chunk source for a v1 segment")
+	}
+	db, err := s.Database()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := s.Built()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := scanPlan(t, db, scanQueries()[0])
+	want, err := engine.Execute(oracle, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := engine.Execute(paged, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "v1 fallback", got, want)
+}

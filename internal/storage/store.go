@@ -2,6 +2,7 @@ package storage
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -14,6 +15,9 @@ import (
 	"repro/internal/obs"
 	"repro/internal/rel"
 )
+
+// ErrClosed is returned by every Store operation after Close.
+var ErrClosed = errors.New("storage: store is closed")
 
 // Options configures Save and Open.
 type Options struct {
@@ -88,6 +92,9 @@ type Store struct {
 	// gcCur is the open group-commit batch appenders join until a
 	// leader detaches and flushes it.
 	gcCur *commitBatch
+	// closed fences every operation after Close; set once under both
+	// flushMu and mu.
+	closed bool
 
 	compacting atomic.Bool
 	compactWG  sync.WaitGroup
@@ -234,12 +241,30 @@ func Open(dir string, opts Options) (*Store, error) {
 	return s, nil
 }
 
-// Close waits for any background compaction to finish. The store holds
-// no open file handles between operations, so there is nothing else to
-// release.
+// Close flushes the open group-commit batch (appenders that already
+// joined it get the durable result), fences every subsequent operation
+// with ErrClosed, and waits for any background compaction to finish.
+// Close is idempotent; the error is the pending flush's outcome.
 func (s *Store) Close() error {
+	s.flushMu.Lock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.flushMu.Unlock()
+		s.compactWG.Wait()
+		return nil
+	}
+	s.closed = true
+	b := s.gcCur
+	s.mu.Unlock()
+	var err error
+	if b != nil && !b.flushed {
+		s.flushBatchLocked(b)
+		err = b.err
+	}
+	s.flushMu.Unlock()
 	s.compactWG.Wait()
-	return nil
+	return err
 }
 
 // Manifest returns the verified manifest. After a compaction the store
@@ -278,6 +303,16 @@ func (s *Store) Table(name string) (*rel.Table, error) {
 }
 
 func (s *Store) tableLocked(name string) (*rel.Table, error) {
+	if s.closed {
+		return nil, ErrClosed
+	}
+	return s.tableLoadLocked(name)
+}
+
+// tableLoadLocked is tableLocked without the Close fence, for internal
+// callers that legitimately run during shutdown (the background
+// compaction Close waits out).
+func (s *Store) tableLoadLocked(name string) (*rel.Table, error) {
 	if t, ok := s.tables[name]; ok {
 		s.touchLocked(name)
 		return t, nil
@@ -509,6 +544,10 @@ func (s *Store) AppendBatch(table string, rows [][]rel.Value) error {
 		return nil
 	}
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
 	if s.man.RedoFile == "" {
 		s.mu.Unlock()
 		return fmt.Errorf("storage: store has no redo log")
@@ -599,7 +638,7 @@ func (s *Store) maybeCompactAsync() {
 	go func() {
 		defer s.compactWG.Done()
 		defer s.compacting.Store(false)
-		if err := s.Compact(); err != nil {
+		if err := s.compactNoFence(); err != nil {
 			s.reg.Counter("storage.compact.failures").Inc()
 		}
 	}()
@@ -615,11 +654,30 @@ func (s *Store) maybeCompactAsync() {
 // tail. Stray files from an unfinished epoch are ignored by Open,
 // which only reads what the manifest lists.
 func (s *Store) Compact() error {
-	start := time.Now()
 	s.flushMu.Lock()
 	defer s.flushMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.compactLocked()
+}
+
+// compactNoFence runs a compaction that is allowed to complete during
+// shutdown: a background compaction triggered before Close keeps the
+// bounded-redo-tail promise even when Close races it to flushMu.
+func (s *Store) compactNoFence() error {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactLocked()
+}
+
+// compactLocked is the body of Compact. Caller holds flushMu and mu.
+func (s *Store) compactLocked() error {
+	start := time.Now()
 	if s.man.RedoFile == "" {
 		return fmt.Errorf("storage: store has no redo log")
 	}
@@ -656,7 +714,7 @@ func (s *Store) Compact() error {
 		if err := step("segment:" + e.Name); err != nil {
 			return err
 		}
-		t, err := s.tableLocked(e.Name)
+		t, err := s.tableLoadLocked(e.Name)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"errors"
 	"math"
 	"os"
 	"path/filepath"
@@ -326,5 +327,78 @@ func TestOpenRejectsGenerationDrift(t *testing.T) {
 	}
 	if _, err := st.Table(man.Tables[0].Name); err == nil {
 		t.Fatal("segment disagreeing with manifest generation served")
+	}
+}
+
+// TestCloseFlushesPendingBatch: an appender that joined the open
+// group-commit batch but has not yet flushed (it is waiting out the
+// group-commit window) must not lose its rows when the store closes —
+// Close flushes the pending batch durably.
+func TestCloseFlushesPendingBatch(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Save(dir, fixtureBuilt(t), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := []rel.Value{rel.Int(6), rel.NullOf(rel.TInt), rel.Str("Closing Time"), rel.Float(9.5)}
+	// The state an appender leaves mid group-commit window: records
+	// joined to the open batch, nothing flushed yet.
+	st.mu.Lock()
+	st.gcCur = &commitBatch{recs: []redoRecord{{Table: "book", Row: row}}}
+	st.mu.Unlock()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := reopened.Table("book")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt.RowCount() != 6 {
+		t.Fatalf("reopened book has %d rows, want 6 (pending batch lost)", bt.RowCount())
+	}
+	if got := bt.ValueAt(5, 2); !got.BitEqual(rel.Str("Closing Time")) {
+		t.Fatalf("flushed row reads back %v", got)
+	}
+}
+
+// TestPostCloseOperationsFence: every operation after Close reports
+// ErrClosed instead of silently acting on a dead store.
+func TestPostCloseOperationsFence(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Save(dir, fixtureBuilt(t), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("second Close: %v, want nil (idempotent)", err)
+	}
+	row := []rel.Value{rel.Int(7), rel.NullOf(rel.TInt), rel.Str("x"), rel.Float(1)}
+	checks := map[string]error{}
+	_, e := st.Table("book")
+	checks["Table"] = e
+	_, e = st.Database()
+	checks["Database"] = e
+	_, e = st.Built()
+	checks["Built"] = e
+	checks["Append"] = st.Append("book", row)
+	checks["AppendBatch"] = st.AppendBatch("book", [][]rel.Value{row})
+	checks["Compact"] = st.Compact()
+	for op, err := range checks {
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("%s after Close: %v, want ErrClosed", op, err)
+		}
 	}
 }

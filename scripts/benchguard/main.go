@@ -20,12 +20,16 @@
 //     back toward the row-store ratio fails even though it would still
 //     clear the looser PR 3 bound.
 //
-// Two storage modes ride on the same normalization: -mode reopen pins
-// the StoreReopen/SegmentDecode ratio against BENCH_PR7.json, and
+// Three storage modes ride on the same normalization: -mode reopen
+// pins the StoreReopen/SegmentDecode ratio against BENCH_PR7.json;
 // -mode paging pins the chunked, budgeted, and resident reopen paths
 // plus the group-commit amortization against BENCH_PR8.json (with
 // -resident BENCH_PR7.json holding the unbudgeted path to the PR 7
-// numbers).
+// numbers); and -mode chunkscan pins the chunk-granular query path
+// against BENCH_PR9.json — the budgeted scan's pager high-water mark
+// must stay within its residency bound (peak_over_bound <= 1, from the
+// run itself), and the ChunkScanQuery/AssembledScanQuery cost factor
+// must not drift.
 //
 // Usage:
 //
@@ -33,6 +37,8 @@
 //	    go run ./scripts/benchguard -baseline BENCH_PR3.json -columnar BENCH_PR6.json
 //	go test -run '^$' -bench 'SegmentDecode|StoreReopen|Append' ./internal/storage/ | \
 //	    go run ./scripts/benchguard -mode paging -baseline BENCH_PR8.json -resident BENCH_PR7.json
+//	go test -run '^$' -bench 'ScanQuery' ./internal/storage/ | \
+//	    go run ./scripts/benchguard -mode chunkscan -baseline BENCH_PR9.json
 package main
 
 import (
@@ -75,6 +81,18 @@ const (
 	maxResidentDrift       = 1.50
 	maxPagingDrift         = 1.50
 	maxBatchPerRowFraction = 0.80
+	// -mode chunkscan bounds. maxPeakOverBound is the PR 9 memory
+	// contract from a single run: BenchmarkChunkScanQuery reports the
+	// pager's resident high-water mark over (budget + one chunk per
+	// concurrent holder), and a budgeted scan whose peak exceeds that
+	// bound is leaking residency — no baseline can excuse it.
+	// maxChunkScanRatio bounds the ChunkScanQuery/AssembledScanQuery
+	// ratio drift against the PR 9 baseline: faulting chunks per
+	// execution costs a constant factor over resident tables, and this
+	// pins that factor so chunk-path regressions cannot hide behind an
+	// executor that got slower everywhere.
+	maxPeakOverBound  = 1.00
+	maxChunkScanDrift = 1.50
 )
 
 type baseline struct {
@@ -85,6 +103,11 @@ type baseline struct {
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark\w+?)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op`)
+
+// metricPair matches the "<value> <unit>" measurements following the
+// iteration count, covering both ns/op and custom b.ReportMetric units
+// (e.g. "0.86 peak_over_bound").
+var metricPair = regexp.MustCompile(`\s(\d+(?:\.\d+)?(?:e[+-]?\d+)?) ([A-Za-z_][\w/]*)`)
 
 func loadBaseline(path string) map[string]float64 {
 	data, err := os.ReadFile(path)
@@ -105,11 +128,12 @@ func loadBaseline(path string) map[string]float64 {
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_PR3.json", "baseline benchmark JSON")
 	columnarPath := flag.String("columnar", "", "columnar baseline JSON (BENCH_PR6.json); empty skips the columnar bound")
-	mode := flag.String("mode", "executor", `guard mode: "executor" (the PR 3/6 executor bounds), "reopen" (store reopen latency vs the PR 7 baseline), or "paging" (memory-budgeted paging + group commit vs the PR 8 baseline)`)
+	mode := flag.String("mode", "executor", `guard mode: "executor" (the PR 3/6 executor bounds), "reopen" (store reopen latency vs the PR 7 baseline), "paging" (memory-budgeted paging + group commit vs the PR 8 baseline), or "chunkscan" (budgeted query peak residency + chunk-scan cost vs the PR 9 baseline)`)
 	residentPath := flag.String("resident", "", "resident-path baseline JSON (BENCH_PR7.json) for -mode paging; empty skips the resident bound")
 	flag.Parse()
 
 	measured := map[string]float64{}
+	metrics := map[string]map[string]float64{}
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {
 		line := sc.Text()
@@ -123,6 +147,23 @@ func main() {
 				// scheduling noise of shared CI runners.
 				if old, ok := measured[m[1]]; !ok || v < old {
 					measured[m[1]] = v
+				}
+			}
+			// Custom b.ReportMetric units on the same line are limits,
+			// not speeds: keep the worst (largest) observation.
+			for _, p := range metricPair.FindAllStringSubmatch(line, -1) {
+				if p[2] == "ns/op" {
+					continue
+				}
+				v, err := strconv.ParseFloat(p[1], 64)
+				if err != nil {
+					continue
+				}
+				if metrics[m[1]] == nil {
+					metrics[m[1]] = map[string]float64{}
+				}
+				if v > metrics[m[1]][p[2]] {
+					metrics[m[1]][p[2]] = v
 				}
 			}
 		}
@@ -214,6 +255,46 @@ func main() {
 		fmt.Printf("benchguard: group-commit per-row fraction %.3f (bound %.2f)\n", frac, maxBatchPerRowFraction)
 		if frac > maxBatchPerRowFraction {
 			fmt.Printf("benchguard: FAIL: batched appends cost %.0f%% of single appends per row — group commit is not amortizing the fsync\n", frac*100)
+			failed = true
+		}
+		if failed {
+			os.Exit(1)
+		}
+		fmt.Println("benchguard: OK")
+		return
+	}
+	if *mode == "chunkscan" {
+		failed := false
+		// Memory contract from this run alone: the budgeted scan's pager
+		// high-water mark must stay within budget + one chunk per
+		// concurrent holder (the benchmark computes the bound and
+		// reports the ratio).
+		peakM, ok := metrics["BenchmarkChunkScanQuery"]
+		if !ok {
+			fatal("missing BenchmarkChunkScanQuery metrics in bench output")
+		}
+		peak, ok := peakM["peak_over_bound"]
+		if !ok || peak <= 0 {
+			fatal("missing peak_over_bound metric in bench output")
+		}
+		fmt.Printf("benchguard: chunk-scan peak_over_bound %.3f (bound %.2f)\n", peak, maxPeakOverBound)
+		if peak > maxPeakOverBound {
+			fmt.Printf("benchguard: FAIL: budgeted chunk scan peaked at %.0f%% of the residency bound — the pager is leaking resident bytes\n", peak*100)
+			failed = true
+		}
+		// Chunk-faulting cost factor vs the PR 9 baseline, normalized by
+		// the assembled-path execution of the same plan from the same
+		// run/baseline (cancels machine speed like the other modes).
+		baseNs := loadBaseline(*baselinePath)
+		asmBase := need(baseNs, "BenchmarkAssembledScanQuery", *baselinePath)
+		pagedBase := need(baseNs, "BenchmarkChunkScanQuery", *baselinePath)
+		asmNow := need(measured, "BenchmarkAssembledScanQuery", "bench output")
+		pagedNow := need(measured, "BenchmarkChunkScanQuery", "bench output")
+		drift := (pagedNow / asmNow) / (pagedBase / asmBase)
+		fmt.Printf("benchguard: chunk-scan drift %.3f (bound %.2f)\n", drift, maxChunkScanDrift)
+		if drift > maxChunkScanDrift {
+			fmt.Printf("benchguard: FAIL: chunk-scan execution regressed %.1f%% vs %s (normalized by the assembled path)\n",
+				(drift-1)*100, *baselinePath)
 			failed = true
 		}
 		if failed {
