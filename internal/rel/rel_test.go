@@ -216,3 +216,34 @@ func TestDuplicateColumnPanics(t *testing.T) {
 	}()
 	NewTable("t", []Column{{Name: "a", Typ: TInt}, {Name: "a", Typ: TInt}})
 }
+
+// TestRowBytesMatchesAppendRow pins the shared accounting contract
+// consumers that predict a table's bookkeeping without appending rely
+// on (storage's paged shells): one AppendRow moves Bytes() by exactly
+// RowBytes(row) and Generation() by exactly one, across every value
+// shape including NULLs and wrong-typed (exception-slot) appends.
+func TestRowBytesMatchesAppendRow(t *testing.T) {
+	tb := NewTable("acct", []Column{
+		{Name: IDColumn, Typ: TInt},
+		{Name: "tag", Typ: TString, Nullable: true},
+		{Name: "val", Typ: TFloat, Nullable: true},
+	})
+	rows := [][]Value{
+		{Int(1), Str("short"), Float(1.5)},
+		{Int(2), NullOf(TString), NullOf(TFloat)},
+		{Int(3), Str("a considerably longer string value"), Float(0)},
+		{Int(4), Int(1998), Str("39.95")}, // wrong-typed: exception slots
+		{Int(5), Str(""), Float(-0.0)},
+	}
+	for i, row := range rows {
+		genBefore, bytesBefore := tb.Generation(), tb.Bytes()
+		want := RowBytes(row)
+		tb.AppendRow(row)
+		if got := tb.Bytes() - bytesBefore; got != want {
+			t.Errorf("row %d: AppendRow moved Bytes by %d, RowBytes predicts %d", i, got, want)
+		}
+		if got := tb.Generation() - genBefore; got != 1 {
+			t.Errorf("row %d: AppendRow moved Generation by %d, want 1", i, got)
+		}
+	}
+}

@@ -176,6 +176,20 @@ func (t *Table) Column(name string) *Column {
 // HasColumn reports whether the table has the named column.
 func (t *Table) HasColumn(name string) bool { return t.ColIndex(name) >= 0 }
 
+// RowBytes returns the byte-accounting delta one AppendRow of row
+// applies: the per-row overhead plus each value's width. AppendRow
+// itself uses it, so consumers that predict a table's accounting
+// without appending — storage's paged shells computing what a redo
+// tail adds to Bytes() — cannot drift from the real bookkeeping (the
+// matching Generation() delta is one per appended row).
+func RowBytes(row []Value) int64 {
+	b := int64(8) // per-row overhead
+	for _, v := range row {
+		b += int64(v.Width())
+	}
+	return b
+}
+
 // AppendRow adds a row; it must have exactly one value per column. The
 // values are decomposed into the column vectors — the slice is not
 // retained, so callers may reuse it.
@@ -186,10 +200,9 @@ func (t *Table) AppendRow(row []Value) {
 	}
 	for i, v := range row {
 		t.cols[i].append(v)
-		t.bytes += int64(v.Width())
 	}
 	t.nrows++
-	t.bytes += 8 // per-row overhead
+	t.bytes += RowBytes(row)
 	t.gen++
 }
 

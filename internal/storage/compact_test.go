@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -269,6 +270,54 @@ func TestAutoCompactBoundsRedoTail(t *testing.T) {
 	}
 	if reBuilt.StructBytes != liveBuilt.StructBytes {
 		t.Fatalf("StructBytes %d after reopen, want %d", reBuilt.StructBytes, liveBuilt.StructBytes)
+	}
+}
+
+// TestCloseFencesAsyncCompaction pins the shutdown race: an appender
+// whose batch Close flushed calls maybeCompactAsync only after Close
+// released flushMu, so the closed check (taken under s.mu, which Close
+// holds when it fences) must keep that call from spawning a compaction
+// that writes segment and manifest files after Close returned.
+func TestCloseFencesAsyncCompaction(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Save(dir, fixtureBuilt(t), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	st, err := Open(dir, Options{Registry: reg, CompactRecords: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a redo tail without tripping auto-compaction on the append
+	// path, then arm the threshold so the post-Close call below is due
+	// on every count except the closed fence.
+	for i := 0; i < 3; i++ {
+		if err := st.Append("book", bookRow(100+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.opts.CompactRecords = 1
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The racing appender's post-flush call, arriving after Close.
+	st.maybeCompactAsync()
+	st.compactWG.Wait()
+	if got := reg.Counter("storage.compact.runs").Value(); got != 0 {
+		t.Fatalf("compaction ran %d times after Close", got)
+	}
+	if epoch := st.Manifest().Epoch; epoch != 0 {
+		t.Fatalf("manifest moved to epoch %d after Close", epoch)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), "e0001") {
+			t.Fatalf("post-Close compaction wrote %s", e.Name())
+		}
 	}
 }
 

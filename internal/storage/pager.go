@@ -36,9 +36,16 @@ type pager struct {
 	peak     int64 // high-water mark of resident + inflight
 }
 
-// chunkKey identifies one chunk of one table.
+// chunkKey identifies one chunk of one table. The epoch-unique segment
+// file name is part of the key: compaction rewrites a table into a new
+// file (t%04d.e%04d.seg), and a load of the old file that completes
+// after invalidate must never be served to a post-compaction scan of
+// the same table and chunk index — a stale admission lands under the
+// dead file's key, where no new reader looks, and the next
+// invalidate(table) sweeps it out.
 type chunkKey struct {
 	table string
+	file  string
 	idx   int
 }
 
@@ -49,6 +56,7 @@ type pageEntry struct {
 	size int64
 	ref  bool // CLOCK reference bit
 	pins int  // active chunkPinned readers; pinned entries are not evictable
+	dead bool // invalidated while pinned; dropped from the ring at the last unpin
 }
 
 func newPager(dir string, budget int64, reg *obs.Registry) *pager {
@@ -88,7 +96,7 @@ func (p *pager) chunkPinned(file string, d *chunkedDir, k int) (*rel.TableSnapsh
 // (the wasted read keeps bytes_read honest without double-counting
 // admissions).
 func (p *pager) acquire(file string, d *chunkedDir, k int, pin bool) (*rel.TableSnapshot, func(), error) {
-	key := chunkKey{table: d.Name, idx: k}
+	key := chunkKey{table: d.Name, file: file, idx: k}
 	ref := &d.Chunks[k]
 	p.mu.Lock()
 	if e, ok := p.entries[key]; ok {
@@ -138,7 +146,10 @@ func (p *pager) acquire(file string, d *chunkedDir, k int, pin bool) (*rel.Table
 }
 
 // pinLocked takes a pin on e (when pin is set) and returns the matching
-// idempotent release. Caller holds p.mu.
+// idempotent release. Caller holds p.mu. The last unpin of an entry
+// invalidate marked dead drops it from the ring and the accounting —
+// until then its bytes stay resident (the reader still holds the
+// snapshot), so the gauge and peak reflect actual residency.
 func (p *pager) pinLocked(e *pageEntry, pin bool) func() {
 	if !pin {
 		return func() {}
@@ -153,7 +164,28 @@ func (p *pager) pinLocked(e *pageEntry, pin bool) func() {
 		}
 		released = true
 		e.pins--
+		if e.dead && e.pins == 0 {
+			p.dropDeadLocked(e)
+		}
 	}
+}
+
+// dropDeadLocked removes a dead (invalidated-while-pinned) entry from
+// the ring and the residency accounting. Caller holds p.mu. The entry
+// left the entries map at invalidate time — a fresh admission may own
+// that key by now — so removal is by ring identity, never by key.
+func (p *pager) dropDeadLocked(e *pageEntry) {
+	for i, r := range p.ring {
+		if r == e {
+			p.ring = append(p.ring[:i], p.ring[i+1:]...)
+			if i < p.hand {
+				p.hand--
+			}
+			break
+		}
+	}
+	p.resident -= e.size
+	p.reg.Gauge("storage.pager.resident_bytes").Set(float64(p.resident))
 }
 
 // load reads and validates one chunk from disk (no cache interaction).
@@ -210,7 +242,11 @@ func (p *pager) evictFor(need int64) {
 }
 
 // invalidate drops every cached chunk of a table (compaction rewrote
-// its segment, so cached chunks describe a dead file). The clock hand
+// its segment, so cached chunks describe a dead file). An entry a scan
+// worker still holds pinned cannot leave memory yet: it is unmapped (no
+// future hit can reach it) but marked dead and kept in the ring with
+// its bytes accounted until the last unpin drops it, so resident_bytes
+// and the peak high-water mark track actual residency. The clock hand
 // is re-indexed against the surviving ring rather than reset: a reset
 // would hand every surviving early-ring entry a fresh second chance
 // after each compaction and skew eviction toward late-ring entries.
@@ -221,10 +257,16 @@ func (p *pager) invalidate(table string) {
 	hand := p.hand
 	for i, e := range p.ring {
 		if e.key.table == table {
+			delete(p.entries, e.key)
+			if e.pins > 0 {
+				e.dead = true
+				e.ref = false
+				keep = append(keep, e)
+				continue
+			}
 			if i < p.hand {
 				hand--
 			}
-			delete(p.entries, e.key)
 			p.resident -= e.size
 			continue
 		}

@@ -283,9 +283,9 @@ func TestPagerInvalidateKeepsClockOrder(t *testing.T) {
 		}
 	}
 	p.mu.Lock()
-	p.entries[chunkKey{"fact", 0}].ref = true
-	p.entries[chunkKey{"dim", 0}].ref = false
-	p.entries[chunkKey{"fact", 1}].ref = true
+	p.entries[chunkKey{"fact", "fact.seg", 0}].ref = true
+	p.entries[chunkKey{"dim", "dim.seg", 0}].ref = false
+	p.entries[chunkKey{"fact", "fact.seg", 1}].ref = true
 	p.hand = 2
 	p.mu.Unlock()
 
@@ -303,8 +303,8 @@ func TestPagerInvalidateKeepsClockOrder(t *testing.T) {
 		t.Fatal(err)
 	}
 	p.mu.Lock()
-	_, f0 := p.entries[chunkKey{"fact", 0}]
-	_, f1 := p.entries[chunkKey{"fact", 1}]
+	_, f0 := p.entries[chunkKey{"fact", "fact.seg", 0}]
+	_, f1 := p.entries[chunkKey{"fact", "fact.seg", 1}]
 	p.mu.Unlock()
 	if !f0 || f1 {
 		t.Fatalf("clock order skewed: f0 resident=%v f1 resident=%v, want f1 evicted and f0 kept", f0, f1)
@@ -318,6 +318,61 @@ func TestPagerInvalidateKeepsClockOrder(t *testing.T) {
 	p.invalidate("fact")
 	if p.hand != 0 || p.residentBytes() != 0 {
 		t.Fatalf("hand %d resident %d after invalidating everything", p.hand, p.residentBytes())
+	}
+}
+
+// TestPagerInvalidatePinnedAccounting: invalidating a table while a
+// scan worker holds a chunk pinned must keep the pinned bytes in the
+// residency accounting until the last unpin (the snapshot is still in
+// memory), while making the dead entry unreachable to new readers —
+// and dropping it must not disturb a fresh admission under the same
+// key.
+func TestPagerInvalidatePinnedAccounting(t *testing.T) {
+	reg := obs.NewRegistry()
+	p, d, _ := pagerFixture(t, 320, 0, reg)
+	snap, release, err := p.chunkPinned("fact.seg", d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.RowCount != d.ChunkRows {
+		t.Fatalf("pinned chunk served %d rows, want %d", snap.RowCount, d.ChunkRows)
+	}
+	if _, err := p.chunk("fact.seg", d, 1); err != nil {
+		t.Fatal(err)
+	}
+	size := d.Chunks[0].Size
+
+	p.invalidate("fact")
+	if got := p.residentBytes(); got != size {
+		t.Fatalf("resident %d after invalidating around a pinned chunk, want the pinned %d", got, size)
+	}
+	if g := int64(reg.Gauge("storage.pager.resident_bytes").Value()); g != size {
+		t.Fatalf("resident gauge %d, want %d", g, size)
+	}
+
+	// The dead entry is unmapped: a new reader of the same chunk faults
+	// a fresh copy instead of hitting the invalidated one.
+	faults := reg.Counter("storage.pager.faults").Value()
+	if _, err := p.chunk("fact.seg", d, 0); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Counter("storage.pager.faults").Value() != faults+1 {
+		t.Fatal("invalidated-but-pinned chunk was served to a new reader")
+	}
+
+	// The last unpin drops the dead entry's bytes, leaving only the
+	// fresh admission — which must survive the drop intact.
+	release()
+	release() // idempotent
+	if got := p.residentBytes(); got != size {
+		t.Fatalf("resident %d after last unpin, want the fresh admission's %d", got, size)
+	}
+	hits := reg.Counter("storage.pager.hits").Value()
+	if _, err := p.chunk("fact.seg", d, 0); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Counter("storage.pager.hits").Value() != hits+1 {
+		t.Fatal("fresh admission vanished when the dead entry dropped")
 	}
 }
 
@@ -342,7 +397,7 @@ func TestPagerPinnedChunkSurvivesPressure(t *testing.T) {
 		}
 	}
 	p.mu.Lock()
-	_, pinned := p.entries[chunkKey{"fact", 0}]
+	_, pinned := p.entries[chunkKey{"fact", "fact.seg", 0}]
 	p.mu.Unlock()
 	if !pinned {
 		t.Fatal("pinned chunk was evicted under pressure")
@@ -350,7 +405,7 @@ func TestPagerPinnedChunkSurvivesPressure(t *testing.T) {
 	release()
 	release() // idempotent
 	p.mu.Lock()
-	pins := p.entries[chunkKey{"fact", 0}].pins
+	pins := p.entries[chunkKey{"fact", "fact.seg", 0}].pins
 	p.mu.Unlock()
 	if pins != 0 {
 		t.Fatalf("pins %d after release, want 0", pins)
@@ -363,7 +418,7 @@ func TestPagerPinnedChunkSurvivesPressure(t *testing.T) {
 		}
 	}
 	p.mu.Lock()
-	_, still := p.entries[chunkKey{"fact", 0}]
+	_, still := p.entries[chunkKey{"fact", "fact.seg", 0}]
 	p.mu.Unlock()
 	if still {
 		t.Fatal("released chunk never evicted under sustained pressure")

@@ -232,12 +232,12 @@ func (s *Store) PagedBuilt() (*engine.Built, error) {
 					e.Name, len(rec.Row), len(d.Cols))
 				break
 			}
+			// rel.RowBytes and the per-append generation bump are
+			// AppendRow's own accounting, so the shell's declared shape
+			// matches what Hydrate's replay lands on exactly.
 			rows++
 			gen++
-			bytes += 8
-			for _, v := range rec.Row {
-				bytes += int64(v.Width())
-			}
+			bytes += rel.RowBytes(rec.Row)
 		}
 		if loadErr != nil {
 			break

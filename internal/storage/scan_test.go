@@ -471,6 +471,85 @@ func TestChunkScanStaleness(t *testing.T) {
 	}
 }
 
+// TestChunkScanNeverServesPreCompactionChunk pins the cache-key epoch
+// race: a chunk load that started against the pre-compaction segment
+// can finish — and be admitted — after compaction swapped the manifest
+// and invalidated the table. The admission lands under the dead file's
+// key, so a fresh post-compaction scan of the same table and chunk
+// index must fault the new epoch's chunk, never hit the stale one
+// (whose row count no longer matches the new chunk span).
+func TestChunkScanNeverServesPreCompactionChunk(t *testing.T) {
+	dir := savedScanStore(t, 330) // 6 chunks at 64 rows; last holds 10
+	reg := obs.NewRegistry()
+	s, err := Open(dir, Options{Registry: reg, ChunkRows: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Capture the pre-compaction segment identity and directory — the
+	// state a loader that started before the compaction works from.
+	s.mu.Lock()
+	oldEntry := *s.man.Table("big")
+	oldDir, err := s.chunkedDirLocked(&oldEntry)
+	s.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(oldDir.Chunks) - 1
+
+	// Grow the table past the old last-chunk span, then compact. Fail
+	// the compaction at the cleanup step — which runs after the manifest
+	// rename committed the new epoch and the pager was invalidated — so
+	// the dead segment file stays on disk for the stale loader, as in
+	// the real race where its bytes were already read.
+	for i := 0; i < 20; i++ {
+		if err := s.Append("big", []rel.Value{
+			rel.Int(int64(9000 + i)), rel.NullOf(rel.TInt), rel.Str("t"), rel.Float(1), rel.Int(1),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.killCompact = func(step string) error {
+		if step == "cleanup" {
+			return errors.New("keep the dead segment for the stale loader")
+		}
+		return nil
+	}
+	if err := s.Compact(); err == nil {
+		t.Fatal("cleanup killpoint did not surface")
+	}
+	s.killCompact = nil
+
+	// The raced loader completes now, admitting a dead-file chunk after
+	// invalidate already swept the table.
+	if _, err := s.pager.chunk(oldEntry.File, oldDir, last); err != nil {
+		t.Fatal(err)
+	}
+
+	cs, err := s.ChunkScan("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := cs.ChunkSpan(last)
+	if hi-lo <= oldDir.Chunks[last].Rows {
+		t.Fatalf("fixture degenerate: new last chunk %d rows, old %d — spans must differ", hi-lo, oldDir.Chunks[last].Rows)
+	}
+	faults := reg.Counter("storage.pager.faults").Value()
+	frag, release, err := cs.Chunk(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	if frag.RowCount() != hi-lo {
+		t.Fatalf("chunk %d served %d rows, span says %d — stale pre-compaction chunk leaked through the cache",
+			last, frag.RowCount(), hi-lo)
+	}
+	if reg.Counter("storage.pager.faults").Value() != faults+1 {
+		t.Fatal("post-compaction chunk came from the cache instead of faulting the new segment")
+	}
+}
+
 // TestChunkScanRejectsWholeTableSegments pins the format gate: version-1
 // whole-table segments cannot be chunk-scanned, and PagedBuilt falls
 // back to assembled loading for them.

@@ -623,18 +623,23 @@ func (s *Store) flushBatchLocked(b *commitBatch) {
 }
 
 // maybeCompactAsync starts a background compaction when the redo log
-// has crossed the configured threshold and none is running.
+// has crossed the configured threshold and none is running. The closed
+// check and the WaitGroup.Add happen atomically under s.mu: Close sets
+// closed under s.mu before it calls compactWG.Wait, so an appender
+// whose batch Close flushed can never spawn a compaction after Close
+// returned (and every Add is ordered before the Wait it must gate).
 func (s *Store) maybeCompactAsync() {
 	if s.opts.CompactRecords <= 0 {
 		return
 	}
 	s.mu.Lock()
-	due := int(s.redoCount) >= s.opts.CompactRecords
-	s.mu.Unlock()
+	due := int(s.redoCount) >= s.opts.CompactRecords && !s.closed
 	if !due || !s.compacting.CompareAndSwap(false, true) {
+		s.mu.Unlock()
 		return
 	}
 	s.compactWG.Add(1)
+	s.mu.Unlock()
 	go func() {
 		defer s.compactWG.Done()
 		defer s.compacting.Store(false)
