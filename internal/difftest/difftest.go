@@ -1,12 +1,14 @@
 package difftest
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/engine"
 	"repro/internal/obs"
@@ -14,6 +16,7 @@ import (
 	"repro/internal/physdesign"
 	"repro/internal/physical"
 	"repro/internal/rel"
+	"repro/internal/service"
 	"repro/internal/shred"
 	"repro/internal/sqlast"
 	"repro/internal/stats"
@@ -53,11 +56,17 @@ type Case struct {
 	// size, so the round trip exercises chunk paging and table eviction;
 	// a value > 1 pins an explicit budget (as recorded in replay specs).
 	PersistBudget int64
+	// Service enables the service-equivalence stage: the trial's
+	// workload is also submitted through an in-process multi-tenant
+	// service (concurrent sessions, seeded random quotas and worker
+	// counts) and every response must be bit-identical to the direct
+	// engine execution.
+	Service bool
 }
 
 // DefaultCase is the standard trial shape for a seed.
 func DefaultCase(seed int64) Case {
-	return Case{Seed: seed, RootInstances: 8, Steps: 4, Queries: 6, Only: -1, CheckCosts: true, Persist: true}
+	return Case{Seed: seed, RootInstances: 8, Steps: 4, Queries: 6, Only: -1, CheckCosts: true, Persist: true, Service: true}
 }
 
 // ReplaySpec renders the case in the format DIFFTEST_REPLAY accepts.
@@ -72,8 +81,12 @@ func (c Case) ReplaySpec() string {
 			persist = int(c.PersistBudget)
 		}
 	}
-	return fmt.Sprintf("seed=%d,roots=%d,steps=%d,queries=%d,only=%d,persist=%d",
-		c.Seed, c.RootInstances, c.Steps, c.Queries, c.Only, persist)
+	service := 0
+	if c.Service {
+		service = 1
+	}
+	return fmt.Sprintf("seed=%d,roots=%d,steps=%d,queries=%d,only=%d,persist=%d,service=%d",
+		c.Seed, c.RootInstances, c.Steps, c.Queries, c.Only, persist, service)
 }
 
 // ParseReplay parses a ReplaySpec back into a Case.
@@ -110,6 +123,8 @@ func ParseReplay(s string) (Case, error) {
 			} else {
 				c.PersistBudget = 0
 			}
+		case "service":
+			c.Service = v != 0
 		default:
 			return c, fmt.Errorf("difftest: unknown replay key %q", parts[0])
 		}
@@ -365,6 +380,14 @@ func Run(c Case) (RunStats, *Mismatch) {
 	// rather than NumCPU so a trial reproduces identically across
 	// machines.
 	wrand := rand.New(rand.NewSource(mix(c.Seed, 6)))
+	// Fully validated queries and their reference results, kept for the
+	// service-equivalence stage below.
+	type svcQuery struct {
+		idx   int
+		query string
+		ref   *engine.Result
+	}
+	var svcQueries []svcQuery
 	for _, t := range translated {
 		plan, perr := opt.PlanQuery(t.sql, cfg)
 		if perr != nil {
@@ -463,6 +486,84 @@ func Run(c Case) (RunStats, *Mismatch) {
 		if c.CheckCosts {
 			if cerr := checkCosts(&st, optDerived, t.sql, cfg, plan); cerr != "" {
 				return st, fail("cost", t.idx, t.q.String(), "%s (applied %v)", cerr, applied)
+			}
+		}
+		svcQueries = append(svcQueries, svcQuery{idx: t.idx, query: t.q.String(), ref: ref})
+	}
+	// Service-equivalence stage: the same workload through an in-process
+	// multi-tenant service — concurrent sessions, seeded random quotas,
+	// pool size, and per-session worker asks — sharing the trial's Built
+	// and its warm caches. Every response must be bit-identical (rows,
+	// order, values, stats) to the direct reference execution, and the
+	// service's plan cache must have translated each query text exactly
+	// once across all sessions.
+	if c.Service && len(svcQueries) > 0 {
+		srand := rand.New(rand.NewSource(mix(c.Seed, 7)))
+		sessions := 2 + srand.Intn(3)
+		sreg := obs.NewRegistry()
+		maxConc := 1 + srand.Intn(3)
+		svc := service.New(service.Config{
+			Registry:           sreg,
+			PoolWorkers:        1 + srand.Intn(4),
+			MaxWorkersPerQuery: 1 + srand.Intn(4),
+			DefaultQuota: service.TenantQuota{
+				MaxConcurrent: maxConc,
+				// Deep enough that no request is ever rejected: the stage
+				// checks equivalence under queueing, not overload.
+				MaxQueued: 2 * sessions * len(svcQueries),
+			},
+		})
+		if rerr := svc.RegisterBuilt("trial", built, m, nil); rerr != nil {
+			return st, fail("service-equivalence", -1, "", "register: %v", rerr)
+		}
+		asks := make([]int, sessions)
+		for i := range asks {
+			asks[i] = 1 + srand.Intn(4)
+		}
+		fails := make(chan *Mismatch, sessions)
+		var wg sync.WaitGroup
+		for s := 0; s < sessions; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				tenant := fmt.Sprintf("tenant-%d", s%2)
+				for _, sq := range svcQueries {
+					resp, qerr := svc.Query(context.Background(), service.Request{
+						Corpus: "trial", Tenant: tenant, XPath: sq.query, Workers: asks[s],
+					})
+					if qerr != nil {
+						fails <- fail("service-equivalence", sq.idx, sq.query,
+							"session %d: %v (applied %v)", s, qerr, applied)
+						return
+					}
+					got := &engine.Result{Cols: resp.Cols, Rows: resp.Rows, Stats: resp.Stats}
+					if d := diffResults(got, sq.ref); d != "" {
+						fails <- fail("service-equivalence", sq.idx, sq.query,
+							"session %d workers %d: %s (applied %v)", s, asks[s], d, applied)
+						return
+					}
+				}
+			}(s)
+		}
+		wg.Wait()
+		close(fails)
+		for sm := range fails {
+			return st, sm
+		}
+		distinct := make(map[string]bool, len(svcQueries))
+		for _, sq := range svcQueries {
+			distinct[sq.query] = true
+		}
+		snap := sreg.Snapshot()
+		if got := snap["service.plan.misses"]; got != float64(len(distinct)) {
+			return st, fail("service-equivalence", -1, "",
+				"plan cache misses %v across %d sessions, want %d distinct texts (single-flight broken)",
+				got, sessions, len(distinct))
+		}
+		for _, tenant := range []string{"tenant-0", "tenant-1"} {
+			if peak := snap["service.tenant."+tenant+".inflight_peak"]; peak > float64(maxConc) {
+				return st, fail("service-equivalence", -1, "",
+					"%s inflight peak %v exceeds quota %d", tenant, peak, maxConc)
 			}
 		}
 	}

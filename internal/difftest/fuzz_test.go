@@ -16,7 +16,7 @@ func FuzzDifferential(f *testing.F) {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, seed int64) {
-		c := Case{Seed: seed, RootInstances: 5, Steps: 3, Queries: 4, Only: -1, CheckCosts: true, Persist: true}
+		c := Case{Seed: seed, RootInstances: 5, Steps: 3, Queries: 4, Only: -1, CheckCosts: true, Persist: true, Service: true}
 		if _, m := Run(c); m != nil {
 			sc, sm := Shrink(c, m)
 			t.Fatalf("differential mismatch; replay with DIFFTEST_REPLAY=%q\nshrunk:   %v\noriginal: %v",

@@ -42,5 +42,13 @@ func Shrink(c Case, m *Mismatch) (Case, *Mismatch) {
 			break
 		}
 	}
+	// Drop the service stage when the failure reproduces without it (a
+	// concurrent stage makes replays noisier to debug than they need to
+	// be; a failure only the service stage hits keeps Service on).
+	if best.Service {
+		cand := best
+		cand.Service = false
+		try(cand)
+	}
 	return best, bestM
 }

@@ -85,6 +85,18 @@ func (pp *PreparedPlan) Execute() (*Result, error) {
 // state for reuse, so a later ExecuteContext on the same PreparedPlan
 // succeeds with warm caches.
 func (pp *PreparedPlan) ExecuteContext(ctx context.Context) (*Result, error) {
+	return pp.ExecuteContextWorkers(ctx, pp.Workers)
+}
+
+// ExecuteContextWorkers is ExecuteContext at an explicit worker count,
+// leaving the shared Workers field untouched. A PreparedPlan cached on
+// a Built is shared by every session that prepares the same plan, so a
+// long-lived multi-session server cannot set Workers per request
+// without racing other sessions; this entry point carries the count
+// through the call instead. Workers semantics match the field: 0 or 1
+// is the serial per-branch pipeline, < 0 means GOMAXPROCS, > 1 sizes
+// the morsel pool. Results are bit-identical at any count.
+func (pp *PreparedPlan) ExecuteContextWorkers(ctx context.Context, workers int) (*Result, error) {
 	var tr *obs.Tracer
 	var reg *obs.Registry
 	if pp.built != nil {
@@ -94,7 +106,6 @@ func (pp *PreparedPlan) ExecuteContext(ctx context.Context) (*Result, error) {
 		reg.Counter("engine.exec.cancellations").Inc()
 		return nil, err
 	}
-	workers := pp.Workers
 	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}

@@ -1,0 +1,527 @@
+// Package service is the multi-tenant query front end over the engine:
+// a long-lived server that registers named corpora (each one shared
+// engine.Built — or paged storage view — for every session), translates
+// and plans XPath once per query text through a process-wide
+// single-flight cache, and admits requests under per-tenant concurrency
+// and in-flight-memory quotas, a bounded global morsel-worker pool, and
+// per-request deadlines. Admitted queries execute through the batch
+// executor at whatever parallelism the pool grants; results are
+// bit-identical to a direct engine.Execute at any grant (the morsel
+// determinism contract), so fairness decisions never change answers.
+//
+// Everything the admission layer does is observable through the
+// obs.Registry handed in at construction: service.admitted /
+// service.rejected / service.timedout counters, service.queue_depth and
+// service.pool.* gauges, and per-tenant service.tenant.<name>.* gauges
+// with lifetime peaks — the property tests assert quota enforcement
+// from those gauges, and the -debug-addr endpoints serve them live.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/optimizer"
+	"repro/internal/physical"
+	"repro/internal/rel"
+	"repro/internal/shred"
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/translate"
+	"repro/internal/xpath"
+)
+
+// Sentinel errors. ErrOverloaded and ErrDeadline are the two
+// admission-control outcomes a client must tell apart: the first means
+// "back off and retry", the second "the request ran out of time".
+var (
+	// ErrOverloaded reports a tenant whose wait queue is full; the
+	// request was rejected without queueing (fast-fail on overload).
+	ErrOverloaded = errors.New("service: tenant overloaded, queue full")
+	// ErrDeadline reports a request that ran out of time, in the
+	// admission queue or mid-execution. errors.Is also matches the
+	// underlying context error (context.DeadlineExceeded or Canceled).
+	ErrDeadline = errors.New("service: request deadline exceeded")
+	// ErrUnknownCorpus reports a query against a corpus name that was
+	// never registered.
+	ErrUnknownCorpus = errors.New("service: unknown corpus")
+	// ErrClosed fences use after Close.
+	ErrClosed = errors.New("service: closed")
+)
+
+// DeadlineError is the concrete error for a request that ran out of
+// time; Phase says where ("queued" while waiting for admission,
+// "execute" mid-query). It matches both ErrDeadline and the wrapped
+// context error under errors.Is.
+type DeadlineError struct {
+	Phase string
+	Err   error
+}
+
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("service: deadline exceeded while %s: %v", e.Phase, e.Err)
+}
+
+func (e *DeadlineError) Unwrap() error { return e.Err }
+
+// Is matches ErrDeadline so callers can test the service-level
+// condition without caring which context error tripped it.
+func (e *DeadlineError) Is(target error) bool { return target == ErrDeadline }
+
+func wrapDeadline(phase string, err error) error {
+	return &DeadlineError{Phase: phase, Err: err}
+}
+
+// Config sizes a Service. Zero values take documented defaults.
+type Config struct {
+	// PoolWorkers is the capacity of the global morsel-worker pool:
+	// the number of *extra* parallel workers (beyond each query's own
+	// goroutine) that may exist process-wide at once. Default
+	// GOMAXPROCS; negative disables intra-query parallelism entirely.
+	PoolWorkers int
+	// MaxWorkersPerQuery caps the workers any one query may be granted,
+	// counting its own goroutine. Default 4.
+	MaxWorkersPerQuery int
+	// DefaultTimeout is applied to requests that carry no timeout of
+	// their own. 0 = no deadline.
+	DefaultTimeout time.Duration
+	// DefaultQuota is the quota for tenants without an explicit
+	// SetTenantQuota. Zero fields default to MaxConcurrent 4,
+	// MaxQueued 16, MemBytes unlimited.
+	DefaultQuota TenantQuota
+	// MemEstimate is the per-request in-flight memory charge when the
+	// request does not declare one. Default 1 MiB.
+	MemEstimate int64
+	// Registry receives the admission counters and gauges; nil
+	// disables them (metrics no-op). Tracer receives service.query
+	// spans; nil disables tracing.
+	Registry *obs.Registry
+	Tracer   *obs.Tracer
+}
+
+// Request is one query submission.
+type Request struct {
+	Corpus string `json:"corpus"`
+	Tenant string `json:"tenant"`
+	XPath  string `json:"xpath"`
+	// Workers is the requested intra-query parallelism (counting the
+	// request's own goroutine); 0 takes MaxWorkersPerQuery. The grant
+	// may be smaller under load, never larger.
+	Workers int `json:"workers,omitempty"`
+	// TimeoutMS overrides the service default deadline, in
+	// milliseconds; 0 keeps the default, negative means no deadline.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// MemEstimate is the in-flight memory charge in bytes; 0 takes the
+	// service default.
+	MemEstimate int64 `json:"mem_estimate,omitempty"`
+}
+
+// Response is a completed query: the result plus what admission did
+// with the request.
+type Response struct {
+	Cols  []string
+	Rows  [][]rel.Value
+	Stats engine.ExecStats
+	// Workers is the granted worker count the query ran with.
+	Workers int
+	// Queued is how long the request waited for admission; Elapsed the
+	// total service time including execution.
+	Queued  time.Duration
+	Elapsed time.Duration
+}
+
+// corpus is one registered dataset: a shared Built, the mapping that
+// translates XPath against it, its optimizer, and the per-query-text
+// plan cache. The Built's own caches (prepared plans by fingerprint,
+// hash tables, probe sets, partition zips) are shared across every
+// session automatically because the Built itself is shared; the plans
+// map adds the XPath-text → optimizer.Plan step on top, single-flighted
+// so concurrent first requests for the same text translate and plan
+// once.
+type corpus struct {
+	name    string
+	built   *engine.Built
+	mapping *shred.Mapping
+	cfg     *physical.Config
+	opt     *optimizer.Optimizer
+
+	mu    sync.Mutex
+	plans map[string]*planEntry
+
+	hits, misses *obs.Counter
+}
+
+type planEntry struct {
+	done chan struct{}
+	plan *optimizer.Plan
+	err  error
+}
+
+// plan returns the cached optimizer plan for the query text,
+// translating and planning it on first use. Errors are cached too:
+// translation failure is a property of (mapping, query), so every
+// session sees the same answer without re-parsing.
+func (c *corpus) plan(ctx context.Context, query string) (*optimizer.Plan, error) {
+	c.mu.Lock()
+	if e, ok := c.plans[query]; ok {
+		c.mu.Unlock()
+		c.hits.Inc()
+		select {
+		case <-e.done:
+			return e.plan, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	e := &planEntry{done: make(chan struct{})}
+	c.plans[query] = e
+	c.mu.Unlock()
+	c.misses.Inc()
+	e.plan, e.err = c.buildPlan(query)
+	close(e.done)
+	return e.plan, e.err
+}
+
+func (c *corpus) buildPlan(query string) (*optimizer.Plan, error) {
+	q, err := xpath.Parse(query)
+	if err != nil {
+		return nil, fmt.Errorf("service: parse: %w", err)
+	}
+	sql, err := translate.Translate(c.mapping, q)
+	if err != nil {
+		return nil, fmt.Errorf("service: translate: %w", err)
+	}
+	return c.opt.PlanQuery(sql, c.cfg)
+}
+
+// Service is the long-lived multi-tenant query front end.
+type Service struct {
+	cfg  Config
+	reg  *obs.Registry
+	tr   *obs.Tracer
+	pool *workerPool
+
+	mu      sync.Mutex
+	corpora map[string]*corpus
+	tenants map[string]*tenant
+	closed  bool
+
+	queueDepth                                     *obs.Gauge
+	admitted, rejected, timedout, completed, errct *obs.Counter
+}
+
+// New creates a Service. The zero Config is usable: GOMAXPROCS pool
+// workers, 4 workers per query, no default deadline, default tenant
+// quota {4 concurrent, 16 queued, unlimited memory}, 1 MiB memory
+// estimate, metrics and tracing disabled.
+func New(cfg Config) *Service {
+	if cfg.PoolWorkers == 0 {
+		cfg.PoolWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.PoolWorkers < 0 {
+		cfg.PoolWorkers = 0
+	}
+	if cfg.MaxWorkersPerQuery <= 0 {
+		cfg.MaxWorkersPerQuery = 4
+	}
+	if cfg.MemEstimate <= 0 {
+		cfg.MemEstimate = 1 << 20
+	}
+	cfg.DefaultQuota = cfg.DefaultQuota.withDefaults(TenantQuota{MaxConcurrent: 4, MaxQueued: 16})
+	s := &Service{
+		cfg:        cfg,
+		reg:        cfg.Registry,
+		tr:         cfg.Tracer,
+		pool:       newWorkerPool(cfg.PoolWorkers, cfg.Registry),
+		corpora:    make(map[string]*corpus),
+		tenants:    make(map[string]*tenant),
+		queueDepth: cfg.Registry.Gauge("service.queue_depth"),
+		admitted:   cfg.Registry.Counter("service.admitted"),
+		rejected:   cfg.Registry.Counter("service.rejected"),
+		timedout:   cfg.Registry.Counter("service.timedout"),
+		completed:  cfg.Registry.Counter("service.completed"),
+		errct:      cfg.Registry.Counter("service.errors"),
+	}
+	return s
+}
+
+// SetTenantQuota pins an explicit quota for a tenant (zero fields take
+// the service defaults). Call before the tenant's first query; a quota
+// set after traffic started applies to subsequent admissions only.
+func (s *Service) SetTenantQuota(name string, q TenantQuota) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[name]
+	if !ok {
+		s.tenants[name] = newTenant(name, q.withDefaults(s.cfg.DefaultQuota), s.reg)
+		return
+	}
+	t.mu.Lock()
+	t.quota = q.withDefaults(s.cfg.DefaultQuota)
+	t.mu.Unlock()
+}
+
+func (s *Service) tenant(name string) *tenant {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[name]
+	if !ok {
+		t = newTenant(name, s.cfg.DefaultQuota, s.reg)
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// RegisterBuilt registers a corpus over an already materialized Built.
+// The mapping must be the one the data was shredded under (it drives
+// XPath translation); cfg nil takes the Built's own configuration. The
+// Built is shared by every session from here on and must not be
+// mutated (its generation guard fails queries loudly if it is).
+func (s *Service) RegisterBuilt(name string, b *engine.Built, m *shred.Mapping, cfg *physical.Config) error {
+	if cfg == nil {
+		cfg = b.Config
+	}
+	return s.register(&corpus{
+		name:    name,
+		built:   b,
+		mapping: m,
+		cfg:     cfg,
+		opt:     optimizer.New(stats.FromDatabase(b.DB)),
+	})
+}
+
+// RegisterStore registers a corpus served from a durable store. With
+// paged=false the store's tables are assembled up front (Store.Built);
+// with paged=true driver-stage scans pull chunks through the store's
+// budgeted pager (Store.PagedBuilt), so every session's scans share one
+// CLOCK-managed chunk cache and the corpus serves data larger than RAM.
+// Optimizer statistics are collected once at registration through the
+// store's assembled-table cache (budget-evicting), so a paged corpus
+// pays one bounded pass, not a resident copy.
+func (s *Service) RegisterStore(name string, st *storage.Store, m *shred.Mapping, paged bool) error {
+	db, err := st.Database()
+	if err != nil {
+		return fmt.Errorf("service: register %s: %w", name, err)
+	}
+	prov := stats.FromDatabase(db)
+	var b *engine.Built
+	if paged {
+		b, err = st.PagedBuilt()
+	} else {
+		b, err = st.Built()
+	}
+	if err != nil {
+		return fmt.Errorf("service: register %s: %w", name, err)
+	}
+	return s.register(&corpus{
+		name:    name,
+		built:   b,
+		mapping: m,
+		cfg:     b.Config,
+		opt:     optimizer.New(prov),
+	})
+}
+
+func (s *Service) register(c *corpus) error {
+	c.plans = make(map[string]*planEntry)
+	c.hits = s.reg.Counter("service.plan.hits")
+	c.misses = s.reg.Counter("service.plan.misses")
+	c.built.AttachObs(s.tr, s.reg)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, dup := s.corpora[c.name]; dup {
+		return fmt.Errorf("service: corpus %q already registered", c.name)
+	}
+	s.corpora[c.name] = c
+	return nil
+}
+
+// CorpusInfo describes a registered corpus for listings.
+type CorpusInfo struct {
+	Name   string `json:"name"`
+	Tables int    `json:"tables"`
+	Rows   int    `json:"rows"`
+}
+
+// Corpora lists registered corpora sorted by name.
+func (s *Service) Corpora() []CorpusInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]CorpusInfo, 0, len(s.corpora))
+	for _, c := range s.corpora {
+		info := CorpusInfo{Name: c.name}
+		for _, t := range c.built.DB.Tables() {
+			info.Tables++
+			info.Rows += t.RowCount()
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func (s *Service) corpus(name string) (*corpus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	c, ok := s.corpora[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownCorpus, name)
+	}
+	return c, nil
+}
+
+// timeout resolves the request's deadline: per-request override, else
+// the service default; negative disables.
+func (s *Service) timeout(req Request) time.Duration {
+	if req.TimeoutMS < 0 {
+		return 0
+	}
+	if req.TimeoutMS > 0 {
+		return time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	return s.cfg.DefaultTimeout
+}
+
+// Query runs one request end to end: resolve the corpus, translate and
+// plan through the shared plan cache, admit under the tenant's quota
+// (queueing FIFO, failing fast on a full queue), borrow extra workers
+// from the global pool, execute, release. The context and the resolved
+// deadline govern every phase; a request past its deadline returns a
+// DeadlineError promptly — from the queue without ever occupying quota,
+// or from execution via the engine's per-batch cancellation polls — and
+// never poisons a shared cache entry (the engine's single-flight builds
+// run to completion regardless, see engine.cacheGet).
+func (s *Service) Query(ctx context.Context, req Request) (*Response, error) {
+	start := time.Now()
+	c, err := s.corpus(req.Corpus)
+	if err != nil {
+		s.errct.Inc()
+		return nil, err
+	}
+	if d := s.timeout(req); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	sp := s.tr.StartSpan("service.query",
+		obs.String("corpus", req.Corpus), obs.String("tenant", req.Tenant))
+	defer sp.End()
+
+	fail := func(phase string, err error) (*Response, error) {
+		err = s.classify(phase, err)
+		sp.SetAttr(obs.String("error", err.Error()))
+		return nil, err
+	}
+
+	// Plan before admission: a parse or translation error must not
+	// consume quota, and the plan cache is single-flighted so this is
+	// cheap for every request after the first.
+	plan, err := c.plan(ctx, req.XPath)
+	if err != nil {
+		return fail("plan", err)
+	}
+
+	mem := req.MemEstimate
+	if mem <= 0 {
+		mem = s.cfg.MemEstimate
+	}
+	t := s.tenant(req.Tenant)
+	if err := ctx.Err(); err != nil {
+		// Already expired: don't even queue.
+		return fail("queued", err)
+	}
+	if err := t.acquire(ctx, mem, s.queueDepth); err != nil {
+		return fail("queued", err)
+	}
+	defer t.release(mem)
+	queued := time.Since(start)
+	s.admitted.Inc()
+
+	want := req.Workers
+	if want <= 0 || want > s.cfg.MaxWorkersPerQuery {
+		want = s.cfg.MaxWorkersPerQuery
+	}
+	extra := s.pool.acquire(want)
+	defer s.pool.release(extra)
+	workers := 1 + extra
+	sp.SetAttr(obs.Int("workers", int64(workers)))
+
+	pp, err := c.built.PreparedContext(ctx, plan)
+	if err != nil {
+		return fail("prepare", err)
+	}
+	res, err := pp.ExecuteContextWorkers(ctx, workers)
+	if err != nil {
+		return fail("execute", err)
+	}
+	s.completed.Inc()
+	sp.SetAttr(obs.Int("rows", int64(len(res.Rows))))
+	return &Response{
+		Cols:    res.Cols,
+		Rows:    res.Rows,
+		Stats:   res.Stats,
+		Workers: workers,
+		Queued:  queued,
+		Elapsed: time.Since(start),
+	}, nil
+}
+
+// classify folds an error into the admission taxonomy and counts it:
+// context expiry anywhere becomes a DeadlineError for the phase,
+// overload stays ErrOverloaded, anything else is a plain failure.
+func (s *Service) classify(phase string, err error) error {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		s.rejected.Inc()
+		return err
+	case errors.Is(err, ErrDeadline):
+		s.timedout.Inc()
+		return err
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.timedout.Inc()
+		return wrapDeadline(phase, err)
+	default:
+		s.errct.Inc()
+		return err
+	}
+}
+
+// PoolPeak returns the worker pool's lifetime occupancy high-water
+// mark (test and monitoring hook).
+func (s *Service) PoolPeak() int { return s.pool.Peak() }
+
+// TenantPeaks returns a tenant's lifetime in-flight and memory
+// high-water marks; ok is false if the tenant never submitted.
+func (s *Service) TenantPeaks(name string) (inflight int, mem int64, ok bool) {
+	s.mu.Lock()
+	t, exists := s.tenants[name]
+	s.mu.Unlock()
+	if !exists {
+		return 0, 0, false
+	}
+	inflight, mem = t.Peaks()
+	return inflight, mem, true
+}
+
+// Close fences the service: subsequent Query and register calls fail
+// with ErrClosed. In-flight queries finish; Close does not wait for
+// them (the engine has no long-lived background work to reap).
+func (s *Service) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}

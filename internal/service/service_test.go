@@ -1,0 +1,195 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/optimizer"
+	"repro/internal/physical"
+	"repro/internal/rel"
+	"repro/internal/schema"
+	"repro/internal/shred"
+	"repro/internal/stats"
+	"repro/internal/translate"
+	"repro/internal/xmlgen"
+	"repro/internal/xpath"
+)
+
+// serviceQueries is the mixed workload the battery runs: heap scans,
+// a hash/INL join (actor), and multi-branch unions, so the shared
+// caches actually hold join tables and several prepared plans.
+var serviceQueries = []string{
+	`//movie[year >= 2000]/(title | box_office)`,
+	`//movie[genre = "genre-03"]/(title | year | actor)`,
+	`//movie/year`,
+	`//movie/(title | aka_title)`,
+	`//movie[actor = "Bob Author-00017"]/title`,
+}
+
+// movieFixture shreds a seeded movie corpus and returns the pieces a
+// test needs to register it and to compute reference answers.
+func movieFixture(t testing.TB, movies int) (*shred.Mapping, *rel.Database, *engine.Built) {
+	t.Helper()
+	tree := schema.Movie()
+	doc := xmlgen.GenerateMovie(tree, xmlgen.MovieOptions{Movies: movies, Seed: 21})
+	m, err := shred.Compile(tree)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	db, err := shred.Shred(m, doc)
+	if err != nil {
+		t.Fatalf("Shred: %v", err)
+	}
+	built, err := engine.Build(db, &physical.Config{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return m, db, built
+}
+
+// refResults executes every query directly through the engine on its
+// own private Built — the ground truth the service answers must be
+// bit-identical to.
+func refResults(t testing.TB, m *shred.Mapping, db *rel.Database, queries []string) []*engine.Result {
+	t.Helper()
+	built, err := engine.Build(db, &physical.Config{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	opt := optimizer.New(stats.FromDatabase(db))
+	out := make([]*engine.Result, len(queries))
+	for i, qs := range queries {
+		sql, err := translate.Translate(m, xpath.MustParse(qs))
+		if err != nil {
+			t.Fatalf("%s: translate: %v", qs, err)
+		}
+		plan, err := opt.PlanQuery(sql, &physical.Config{})
+		if err != nil {
+			t.Fatalf("%s: plan: %v", qs, err)
+		}
+		out[i], err = engine.Execute(built, plan)
+		if err != nil {
+			t.Fatalf("%s: execute: %v", qs, err)
+		}
+	}
+	return out
+}
+
+// diffResponse compares a service response against a direct engine
+// result for bit-identity: columns, row order, every value (BitEqual
+// so NaN matches NaN), and stats. Empty string means identical.
+func diffResponse(got *Response, want *engine.Result) string {
+	if len(got.Cols) != len(want.Cols) {
+		return fmt.Sprintf("%d cols, want %d", len(got.Cols), len(want.Cols))
+	}
+	for i := range got.Cols {
+		if got.Cols[i] != want.Cols[i] {
+			return fmt.Sprintf("col %d = %q, want %q", i, got.Cols[i], want.Cols[i])
+		}
+	}
+	if len(got.Rows) != len(want.Rows) {
+		return fmt.Sprintf("%d rows, want %d", len(got.Rows), len(want.Rows))
+	}
+	for i := range got.Rows {
+		if len(got.Rows[i]) != len(want.Rows[i]) {
+			return fmt.Sprintf("row %d has %d values, want %d", i, len(got.Rows[i]), len(want.Rows[i]))
+		}
+		for j := range got.Rows[i] {
+			if !got.Rows[i][j].BitEqual(want.Rows[i][j]) {
+				return fmt.Sprintf("row %d col %d = %v, want %v", i, j, got.Rows[i][j], want.Rows[i][j])
+			}
+		}
+	}
+	if got.Stats != want.Stats {
+		return fmt.Sprintf("stats %+v, want %+v", got.Stats, want.Stats)
+	}
+	return ""
+}
+
+// requireSameResult is diffResponse as a fatal test assertion.
+func requireSameResult(t testing.TB, label string, got *Response, want *engine.Result) {
+	t.Helper()
+	if d := diffResponse(got, want); d != "" {
+		t.Fatalf("%s: %s", label, d)
+	}
+}
+
+func TestServiceQueryBasic(t *testing.T) {
+	m, db, built := movieFixture(t, 200)
+	want := refResults(t, m, db, serviceQueries)
+	reg := obs.NewRegistry()
+	svc := New(Config{Registry: reg, PoolWorkers: 2})
+	if err := svc.RegisterBuilt("movie", built, m, nil); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for round := 0; round < 2; round++ {
+		for i, qs := range serviceQueries {
+			resp, err := svc.Query(ctx, Request{Corpus: "movie", Tenant: "t0", XPath: qs})
+			if err != nil {
+				t.Fatalf("round %d query %d: %v", round, i, err)
+			}
+			requireSameResult(t, qs, resp, want[i])
+		}
+	}
+	// The plan cache translated each text once; round two was all hits.
+	snap := reg.Snapshot()
+	if got := snap["service.plan.misses"]; got != float64(len(serviceQueries)) {
+		t.Errorf("plan misses = %v, want %d", got, len(serviceQueries))
+	}
+	if got := snap["service.plan.hits"]; got != float64(len(serviceQueries)) {
+		t.Errorf("plan hits = %v, want %d", got, len(serviceQueries))
+	}
+	if got := snap["service.completed"]; got != float64(2*len(serviceQueries)) {
+		t.Errorf("completed = %v, want %d", got, 2*len(serviceQueries))
+	}
+}
+
+func TestServiceErrors(t *testing.T) {
+	m, _, built := movieFixture(t, 50)
+	svc := New(Config{})
+	if err := svc.RegisterBuilt("movie", built, m, nil); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := svc.Query(ctx, Request{Corpus: "nope", Tenant: "t", XPath: "//movie/year"}); !errors.Is(err, ErrUnknownCorpus) {
+		t.Errorf("unknown corpus: got %v", err)
+	}
+	// A parse error is cached, answered identically on retry, and never
+	// consumes tenant quota.
+	for i := 0; i < 2; i++ {
+		if _, err := svc.Query(ctx, Request{Corpus: "movie", Tenant: "t", XPath: "//movie["}); err == nil {
+			t.Fatalf("attempt %d: bad query succeeded", i)
+		}
+	}
+	if inflight, _, ok := svc.TenantPeaks("t"); ok && inflight != 0 {
+		t.Errorf("plan errors consumed quota: peak inflight %d", inflight)
+	}
+	if err := svc.RegisterBuilt("movie", built, m, nil); err == nil {
+		t.Error("duplicate register succeeded")
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Query(ctx, Request{Corpus: "movie", Tenant: "t", XPath: "//movie/year"}); !errors.Is(err, ErrClosed) {
+		t.Errorf("after Close: got %v", err)
+	}
+}
+
+func TestDeadlineErrorTaxonomy(t *testing.T) {
+	err := wrapDeadline("queued", context.DeadlineExceeded)
+	if !errors.Is(err, ErrDeadline) {
+		t.Error("DeadlineError does not match ErrDeadline")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Error("DeadlineError does not match the wrapped context error")
+	}
+	var de *DeadlineError
+	if !errors.As(err, &de) || de.Phase != "queued" {
+		t.Errorf("phase not preserved: %v", err)
+	}
+}

@@ -1,0 +1,170 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/storage"
+)
+
+// The race battery: N goroutine "sessions" hammer one corpus's shared
+// Built (and PagedBuilt) through the service concurrently, at mixed
+// worker counts, and every answer must be bit-identical to a direct
+// single-threaded engine execution. Run under -race this is the
+// shared-cache safety evidence for the whole service path; the cache
+// counters afterwards pin the single-flight property — every prepared
+// plan, join table, and probe set was built exactly once no matter how
+// many sessions raced to first use.
+
+const (
+	batterySessions = 8
+	batteryRounds   = 6
+)
+
+// runBattery drives sessions×rounds over every query against one
+// registered corpus and checks each response bit-exactly.
+func runBattery(t *testing.T, svc *Service, corpus string, want []*engine.Result) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make(chan error, batterySessions)
+	for s := 0; s < batterySessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			ctx := context.Background()
+			tenant := fmt.Sprintf("tenant-%d", s%3)
+			for r := 0; r < batteryRounds; r++ {
+				// Mixed worker counts: each session asks for a different
+				// parallelism each round; grants vary with pool load and
+				// the answers must not.
+				workers := 1 + (s+r)%4
+				for i, qs := range serviceQueries {
+					resp, err := svc.Query(ctx, Request{
+						Corpus: corpus, Tenant: tenant, XPath: qs, Workers: workers,
+					})
+					if err != nil {
+						errs <- fmt.Errorf("session %d round %d query %d: %w", s, r, i, err)
+						return
+					}
+					if d := diffResponse(resp, want[i]); d != "" {
+						errs <- fmt.Errorf("session %d round %d workers %d %s: %s", s, r, workers, qs, d)
+						return
+					}
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// singleFlightMisses executes each battery query once on a fresh Built
+// and returns its cache-miss profile: the exact miss counts a shared
+// Built must show after ANY number of concurrent sessions, if and only
+// if every structure was built exactly once.
+func singleFlightMisses(t *testing.T, svc *Service, corpus string) map[string]int64 {
+	t.Helper()
+	ctx := context.Background()
+	for _, qs := range serviceQueries {
+		if _, err := svc.Query(ctx, Request{Corpus: corpus, Tenant: "baseline", XPath: qs}); err != nil {
+			t.Fatalf("baseline %s: %v", qs, err)
+		}
+	}
+	svc.mu.Lock()
+	defer svc.mu.Unlock()
+	out := map[string]int64{}
+	for k, v := range svc.corpora[corpus].built.CacheCounters() {
+		if len(k) > 7 && k[len(k)-7:] == ".misses" {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func assertSingleFlight(t *testing.T, b *engine.Built, wantMisses map[string]int64) {
+	t.Helper()
+	got := b.CacheCounters()
+	for k, want := range wantMisses {
+		if got[k] != want {
+			t.Errorf("cache %s = %d after battery, want %d (structure built more than once, single-flight broken); counters %v",
+				k, got[k], want, got)
+		}
+	}
+}
+
+func TestSharedBuiltRaceBattery(t *testing.T) {
+	m, db, built := movieFixture(t, 200)
+	want := refResults(t, m, db, serviceQueries)
+
+	// Miss profile of a single serial pass on a private Built: the
+	// battery's shared Built must match it exactly.
+	_, _, baselineBuilt := movieFixture(t, 200)
+	baseSvc := New(Config{})
+	if err := baseSvc.RegisterBuilt("movie", baselineBuilt, m, nil); err != nil {
+		t.Fatal(err)
+	}
+	wantMisses := singleFlightMisses(t, baseSvc, "movie")
+
+	reg := obs.NewRegistry()
+	svc := New(Config{Registry: reg, PoolWorkers: 4, DefaultQuota: TenantQuota{MaxConcurrent: 8, MaxQueued: 64}})
+	if err := svc.RegisterBuilt("movie", built, m, nil); err != nil {
+		t.Fatal(err)
+	}
+	runBattery(t, svc, "movie", want)
+	assertSingleFlight(t, built, wantMisses)
+
+	// The plan cache is also single-flight: one miss per query text.
+	if got := reg.Snapshot()["service.plan.misses"]; got != float64(len(serviceQueries)) {
+		t.Errorf("plan misses = %v after %d sessions, want %d",
+			got, batterySessions, len(serviceQueries))
+	}
+}
+
+func TestSharedPagedBuiltRaceBattery(t *testing.T) {
+	m, db, built := movieFixture(t, 200)
+	want := refResults(t, m, db, serviceQueries)
+
+	dir, err := os.MkdirTemp("", "service-paged-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	if _, err := storage.Save(dir, built, storage.Options{ChunkRows: 64}); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	// A budget around a third of the data forces real paging: sessions
+	// continuously fault and evict each other's chunks while sharing one
+	// CLOCK pager.
+	store, err := storage.Open(dir, storage.Options{MemBudgetBytes: db.Bytes() / 3, ChunkRows: 64})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	t.Cleanup(func() { store.Close() })
+
+	reg := obs.NewRegistry()
+	svc := New(Config{Registry: reg, PoolWorkers: 4, DefaultQuota: TenantQuota{MaxConcurrent: 8, MaxQueued: 64}})
+	if err := svc.RegisterStore("movie", store, m, true); err != nil {
+		t.Fatal(err)
+	}
+	runBattery(t, svc, "movie", want)
+
+	// Prepared plans are still single-flight on the paged Built. (Join
+	// and probe structures too — same counters, same cache.)
+	counters := func() map[string]int64 {
+		svc.mu.Lock()
+		defer svc.mu.Unlock()
+		return svc.corpora["movie"].built.CacheCounters()
+	}()
+	if counters["prepared.misses"] != int64(len(serviceQueries)) {
+		t.Errorf("prepared.misses = %d, want %d (counters %v)",
+			counters["prepared.misses"], len(serviceQueries), counters)
+	}
+}

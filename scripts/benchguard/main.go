@@ -20,6 +20,14 @@
 //     back toward the row-store ratio fails even though it would still
 //     clear the looser PR 3 bound.
 //
+// -mode qps guards the PR 10 service path against BENCH_PR10.json:
+// the W4/W1 sustained-QPS speedup is asserted from the run itself
+// (gated on the run's own reported cpus metric, because a one-thread
+// runner cannot show a parallel speedup), the service-dispatch cost of
+// W1 over the bare engine is bounded from the same run, and the
+// W1/Direct ratio is pinned against the baseline when the run and the
+// baseline fall in the same cpu category.
+//
 // Three storage modes ride on the same normalization: -mode reopen
 // pins the StoreReopen/SegmentDecode ratio against BENCH_PR7.json;
 // -mode paging pins the chunked, budgeted, and resident reopen paths
@@ -39,6 +47,8 @@
 //	    go run ./scripts/benchguard -mode paging -baseline BENCH_PR8.json -resident BENCH_PR7.json
 //	go test -run '^$' -bench 'ScanQuery' ./internal/storage/ | \
 //	    go run ./scripts/benchguard -mode chunkscan -baseline BENCH_PR9.json
+//	go test -run '^$' -bench 'BenchmarkService' ./internal/service/loadgen/ | \
+//	    go run ./scripts/benchguard -mode qps -baseline BENCH_PR10.json
 package main
 
 import (
@@ -93,6 +103,29 @@ const (
 	// executor that got slower everywhere.
 	maxPeakOverBound  = 1.00
 	maxChunkScanDrift = 1.50
+	// -mode qps bounds. The speedup contract is decided from the run's
+	// own cpus metric: with >= 2 hardware threads, four-worker queries
+	// must sustain at least minQPSSpeedupMulticore times the QPS of
+	// workers=1 on the identical load — the whole point of sharing one
+	// build behind a worker pool. On a single-thread runner four
+	// workers can only time-slice one core, so the same ratio measures
+	// pure dispatch/scheduling cost and only minQPSSpeedupSingleCore
+	// (a gross-pathology floor: a deadlocked pool or serialized morsel
+	// queue would sink below it) applies. maxServiceOverhead bounds
+	// W1/Direct from one run — everything the service adds per request
+	// (HTTP-free in-process dispatch, admission, plan-cache lookup)
+	// over the bare engine executing the same warmed plans; on a
+	// multi-core runner the concurrent W1 sessions push the ratio
+	// below 1, so the bound guards pathology, not a constant.
+	// maxQPSDrift pins W1/Direct against BENCH_PR10.json, normalized
+	// by the bare engine from each run to cancel machine speed; the
+	// comparison only holds within a cpu category (concurrency helps
+	// W1 but not Direct on multi-core), so it is skipped when the run
+	// and the baseline disagree about cpus >= 2.
+	minQPSSpeedupMulticore  = 1.15
+	minQPSSpeedupSingleCore = 0.60
+	maxServiceOverhead      = 1.50
+	maxQPSDrift             = 1.50
 )
 
 type baseline struct {
@@ -108,6 +141,37 @@ var benchLine = regexp.MustCompile(`^(Benchmark\w+?)(?:-\d+)?\s+\d+\s+(\d+(?:\.\
 // iteration count, covering both ns/op and custom b.ReportMetric units
 // (e.g. "0.86 peak_over_bound").
 var metricPair = regexp.MustCompile(`\s(\d+(?:\.\d+)?(?:e[+-]?\d+)?) ([A-Za-z_][\w/]*)`)
+
+// loadBaselineMetrics returns every numeric field of each baseline
+// result (ns_per_op plus custom metrics like qps and cpus), keyed by
+// benchmark name — the qps mode needs more than ns_per_op.
+func loadBaselineMetrics(path string) map[string]map[string]float64 {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal("reading baseline: %v", err)
+	}
+	var base struct {
+		Results []map[string]any `json:"results"`
+	}
+	if err := json.Unmarshal(data, &base); err != nil {
+		fatal("parsing baseline: %v", err)
+	}
+	out := map[string]map[string]float64{}
+	for _, r := range base.Results {
+		name, _ := r["name"].(string)
+		if name == "" {
+			continue
+		}
+		m := map[string]float64{}
+		for k, v := range r {
+			if f, ok := v.(float64); ok {
+				m[k] = f
+			}
+		}
+		out[name] = m
+	}
+	return out
+}
 
 func loadBaseline(path string) map[string]float64 {
 	data, err := os.ReadFile(path)
@@ -128,7 +192,7 @@ func loadBaseline(path string) map[string]float64 {
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_PR3.json", "baseline benchmark JSON")
 	columnarPath := flag.String("columnar", "", "columnar baseline JSON (BENCH_PR6.json); empty skips the columnar bound")
-	mode := flag.String("mode", "executor", `guard mode: "executor" (the PR 3/6 executor bounds), "reopen" (store reopen latency vs the PR 7 baseline), "paging" (memory-budgeted paging + group commit vs the PR 8 baseline), or "chunkscan" (budgeted query peak residency + chunk-scan cost vs the PR 9 baseline)`)
+	mode := flag.String("mode", "executor", `guard mode: "executor" (the PR 3/6 executor bounds), "reopen" (store reopen latency vs the PR 7 baseline), "paging" (memory-budgeted paging + group commit vs the PR 8 baseline), "chunkscan" (budgeted query peak residency + chunk-scan cost vs the PR 9 baseline), or "qps" (service sustained-QPS speedup + dispatch overhead vs the PR 10 baseline)`)
 	residentPath := flag.String("resident", "", "resident-path baseline JSON (BENCH_PR7.json) for -mode paging; empty skips the resident bound")
 	flag.Parse()
 
@@ -296,6 +360,81 @@ func main() {
 			fmt.Printf("benchguard: FAIL: chunk-scan execution regressed %.1f%% vs %s (normalized by the assembled path)\n",
 				(drift-1)*100, *baselinePath)
 			failed = true
+		}
+		if failed {
+			os.Exit(1)
+		}
+		fmt.Println("benchguard: OK")
+		return
+	}
+	if *mode == "qps" {
+		metric := func(bench, unit string) float64 {
+			m, ok := metrics[bench]
+			if !ok {
+				fatal("missing %s metrics in bench output", bench)
+			}
+			v, ok := m[unit]
+			if !ok || v <= 0 {
+				fatal("missing %s metric for %s in bench output", unit, bench)
+			}
+			return v
+		}
+		failed := false
+
+		// Multi-worker speedup (or single-core dispatch floor) from
+		// this run alone, decided by the run's own cpus metric.
+		qps1 := metric("BenchmarkServiceQPSW1", "qps")
+		qps4 := metric("BenchmarkServiceQPSW4", "qps")
+		cpus := metric("BenchmarkServiceQPSW1", "cpus")
+		speedup := qps4 / qps1
+		bound, kind := minQPSSpeedupSingleCore, "single-core dispatch floor"
+		if cpus >= 2 {
+			bound, kind = minQPSSpeedupMulticore, "multi-core speedup"
+		}
+		fmt.Printf("benchguard: qps W4/W1 speedup %.3f on %.0f cpus (%s bound %.2f)\n", speedup, cpus, kind, bound)
+		if speedup < bound {
+			fmt.Printf("benchguard: FAIL: workers=4 sustained %.1f qps vs %.1f at workers=1 — the shared worker pool is not paying for itself\n", qps4, qps1)
+			failed = true
+		}
+
+		// Service-dispatch cost over the bare engine from the same run.
+		w1Now := need(measured, "BenchmarkServiceQPSW1", "bench output")
+		dirNow := need(measured, "BenchmarkServiceDirect", "bench output")
+		overhead := w1Now / dirNow
+		fmt.Printf("benchguard: service overhead W1/Direct %.3f (bound %.2f)\n", overhead, maxServiceOverhead)
+		if overhead > maxServiceOverhead {
+			fmt.Printf("benchguard: FAIL: service dispatch costs %.1f%% over the bare engine on the same warmed plans\n", (overhead-1)*100)
+			failed = true
+		}
+
+		// W1/Direct drift vs the baseline, normalized by the bare
+		// engine from each run. Only comparable within a cpu category:
+		// the four concurrent W1 sessions speed up with cores while the
+		// serial Direct loop does not.
+		base := loadBaselineMetrics(*baselinePath)
+		needf := func(bench, field string) float64 {
+			m, ok := base[bench]
+			if !ok {
+				fatal("missing %s in %s", bench, *baselinePath)
+			}
+			v, ok := m[field]
+			if !ok || v <= 0 {
+				fatal("missing %s for %s in %s", field, bench, *baselinePath)
+			}
+			return v
+		}
+		cpusBase := needf("BenchmarkServiceQPSW1", "cpus")
+		if (cpus >= 2) == (cpusBase >= 2) {
+			drift := overhead / (needf("BenchmarkServiceQPSW1", "ns_per_op") / needf("BenchmarkServiceDirect", "ns_per_op"))
+			fmt.Printf("benchguard: qps drift %.3f (bound %.2f)\n", drift, maxQPSDrift)
+			if drift > maxQPSDrift {
+				fmt.Printf("benchguard: FAIL: service path regressed %.1f%% vs %s (normalized by the bare engine)\n",
+					(drift-1)*100, *baselinePath)
+				failed = true
+			}
+		} else {
+			fmt.Printf("benchguard: qps drift skipped: run has %.0f cpus, baseline %s recorded %.0f — W1/Direct is only comparable within a cpu category\n",
+				cpus, *baselinePath, cpusBase)
 		}
 		if failed {
 			os.Exit(1)
